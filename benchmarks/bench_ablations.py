@@ -1,0 +1,35 @@
+"""Ablation studies beyond the paper's figures: per-technique isolation
+(the paper quotes token 3.8x, head 1.1x, progressive quantization 5.1x
+DRAM reductions on GPT-2) and the Section V-B GPU-token-pruning
+experiment ("3x pruning ratio brings up to 2.3x speedup for BERT")."""
+
+import pytest
+
+from repro.eval import experiments as E
+
+
+def test_ablation_pruning_components(benchmark, publish):
+    result = benchmark.pedantic(
+        E.ablation_pruning_components, rounds=1, iterations=1
+    )
+    publish("ablation_pruning_components", result.table)
+    # Paper's isolated contributions on GPT-2.
+    assert result.dram_reduction["token pruning only"] == pytest.approx(3.8, rel=0.15)
+    assert result.dram_reduction["head pruning only"] == pytest.approx(1.15, rel=0.15)
+    assert result.dram_reduction["progressive quantization only"] == pytest.approx(
+        5.1, rel=0.15
+    )
+    # Techniques compound.
+    assert result.dram_reduction["everything"] > (
+        0.8 * result.dram_reduction["token pruning only"]
+        * result.dram_reduction["progressive quantization only"]
+    )
+
+
+def test_gpu_token_pruning(benchmark, publish):
+    result = benchmark.pedantic(E.gpu_token_pruning, rounds=1, iterations=1)
+    publish("gpu_token_pruning", result.table)
+    # Pruning helps the GPU too, but far less than a dedicated design:
+    # the longest task gains the most (paper: up to 2.3x at 3x pruning).
+    assert 1.0 <= result.geomean < 2.0
+    assert result.speedups["bert-base-squad-v1"] > result.speedups["bert-base-cola"]

@@ -1,0 +1,15 @@
+"""Fig. 1: cascade token and head pruning across layers on an
+SST-2-style sentence (11 tokens -> 2, 12 heads -> 8, compute 100% ->
+38% -> 12% in the paper)."""
+
+from repro.eval import quality_experiments as Q
+
+
+def test_fig01_cascade_pruning(benchmark, publish):
+    result = benchmark.pedantic(
+        Q.fig01_cascade_pruning, rounds=1, iterations=1
+    )
+    publish("fig01_cascade_pruning", result.table)
+    assert result.tokens_per_layer[-1] == 2
+    assert result.compute_fraction_per_layer[-1] < 0.35
+    assert result.predicted_label == result.dense_label

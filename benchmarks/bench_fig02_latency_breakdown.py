@@ -1,0 +1,14 @@
+"""Fig. 2: end-to-end GPT-2 latency breakdown — attention accounts for
+~half of the latency on GPU/CPU/Nano, and data movement for 73% of the
+GPU's attention time."""
+
+from repro.eval import experiments as E
+
+
+def test_fig02_latency_breakdown(benchmark, publish):
+    result = benchmark.pedantic(
+        E.fig02_latency_breakdown, rounds=1, iterations=1
+    )
+    publish("fig02_latency_breakdown", result.table)
+    for fraction in result.platform_attention_fraction.values():
+        assert 0.35 < fraction < 0.75  # paper: 50% / 61% / 49%

@@ -1,0 +1,13 @@
+"""Fig. 7: int4 attention-probability error vs the row's max
+probability — dominated distributions quantize almost losslessly, which
+is the observation progressive quantization is built on."""
+
+from repro.eval import quality_experiments as Q
+
+
+def test_fig07_quant_error(benchmark, publish):
+    result = benchmark.pedantic(
+        Q.fig07_quant_error, rounds=1, iterations=1
+    )
+    publish("fig07_quant_error", result.table)
+    assert result.correlation < -0.4

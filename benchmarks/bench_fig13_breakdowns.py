@@ -1,0 +1,12 @@
+"""Fig. 13: on-chip area and power breakdowns (paper: 18.71 mm^2; Q x K
+and prob x V dominate both)."""
+
+import pytest
+
+from repro.eval import experiments as E
+
+
+def test_fig13_breakdowns(benchmark, publish):
+    result = benchmark.pedantic(E.fig13_breakdowns, rounds=1, iterations=1)
+    publish("fig13_breakdowns", result.table)
+    assert sum(result.area_mm2.values()) == pytest.approx(18.71, abs=0.01)

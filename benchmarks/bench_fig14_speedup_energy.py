@@ -1,0 +1,16 @@
+"""Fig. 14: per-benchmark speedup and energy efficiency of SpAtten over
+TITAN Xp / Xeon / Jetson Nano / Raspberry Pi on all 30 benchmarks
+(paper geomeans: 162x/347x/1095x/5071x speedup, 1193x/4059x/406x/1910x
+energy savings)."""
+
+from repro.eval import experiments as E
+
+
+def test_fig14_speedup_energy(benchmark, publish):
+    result = benchmark.pedantic(E.fig14_speedup_energy, rounds=1, iterations=1)
+    publish("fig14_speedup_energy", result.table)
+    for platform, (paper_speedup, paper_energy) in E.PAPER_FIG14_GEOMEANS.items():
+        measured = result.geomean_speedup[platform]
+        assert paper_speedup / 2.5 < measured < paper_speedup * 2.5, platform
+        measured_e = result.geomean_energy[platform]
+        assert paper_energy / 3.0 < measured_e < paper_energy * 3.0, platform

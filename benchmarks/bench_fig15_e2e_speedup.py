@@ -1,0 +1,13 @@
+"""Fig. 15: end-to-end SpAtten-e2e speedup over GPU/CPU with 8-bit and
+12-bit FC weights (paper geomeans: 35x/24x over GPU, 122x/83x over
+CPU)."""
+
+from repro.eval import experiments as E
+
+
+def test_fig15_e2e_speedup(benchmark, publish):
+    result = benchmark.pedantic(E.fig15_e2e_speedup, rounds=1, iterations=1)
+    publish("fig15_e2e_speedup", result.table)
+    assert 15 < result.geomeans[8]["titan-xp"] < 80
+    assert result.geomeans[8]["titan-xp"] > result.geomeans[12]["titan-xp"]
+    assert result.geomeans[8]["xeon-e5-2640"] > result.geomeans[8]["titan-xp"]

@@ -1,0 +1,15 @@
+"""Fig. 16/17: hardware-aware Transformer co-design for SpAtten-e2e
+(paper: 1.9x faster and 2.8x smaller than vanilla Transformer-Big at
+matched quality; the co-designed model trades FC FLOPs for attention
+FLOPs)."""
+
+from repro.eval import experiments as E
+
+
+def test_fig16_fig17_hat_codesign(benchmark, publish):
+    result = benchmark.pedantic(E.fig16_hat_codesign, rounds=1, iterations=1)
+    publish("fig16_hat_codesign", result.table, result.fig17_table)
+    assert result.speedup_vs_big > 1.5
+    assert result.size_reduction_vs_big > 1.8
+    near_base = min(result.codesigned, key=lambda p: abs(p.bleu - result.base.bleu))
+    assert near_base.fc_flops < result.base.fc_flops

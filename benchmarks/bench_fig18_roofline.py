@@ -1,0 +1,16 @@
+"""Fig. 18: roofline analysis — SpAtten sits near its compute roof on
+BERT and near the bandwidth roof on GPT-2; the GPU sits far below both
+of its roofs."""
+
+from repro.baselines.roofline import classify
+from repro.eval import experiments as E
+
+
+def test_fig18_roofline(benchmark, publish):
+    result = benchmark.pedantic(E.fig18_roofline, rounds=1, iterations=1)
+    publish("fig18_roofline", result.table)
+    by_label = {p.label: p for p in result.points}
+    assert classify(result.spatten_roofline, by_label["SpAtten BERT"]) == "compute-bound"
+    assert classify(result.spatten_roofline, by_label["SpAtten GPT-2"]) == "memory-bound"
+    assert by_label["SpAtten BERT"].utilisation(result.spatten_roofline) > 0.3
+    assert by_label["TITAN Xp BERT"].utilisation(result.gpu_roofline) < 0.05

@@ -1,0 +1,17 @@
+"""Fig. 19: design-space exploration — top-k engine parallelism sweep
+(saturates once it matches the Q x K output rate; paper selects 16) and
+K/V SRAM sizing (no effect beyond the 196 KB working set)."""
+
+import pytest
+
+from repro.eval import experiments as E
+
+
+def test_fig19_design_space(benchmark, publish):
+    result = benchmark.pedantic(E.fig19_design_space, rounds=1, iterations=1)
+    publish("fig19_design_space", result.table)
+    gflops = result.parallelism_gflops
+    assert gflops[1] < gflops[4] < gflops[16]
+    assert gflops[32] == pytest.approx(gflops[16], rel=0.05)
+    sram = list(result.sram_gflops.values())
+    assert max(sram) / min(sram) < 1.05

@@ -1,0 +1,18 @@
+"""Fig. 20: the speedup-breakdown waterfall on GPT-2 — specialized
+datapath, cascade pruning (throttled by a parallelism-1 top-k), the
+high-parallelism top-k engine, then static and progressive
+quantization (paper: 22.1x -> x1.1 -> x1.1 -> x3 -> x1.6 -> x1.7)."""
+
+from repro.eval import experiments as E
+
+
+def test_fig20_speedup_breakdown(benchmark, publish):
+    result = benchmark.pedantic(
+        E.fig20_speedup_breakdown, rounds=1, iterations=1
+    )
+    publish("fig20_speedup_breakdown", result.table)
+    cumulative = result.cumulative_speedup
+    assert 6.0 < cumulative[1] < 45.0  # datapath (paper 22.1x)
+    assert cumulative[4] > cumulative[3]  # fast top-k engine helps
+    assert cumulative[6] > cumulative[5] > cumulative[4]  # quantization
+    assert 100.0 < cumulative[-1] < 600.0  # full stack (paper 209x)

@@ -1,0 +1,19 @@
+"""Fig. 21: pruning-ratio vs accuracy-loss trade-off curves — token
+pruning on a PTB-style LM and head pruning on a CoLA-style classifier
+(paper: ~4x tokens and ~1.2x heads are free; beyond that, a cliff)."""
+
+import pytest
+
+from repro.eval import quality_experiments as Q
+
+
+def test_fig21_accuracy_tradeoff(benchmark, publish):
+    result = benchmark.pedantic(
+        Q.fig21_accuracy_tradeoff, rounds=1, iterations=1
+    )
+    publish("fig21_accuracy_tradeoff", result.table)
+    assert result.token_losses[0] == pytest.approx(0.0)
+    assert result.token_losses[1] > -0.07  # ~2x free
+    assert min(result.token_losses) < -0.04  # cliff at extreme ratios
+    assert result.head_losses[0] == pytest.approx(0.0)
+    assert min(result.head_losses) < -0.015

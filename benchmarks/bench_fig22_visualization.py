@@ -1,0 +1,14 @@
+"""Fig. 22/23: interpretability — progressive token-pruning renderings
+of the paper's three example sentences, and the per-layer cumulative
+importance map of a GPT-2-style model."""
+
+from repro.eval import quality_experiments as Q
+
+
+def test_fig22_visualization(benchmark, publish):
+    result = benchmark.pedantic(Q.fig22_visualization, rounds=1, iterations=1)
+    fig23 = Q.fig23_importance_map()
+    publish("fig22_fig23_visualization", result.table, fig23.table)
+    for stages in result.visualisations.values():
+        final = stages[-1].surviving_words
+        assert not {"the", "a", "is", "to", "and"}.intersection(final)

@@ -1,0 +1,13 @@
+"""Section V-B headline numbers: DRAM 10.0x, computation 2.1x,
+token+value pruning 1.9x (3.8x GPT-2), head pruning 1.1x, and the
+1.61 / 0.43 TFLOPS effective throughputs."""
+
+from repro.eval import experiments as E
+
+
+def test_headline_reductions(benchmark, publish):
+    result = benchmark.pedantic(E.headline_reductions, rounds=1, iterations=1)
+    publish("headline_reductions", result.table)
+    assert 5.0 < result.dram_reduction < 20.0  # paper: 10.0x
+    assert 2.8 < result.token_value_reduction_gpt2 < 5.5  # paper: 3.8x
+    assert 1.03 < result.head_reduction < 1.35  # paper: 1.1x

@@ -1,0 +1,11 @@
+"""Table I: SpAtten architectural setup."""
+
+from repro.eval import experiments as E
+from repro.hardware import SPATTEN_FULL
+
+
+def test_table1_architecture(benchmark, publish):
+    table = benchmark.pedantic(E.table1_architecture, rounds=1, iterations=1)
+    publish("table1_arch_setup", table)
+    assert SPATTEN_FULL.compute_roof_flops == 2.048e12
+    assert SPATTEN_FULL.dram_bandwidth == 512e9

@@ -1,0 +1,11 @@
+"""Table II: power breakdown over the 30-benchmark mix (paper: 1.36 W
+logic, 1.24 W SRAM, 5.71 W DRAM, 8.30 W total)."""
+
+from repro.eval import experiments as E
+
+
+def test_table2_power(benchmark, publish):
+    result = benchmark.pedantic(E.table2_power, rounds=1, iterations=1)
+    publish("table2_power", result.table)
+    assert 4.0 < result.total_w < 14.0
+    assert result.dram_w > max(result.logic_w, result.sram_w)

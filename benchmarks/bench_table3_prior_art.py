@@ -1,0 +1,13 @@
+"""Table III: SpAtten-1/8 vs the A3 and MNNFast accelerators under
+matched multiplier count and bandwidth (paper: 1.6x/3.0x throughput,
+1.4x/3.2x energy efficiency)."""
+
+from repro.eval import experiments as E
+
+
+def test_table3_prior_art(benchmark, publish):
+    result = benchmark.pedantic(E.table3_prior_art, rounds=1, iterations=1)
+    publish("table3_prior_art", result.table)
+    assert result.throughput_vs_a3 > 1.0
+    assert result.throughput_vs_mnnfast > 1.8
+    assert result.energy_vs_mnnfast > 1.8

@@ -1,0 +1,16 @@
+"""Table IV: FC & attention FLOPs and latency breakdown on
+GPT-2-Medium generation, GPU vs SpAtten-e2e (paper: GPU 388/367 ms at
+48.6% attention; SpAtten-e2e 25.75/2.13 ms at 7.6% attention)."""
+
+import pytest
+
+from repro.eval import experiments as E
+
+
+def test_table4_e2e_breakdown(benchmark, publish):
+    result = benchmark.pedantic(E.table4_e2e_breakdown, rounds=1, iterations=1)
+    publish("table4_e2e_breakdown", result.table)
+    assert result.fc_gflops == pytest.approx(19.3, rel=0.05)
+    assert result.attn_gflops_dense == pytest.approx(3.3, rel=0.1)
+    e2e_frac = result.e2e_attn_ms / (result.e2e_attn_ms + result.e2e_fc_ms)
+    assert e2e_frac < 0.15  # paper: 7.6%

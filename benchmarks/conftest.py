@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures,
+prints it, and archives the rendered text under ``benchmarks/results/``
+so the artefacts survive the run.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def publish():
+    """Print a result table and archive it to benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _publish(name: str, *tables) -> None:
+        text = "\n\n".join(str(t) for t in tables)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        sys.stdout.write("\n" + text + "\n")
+
+    return _publish

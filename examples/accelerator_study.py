@@ -1,0 +1,56 @@
+"""Accelerator performance study on the paper's 30 benchmarks.
+
+Simulates SpAtten on every registry benchmark, compares against the
+four general-purpose platforms, and prints the roofline placement —
+a condensed tour of Fig. 14 and Fig. 18.
+
+Run:  python examples/accelerator_study.py
+"""
+
+from repro.baselines import TITAN_XP, XEON, attention_cost
+from repro.eval.experiments import (
+    benchmark_traces,
+    fig18_roofline,
+    spatten_benchmark_report,
+)
+from repro.eval.reporting import Table, geometric_mean
+from repro.workloads import all_benchmarks
+
+
+def main() -> None:
+    table = Table(
+        "SpAtten vs GPU/CPU on the 30 paper benchmarks (attention layers)",
+        ["benchmark", "SpAtten", "vs TITAN Xp", "vs Xeon"],
+    )
+    speedups_gpu, speedups_cpu = [], []
+    for bench in all_benchmarks():
+        report = spatten_benchmark_report(bench)
+        _, dense = benchmark_traces(bench)
+        generative = bench.is_generative
+        gpu = attention_cost(TITAN_XP, dense, include_summarize=not generative,
+                             include_decode=generative)
+        cpu = attention_cost(XEON, dense, include_summarize=not generative,
+                             include_decode=generative)
+        s_gpu = gpu.latency_s / report.latency_s
+        s_cpu = cpu.latency_s / report.latency_s
+        speedups_gpu.append(s_gpu)
+        speedups_cpu.append(s_cpu)
+        table.add_row(
+            bench.key,
+            f"{report.latency_s * 1e3:.3f}ms",
+            f"{s_gpu:.0f}x",
+            f"{s_cpu:.0f}x",
+        )
+    table.add_row(
+        "GEOMEAN", "",
+        f"{geometric_mean(speedups_gpu):.0f}x",
+        f"{geometric_mean(speedups_cpu):.0f}x",
+    )
+    table.add_note("paper geomeans: 162x over TITAN Xp, 347x over Xeon")
+    print(table)
+    print()
+    print(fig18_roofline().table)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""GPT-style generation with cascade KV-cache pruning (the paper's
+memory-bound case).
+
+Generates from a topic-structured prompt with the full SpAtten stack —
+cascade token pruning evicting KV-cache entries, local value pruning,
+and progressive quantization — and reports the cache footprint, the
+LSB-refetch rate, and the fidelity of the generated continuation.
+
+Run:  python examples/generation_kv_pruning.py
+"""
+
+import numpy as np
+
+from repro.config import GPT2_SMALL, PruningConfig, QuantConfig
+from repro.core import SpAttenExecutor
+from repro.eval import trace_dram
+from repro.core.trace import dense_trace
+from repro.workloads import (
+    accuracy_scale_config,
+    build_task_model,
+    build_vocabulary,
+    lm_prompts,
+    make_lm_corpus,
+)
+
+
+def main() -> None:
+    vocab = build_vocabulary(size=512, n_classes=4, seed=0)
+    config = accuracy_scale_config(
+        GPT2_SMALL, len(vocab), n_layers=6, d_model=128, n_heads=8,
+        max_seq_len=256,
+    )
+    model, _ = build_task_model(config, vocab, "lm", seed=0)
+    corpus = make_lm_corpus(vocab, n_tokens=2048, mean_segment=24, seed=2)
+    prompt = lm_prompts(corpus, 96, 1, seed=3)[0]
+
+    n_new = 16
+
+    def make_sampler(seed: int = 0, temperature: float = 0.7):
+        rng = np.random.default_rng(seed)
+
+        def sample(logits: np.ndarray) -> int:
+            z = logits / temperature
+            z -= z.max()
+            probs = np.exp(z) / np.exp(z).sum()
+            return int(rng.choice(len(probs), p=probs))
+
+        return sample
+
+    dense = model.generate(prompt, n_new, sampler=make_sampler())
+
+    executor = SpAttenExecutor(
+        pruning=PruningConfig(
+            token_keep_final=0.3, head_keep_final=0.83, value_keep=0.85
+        ),
+        quant=QuantConfig(msb_bits=6, lsb_bits=4, progressive=True),
+    )
+    pruned = model.generate(prompt, n_new, executor=executor,
+                            sampler=make_sampler())
+
+    print(f"prompt: ... {' '.join(vocab.decode(prompt[-12:]))}")
+    print(f"dense continuation : {' '.join(vocab.decode(dense.token_ids))}")
+    print(f"pruned continuation: {' '.join(vocab.decode(pruned.token_ids))}")
+    agreement = np.mean(
+        [a == b for a, b in zip(dense.token_ids, pruned.token_ids)]
+    )
+    print(f"token agreement: {agreement:.0%}\n")
+
+    trace = executor.trace
+    total_len = len(prompt) + n_new
+    final_keys = trace.decode_steps[-1].n_keys
+    print(f"KV cache: {final_keys}/{total_len} entries alive at the last step "
+          f"({total_len / final_keys:.1f}x eviction)")
+    print(f"LSB refetch rate: {trace.mean_lsb_fraction:.1%} of softmax rows "
+          f"(paper average: 5.9%)")
+
+    baseline = dense_trace(config, len(prompt), n_new)
+    reduction = trace_dram(baseline, quant=None).total / trace_dram(trace).total
+    print(f"attention DRAM traffic reduced {reduction:.1f}x vs fp32 dense")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Hardware-aware Transformer search for SpAtten-e2e (paper Fig. 16/17).
+
+Runs the evolutionary search under a ladder of latency constraints and
+prints the co-designed frontier against vanilla layer/width scaling —
+showing how cheap attention shifts the optimum toward attention-heavy,
+FFN-light architectures.
+
+Run:  python examples/hat_codesign.py
+"""
+
+from repro.codesign import hat
+from repro.eval.reporting import Table
+
+
+def main() -> None:
+    big = hat.evaluate_design(hat.TRANSFORMER_BIG)
+    base = hat.evaluate_design(hat.TRANSFORMER_BASE)
+    print(f"vanilla Transformer-Base: {base.latency_s * 1e3:.2f} ms, "
+          f"BLEU {base.bleu:.2f}, {base.parameters / 1e6:.0f}M params")
+    print(f"vanilla Transformer-Big : {big.latency_s * 1e3:.2f} ms, "
+          f"BLEU {big.bleu:.2f}, {big.parameters / 1e6:.0f}M params\n")
+
+    table = Table(
+        "Co-designed frontier (evolutionary search on SpAtten-e2e latency)",
+        ["constraint", "design", "latency ms", "BLEU", "params M",
+         "attn MFLOPs", "FC GFLOPs"],
+    )
+    for idx, fraction in enumerate((0.10, 0.16, 0.22, 0.30, 0.38, 0.46, 0.55)):
+        constraint = big.latency_s * fraction
+        point = hat.evolutionary_search(constraint, seed=idx)
+        table.add_row(
+            f"{constraint * 1e3:.2f}ms",
+            point.design.label,
+            f"{point.latency_s * 1e3:.2f}",
+            f"{point.bleu:.2f}",
+            f"{point.parameters / 1e6:.1f}",
+            f"{point.attention_flops / 1e6:.1f}",
+            f"{point.fc_flops / 1e9:.2f}",
+        )
+    table.add_note("paper: the champion is 1.9x faster and 2.8x smaller than "
+                   "Transformer-Big at matched BLEU")
+    print(table)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""repro — a from-scratch reproduction of SpAtten (HPCA 2021).
+
+SpAtten: Efficient Sparse Attention Architecture with Cascade Token and
+Head Pruning (Wang, Zhang, Han — arXiv:2012.09852).
+
+Packages:
+
+* :mod:`repro.nn` — NumPy transformer substrate (BERT/GPT-style).
+* :mod:`repro.core` — the paper's algorithms: cascade token/head
+  pruning, local value pruning, progressive quantization, top-k.
+* :mod:`repro.hardware` — cycle-level SpAtten accelerator simulator
+  with HBM, SRAM, crossbar, top-k engine, energy and area models.
+* :mod:`repro.baselines` — GPU/CPU platform models plus the A3 and
+  MNNFast prior-art accelerators.
+* :mod:`repro.workloads` — synthetic corpora/tasks and the registry of
+  the paper's 30 benchmarks.
+* :mod:`repro.eval` — FLOPs/DRAM accounting, accuracy metrics, and the
+  experiment runners that regenerate every table and figure.
+* :mod:`repro.codesign` — hardware-aware transformer search (Fig. 16/17).
+"""
+
+from . import config
+from .config import (
+    BERT_BASE,
+    BERT_LARGE,
+    GPT2_MEDIUM,
+    GPT2_SMALL,
+    MODEL_ZOO,
+    ModelConfig,
+    PruningConfig,
+    QuantConfig,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "config",
+    "ModelConfig",
+    "PruningConfig",
+    "QuantConfig",
+    "BERT_BASE",
+    "BERT_LARGE",
+    "GPT2_SMALL",
+    "GPT2_MEDIUM",
+    "MODEL_ZOO",
+    "__version__",
+]

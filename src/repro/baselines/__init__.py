@@ -1,0 +1,47 @@
+"""Baseline cost models: general-purpose platforms (TITAN Xp, Xeon,
+Jetson Nano, Raspberry Pi) and the prior-art attention accelerators
+A3 and MNNFast."""
+
+from .a3 import A3_PUBLISHED, A3CostModel, A3Stats, a3_attention
+from .mnnfast import (
+    MNNFAST_PUBLISHED,
+    MNNFastCostModel,
+    MNNFastStats,
+    mnnfast_attention,
+)
+from .platforms import (
+    ALL_PLATFORMS,
+    JETSON_NANO,
+    RASPBERRY_PI,
+    TITAN_XP,
+    XEON,
+    PlatformReport,
+    PlatformSpec,
+    attention_cost,
+    fc_cost,
+)
+from .roofline import Roofline, RooflinePoint, attainable, classify
+
+__all__ = [
+    "A3_PUBLISHED",
+    "A3CostModel",
+    "A3Stats",
+    "a3_attention",
+    "MNNFAST_PUBLISHED",
+    "MNNFastCostModel",
+    "MNNFastStats",
+    "mnnfast_attention",
+    "ALL_PLATFORMS",
+    "JETSON_NANO",
+    "RASPBERRY_PI",
+    "TITAN_XP",
+    "XEON",
+    "PlatformReport",
+    "PlatformSpec",
+    "attention_cost",
+    "fc_cost",
+    "Roofline",
+    "RooflinePoint",
+    "attainable",
+    "classify",
+]

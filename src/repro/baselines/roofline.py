@@ -1,0 +1,59 @@
+"""Roofline-model utilities (paper Fig. 18).
+
+A machine's attainable performance at operational intensity ``I`` is
+``min(compute_roof, I * bandwidth_roof)``.  The paper places SpAtten
+close to both of its roofs (compute-bound BERT at 1.61 TFLOPS under a
+2 TFLOPS roof; bandwidth-bound GPT-2 near the 512 GB/s slope) while the
+GPU sits far below its roofs on both workloads because of low
+utilisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["RooflinePoint", "Roofline", "attainable"]
+
+
+@dataclass(frozen=True)
+class Roofline:
+    """One machine's roofs."""
+
+    name: str
+    compute_roof_flops: float
+    bandwidth_roof: float  # bytes/s
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Ops/byte where the machine transitions to compute-bound."""
+        return self.compute_roof_flops / self.bandwidth_roof
+
+
+def attainable(roofline: Roofline, intensity: float) -> float:
+    """Attainable FLOP/s at the given operational intensity."""
+    if intensity < 0:
+        raise ValueError("intensity must be non-negative")
+    return min(roofline.compute_roof_flops, intensity * roofline.bandwidth_roof)
+
+
+@dataclass
+class RooflinePoint:
+    """A measured (intensity, performance) point for plotting."""
+
+    label: str
+    machine: str
+    intensity_ops_per_byte: float
+    achieved_flops: float
+
+    def utilisation(self, roofline: Roofline) -> float:
+        """Fraction of the attainable performance actually achieved."""
+        roof = attainable(roofline, self.intensity_ops_per_byte)
+        return self.achieved_flops / roof if roof > 0 else 0.0
+
+
+def classify(roofline: Roofline, point: RooflinePoint) -> str:
+    """"memory-bound" or "compute-bound" region of the point."""
+    if point.intensity_ops_per_byte < roofline.ridge_intensity:
+        return "memory-bound"
+    return "compute-bound"

@@ -1,0 +1,129 @@
+"""Command-line entry point: regenerate the paper's evaluation.
+
+Usage::
+
+    python -m repro.cli list                 # show available experiments
+    python -m repro.cli run fig14 table4     # run specific experiments
+    python -m repro.cli run all              # everything (a few minutes)
+
+Each experiment prints the same rows the paper's table or figure
+reports, with the paper's numbers quoted in the table notes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from .eval import experiments as perf
+from .eval import quality_experiments as quality
+from .eval.charts import bar_chart, line_chart
+
+
+def _fig19_with_chart():
+    result = perf.fig19_design_space()
+    print(result.table)
+    print()
+    print(line_chart(
+        list(result.parallelism_gflops.keys()),
+        list(result.parallelism_gflops.values()),
+        title="top-k parallelism vs GFLOPS (saturates at 16)",
+        x_label="parallelism", y_label="GFLOPS", log_x=True,
+    ))
+    return result
+
+
+def _fig20_with_chart():
+    result = perf.fig20_speedup_breakdown()
+    print(result.table)
+    print()
+    print(bar_chart(
+        dict(zip(result.stage_names, result.cumulative_speedup)),
+        title="cumulative speedup over TITAN Xp (log scale)",
+        log_scale=True, unit="x",
+    ))
+    return result
+
+
+def _fig21_with_chart():
+    result = quality.fig21_accuracy_tradeoff()
+    print(result.table)
+    print()
+    print(line_chart(
+        result.token_ratios, [l * 100 for l in result.token_losses],
+        title="token pruning ratio vs accuracy delta (%)",
+        x_label="ratio", y_label="%",
+    ))
+    return result
+
+
+def _table_experiment(fn: Callable):
+    def run():
+        result = fn()
+        print(result if not hasattr(result, "table") else result.table)
+        if hasattr(result, "fig17_table"):
+            print()
+            print(result.fig17_table)
+        return result
+
+    return run
+
+
+EXPERIMENTS: Dict[str, Callable] = {
+    "headline": _table_experiment(perf.headline_reductions),
+    "fig01": _table_experiment(quality.fig01_cascade_pruning),
+    "fig02": _table_experiment(perf.fig02_latency_breakdown),
+    "fig07": _table_experiment(quality.fig07_quant_error),
+    "table1": _table_experiment(perf.table1_architecture),
+    "table2": _table_experiment(perf.table2_power),
+    "fig13": _table_experiment(perf.fig13_breakdowns),
+    "fig14": _table_experiment(perf.fig14_speedup_energy),
+    "table3": _table_experiment(perf.table3_prior_art),
+    "table4": _table_experiment(perf.table4_e2e_breakdown),
+    "fig15": _table_experiment(perf.fig15_e2e_speedup),
+    "fig16": _table_experiment(perf.fig16_hat_codesign),
+    "fig18": _table_experiment(perf.fig18_roofline),
+    "fig19": _fig19_with_chart,
+    "fig20": _fig20_with_chart,
+    "fig21": _fig21_with_chart,
+    "fig22": _table_experiment(quality.fig22_visualization),
+    "fig23": _table_experiment(quality.fig23_importance_map),
+    "topk": _table_experiment(perf.topk_engine_comparison),
+    "ablation": _table_experiment(perf.ablation_pruning_components),
+    "gpu-pruning": _table_experiment(perf.gpu_token_pruning),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SpAtten (HPCA 2021) reproduction harness"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run = sub.add_parser("run", help="run experiments by name (or 'all')")
+    run.add_argument("names", nargs="+", help="experiment names or 'all'")
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    names = list(EXPERIMENTS) if "all" in args.names else args.names
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for name in names:
+        start = time.time()
+        print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
+        EXPERIMENTS[name]()
+        print(f"[{name} done in {time.time() - start:.1f}s]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,37 @@
+"""Hardware-aware Transformer co-design with SpAtten-e2e (Fig. 16/17)."""
+
+from .hat import (
+    SEARCH_SPACE,
+    SRC_LEN,
+    TGT_LEN,
+    TRANSFORMER_BASE,
+    TRANSFORMER_BIG,
+    DesignPoint,
+    TransformerDesign,
+    bleu_surrogate,
+    design_flops,
+    design_parameters,
+    evaluate_design,
+    evolutionary_search,
+    spatten_e2e_latency,
+    vanilla_dim_scaling,
+    vanilla_layer_scaling,
+)
+
+__all__ = [
+    "SEARCH_SPACE",
+    "SRC_LEN",
+    "TGT_LEN",
+    "TRANSFORMER_BASE",
+    "TRANSFORMER_BIG",
+    "DesignPoint",
+    "TransformerDesign",
+    "bleu_surrogate",
+    "design_flops",
+    "design_parameters",
+    "evaluate_design",
+    "evolutionary_search",
+    "spatten_e2e_latency",
+    "vanilla_dim_scaling",
+    "vanilla_layer_scaling",
+]

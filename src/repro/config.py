@@ -1,0 +1,206 @@
+"""Shared configuration dataclasses for the SpAtten reproduction.
+
+Everything that describes *what* is being run lives here: transformer
+geometry, pruning schedules, and quantization settings.  Hardware
+configuration (clock, SRAM sizes, multiplier counts) lives in
+:mod:`repro.hardware.arch_config` because it describes the accelerator,
+not the workload.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = [
+    "ModelConfig",
+    "PruningConfig",
+    "QuantConfig",
+    "BERT_BASE",
+    "BERT_LARGE",
+    "GPT2_SMALL",
+    "GPT2_MEDIUM",
+    "MODEL_ZOO",
+]
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Geometry of an attention-based NLP model.
+
+    The four paper models (BERT-Base/Large, GPT-2-Small/Medium) are
+    provided as module-level constants; custom geometries (e.g. for the
+    HAT co-design search of Fig. 16) can be created directly.
+
+    Attributes:
+        name: Human-readable identifier (used in benchmark tables).
+        n_layers: Number of transformer blocks.
+        n_heads: Attention heads per block.
+        d_model: Embedding / hidden dimension (``D_in`` in the paper).
+        d_ff: Hidden dimension of the feed-forward network.
+        vocab_size: Vocabulary size of the token embedding.
+        max_seq_len: Maximum supported context length.
+        causal: ``True`` for GPT-style decoders (generation stage exists),
+            ``False`` for BERT-style encoders (summarization only).
+        bytes_per_element: Storage width of activations/weights in DRAM
+            before progressive quantization is applied (fp16 baseline).
+    """
+
+    name: str
+    n_layers: int
+    n_heads: int
+    d_model: int
+    d_ff: int
+    vocab_size: int = 8192
+    max_seq_len: int = 1024
+    causal: bool = False
+    bytes_per_element: int = 2
+
+    def __post_init__(self) -> None:
+        if self.d_model % self.n_heads != 0:
+            raise ValueError(
+                f"d_model={self.d_model} must be divisible by "
+                f"n_heads={self.n_heads}"
+            )
+        if min(self.n_layers, self.n_heads, self.d_model, self.d_ff) <= 0:
+            raise ValueError("model dimensions must be positive")
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head feature dimension (``D`` in the paper's Algorithm 1)."""
+        return self.d_model // self.n_heads
+
+    def with_overrides(self, **kwargs) -> "ModelConfig":
+        """Return a copy with the given fields replaced."""
+        return dataclasses.replace(self, **kwargs)
+
+
+# The four evaluation models of the paper (Section V-A).  Vocabulary size is
+# a synthetic-corpus parameter, not a fidelity-critical one.
+BERT_BASE = ModelConfig("bert-base", 12, 12, 768, 3072, causal=False)
+BERT_LARGE = ModelConfig("bert-large", 24, 16, 1024, 4096, causal=False)
+GPT2_SMALL = ModelConfig("gpt2-small", 12, 12, 768, 3072, causal=True)
+GPT2_MEDIUM = ModelConfig("gpt2-medium", 24, 16, 1024, 4096, causal=True)
+
+MODEL_ZOO = {
+    cfg.name: cfg for cfg in (BERT_BASE, BERT_LARGE, GPT2_SMALL, GPT2_MEDIUM)
+}
+
+
+@dataclass(frozen=True)
+class PruningConfig:
+    """Cascade token/head pruning schedule (paper Section V-A).
+
+    The paper keeps the front 15% of layers un-pruned for tokens (30% for
+    heads), then linearly interpolates per-layer keep ratios between a
+    start and an end value such that their mean matches the target average
+    pruning ratio.  Ratios here are expressed as *keep fractions relative
+    to the original sentence length* (Fig. 1 reports surviving tokens per
+    layer in exactly those terms).
+
+    Attributes:
+        token_keep_final: Fraction of the original tokens still alive at
+            the last layer.  ``1.0`` disables token pruning.  A paper
+            pruning ratio of ``3.8x`` corresponds to ``1/3.8`` here.
+        head_keep_final: Fraction of heads alive at the last layer.
+        token_front_frac: Fraction of front layers with no token pruning.
+        head_front_frac: Fraction of front layers with no head pruning.
+        value_keep: Local value-pruning keep fraction applied inside every
+            head after softmax (Section III-C).  ``1.0`` disables it.
+        length_adaptive: If ``True``, longer sentences are pruned more
+            aggressively (Section III-A: "the longer, the more tokens are
+            pruned away").
+        reference_length: Sentence length at which ``token_keep_final``
+            applies exactly when ``length_adaptive`` is on.
+        min_tokens: Never prune below this many surviving tokens.
+    """
+
+    token_keep_final: float = 1.0
+    head_keep_final: float = 1.0
+    token_front_frac: float = 0.15
+    head_front_frac: float = 0.30
+    value_keep: float = 1.0
+    length_adaptive: bool = False
+    reference_length: int = 128
+    min_tokens: int = 2
+
+    def __post_init__(self) -> None:
+        for field_name in ("token_keep_final", "head_keep_final", "value_keep"):
+            value = getattr(self, field_name)
+            if not 0.0 < value <= 1.0:
+                raise ValueError(f"{field_name}={value} must be in (0, 1]")
+        for field_name in ("token_front_frac", "head_front_frac"):
+            value = getattr(self, field_name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{field_name}={value} must be in [0, 1]")
+
+    @property
+    def token_prune_ratio(self) -> float:
+        """Paper-style reduction factor, e.g. ``3.8`` for 3.8x pruning."""
+        return 1.0 / self.token_keep_final
+
+    @property
+    def head_prune_ratio(self) -> float:
+        return 1.0 / self.head_keep_final
+
+    def with_overrides(self, **kwargs) -> "PruningConfig":
+        return dataclasses.replace(self, **kwargs)
+
+
+#: The five MSB+LSB storage layouts supported by the bitwidth converter
+#: (Section III-D: "4+4, 6+4, 8+4, 10+4, and 12+4").
+SUPPORTED_BIT_SETTINGS: Tuple[Tuple[int, int], ...] = (
+    (4, 4),
+    (6, 4),
+    (8, 4),
+    (10, 4),
+    (12, 4),
+)
+
+
+@dataclass(frozen=True)
+class QuantConfig:
+    """Progressive quantization settings (paper Section III-D).
+
+    Attributes:
+        msb_bits: Bits fetched in the first pass (the MSB chunk).
+        lsb_bits: Bits fetched in the optional second pass.
+        progressive: If ``True``, LSBs are fetched only when the max
+            attention probability of a row falls below ``threshold``
+            (flat distribution => high quantization error => need more
+            bits).  If ``False``, behaves as static ``msb_bits``
+            quantization (the BERT setting in the paper).
+        threshold: Max-probability threshold; the paper's typical value
+            is 0.1.
+        onchip_bits: Fixed on-chip datapath width that the bitwidth
+            converter normalises everything to (Table I: 12 bits).
+    """
+
+    msb_bits: int = 8
+    lsb_bits: int = 4
+    progressive: bool = True
+    threshold: float = 0.1
+    onchip_bits: int = 12
+
+    def __post_init__(self) -> None:
+        if (self.msb_bits, self.lsb_bits) not in SUPPORTED_BIT_SETTINGS:
+            supported = ", ".join(f"{m}+{l}" for m, l in SUPPORTED_BIT_SETTINGS)
+            raise ValueError(
+                f"unsupported bit setting {self.msb_bits}+{self.lsb_bits}; "
+                f"the bitwidth converter supports: {supported}"
+            )
+        if not 0.0 <= self.threshold <= 1.0:
+            raise ValueError("threshold must be in [0, 1]")
+
+    @property
+    def full_bits(self) -> int:
+        """Total bits when both passes are fetched."""
+        return self.msb_bits + self.lsb_bits
+
+    def with_overrides(self, **kwargs) -> "QuantConfig":
+        return dataclasses.replace(self, **kwargs)
+
+
+#: Convenience: quantization disabled (pure fp32 reference).
+NO_QUANT: Optional[QuantConfig] = None

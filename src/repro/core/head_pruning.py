@@ -1,0 +1,62 @@
+"""Cascade head pruning decisions (paper Section III-B, Algorithm 2).
+
+Heads are ranked by cumulative output magnitude; once a head is pruned it
+never appears in any following layer.  The same top-k selection machinery
+as token pruning is used (the hardware reuses the token-pruning top-k
+engine for heads, Section IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .topk import topk_indices
+
+__all__ = ["HeadPruningDecision", "prune_heads"]
+
+
+@dataclass
+class HeadPruningDecision:
+    """Outcome of one head-pruning round.
+
+    ``kept_rows`` index into the live-head array; ``kept_ids`` are the
+    original head indices that survive.
+    """
+
+    kept_rows: np.ndarray
+    kept_ids: np.ndarray
+    pruned_ids: np.ndarray
+
+    @property
+    def n_kept(self) -> int:
+        return len(self.kept_rows)
+
+
+def prune_heads(
+    live_head_ids: np.ndarray,
+    scores: np.ndarray,
+    keep_count: int,
+) -> HeadPruningDecision:
+    """Select the ``keep_count`` most important live heads (min 1)."""
+    live_head_ids = np.asarray(live_head_ids, dtype=np.int64)
+    scores = np.asarray(scores, dtype=np.float64)
+    if live_head_ids.shape != scores.shape:
+        raise ValueError("live_head_ids and scores must align")
+    n_live = len(live_head_ids)
+    keep_count = int(np.clip(keep_count, 1, n_live))
+    if keep_count >= n_live:
+        return HeadPruningDecision(
+            kept_rows=np.arange(n_live, dtype=np.int64),
+            kept_ids=live_head_ids.copy(),
+            pruned_ids=np.zeros(0, dtype=np.int64),
+        )
+    kept_rows = topk_indices(scores, keep_count)
+    kept_mask = np.zeros(n_live, dtype=bool)
+    kept_mask[kept_rows] = True
+    return HeadPruningDecision(
+        kept_rows=kept_rows,
+        kept_ids=live_head_ids[kept_rows],
+        pruned_ids=live_head_ids[~kept_mask],
+    )

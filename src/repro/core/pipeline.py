@@ -1,0 +1,360 @@
+"""The SpAtten attention pipeline as an :class:`AttentionExecutor`.
+
+``SpAttenExecutor`` composes everything the paper proposes:
+
+* **cascade token pruning** — entry pruning per layer against the
+  schedule, driven by cumulative token importance (Algorithm 2); pruned
+  tokens leave the residual stream (saving FFN work) and are evicted
+  from every layer's KV cache (saving DRAM traffic in generation);
+* **cascade head pruning** — a global live-head set shrinking across
+  layers, driven by cumulative output magnitudes;
+* **local value pruning** — per-head, per-layer V-vector skipping from
+  the current attention probabilities (Section III-C);
+* **progressive quantization** — MSB-only attention first, per-row LSB
+  refetch when the probability distribution is flat (Section III-D).
+
+The executor emits an :class:`~repro.core.trace.AttentionTrace` whose
+count fields are guaranteed (and tested) to match the analytic
+:func:`~repro.core.trace.spatten_trace`, because both call the same
+schedule functions.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..config import ModelConfig, PruningConfig, QuantConfig
+from ..nn.attention import AttentionRecord, expand_pruned_heads
+from ..nn.functional import softmax
+from ..nn.kv_cache import KVCache
+from ..nn.transformer import AttentionExecutor, LayerExecution, TransformerModel
+from . import schedule as sched
+from .head_pruning import prune_heads
+from .importance import HeadImportanceAccumulator, TokenImportanceAccumulator
+from .quantization import LinearQuantizer, needs_lsb
+from .token_pruning import prune_tokens
+from .trace import AttentionTrace, LayerStep
+from .value_pruning import apply_local_value_pruning, local_value_keep_indices
+
+__all__ = ["SpAttenExecutor"]
+
+
+class SpAttenExecutor(AttentionExecutor):
+    """Attention executor implementing the full SpAtten algorithm stack.
+
+    Args:
+        pruning: cascade/local pruning schedule.  The default
+            (:class:`PruningConfig` with all keeps at 1.0) disables
+            pruning, which makes the executor a quantization-only or
+            pure-reference path.
+        quant: progressive-quantization settings, or ``None`` for fp
+            numerics.
+    """
+
+    def __init__(
+        self,
+        pruning: Optional[PruningConfig] = None,
+        quant: Optional[QuantConfig] = None,
+    ):
+        self.pruning = pruning or PruningConfig()
+        self.quant = quant
+        # Per-sequence state (populated by begin_sequence).
+        self._model_config: Optional[ModelConfig] = None
+        self.token_acc: Optional[TokenImportanceAccumulator] = None
+        self.head_acc: Optional[HeadImportanceAccumulator] = None
+        self.trace: Optional[AttentionTrace] = None
+        self._cache: Optional[KVCache] = None
+        self._alive_tokens: Optional[np.ndarray] = None
+        self._alive_heads: Optional[np.ndarray] = None
+        self._token_counts: Optional[np.ndarray] = None
+        self._token_fracs: Optional[np.ndarray] = None
+        self._head_counts: Optional[np.ndarray] = None
+        self._original_length: Optional[int] = None
+        self._total_length = 0
+
+    # ------------------------------------------------------------------
+    # Sequence lifecycle
+    # ------------------------------------------------------------------
+    def begin_sequence(self, model: TransformerModel) -> None:
+        cfg = model.config
+        self._model_config = cfg
+        self.token_acc = TokenImportanceAccumulator()
+        self.head_acc = HeadImportanceAccumulator(cfg.n_heads)
+        self._alive_heads = np.arange(cfg.n_heads, dtype=np.int64)
+        self._alive_tokens = None
+        self._cache = (
+            KVCache(cfg.n_layers, cfg.n_heads, cfg.head_dim) if cfg.causal else None
+        )
+        self.trace = None
+        self._token_counts = None
+        self._token_fracs = None
+        self._head_counts = None
+        self._original_length = None
+        self._total_length = 0
+
+    def _init_schedules(self, sentence_length: int) -> None:
+        cfg = self._model_config
+        self._original_length = sentence_length
+        self._total_length = sentence_length
+        self._token_counts = sched.token_keep_counts(
+            self.pruning, cfg.n_layers, sentence_length
+        )
+        self._token_fracs = sched.token_keep_fractions(
+            self.pruning, cfg.n_layers, sentence_length
+        )
+        self._head_counts = sched.head_keep_counts(
+            self.pruning, cfg.n_layers, cfg.n_heads
+        )
+        self.trace = AttentionTrace(
+            cfg, sentence_length, 0, quant=self.quant, pruning=self.pruning
+        )
+
+    # ------------------------------------------------------------------
+    # Quantized / progressive attention probabilities
+    # ------------------------------------------------------------------
+    def _attention_probs(
+        self,
+        q: np.ndarray,
+        k: np.ndarray,
+        mask: Optional[np.ndarray],
+    ) -> Tuple[np.ndarray, float]:
+        """Probabilities under the configured quantization.
+
+        Returns ``(probs [h, L0, L1], lsb_fraction)`` where
+        ``lsb_fraction`` is the fraction of softmax rows that required
+        the LSB refetch (0.0 without progressive quantization).
+        """
+        head_dim = q.shape[-1]
+
+        def scores_of(qq: np.ndarray, kk: np.ndarray) -> np.ndarray:
+            s = qq @ kk.transpose(0, 2, 1) / np.sqrt(head_dim)
+            if mask is not None:
+                s = np.where(mask[None, :, :], s, -1e30)
+            return s
+
+        if self.quant is None:
+            return softmax(scores_of(q, k), axis=-1), 0.0
+
+        quantizer = LinearQuantizer(self.quant.msb_bits, self.quant.lsb_bits)
+        q_q, k_q = quantizer.quantize(q), quantizer.quantize(k)
+        q_msb = quantizer.dequantize_msb(q_q)
+        k_msb = quantizer.dequantize_msb(k_q)
+        probs_msb = softmax(scores_of(q_msb, k_msb), axis=-1)
+        if not self.quant.progressive:
+            # Static quantization (the paper's BERT setting): a single
+            # MSB-width fetch, never refined.
+            return probs_msb, 0.0
+
+        refetch = needs_lsb(probs_msb, self.quant.threshold)  # [h, L0]
+        if not refetch.any():
+            return probs_msb, 0.0
+        q_full = quantizer.dequantize_full(q_q)
+        k_full = quantizer.dequantize_full(k_q)
+        probs_full = softmax(scores_of(q_full, k_full), axis=-1)
+        probs = np.where(refetch[:, :, None], probs_full, probs_msb)
+        return probs, float(refetch.mean())
+
+    def _quantize_values(self, v: np.ndarray) -> np.ndarray:
+        """Round-trip V through the configured storage width."""
+        if self.quant is None:
+            return v
+        if self.quant.progressive:
+            bits = LinearQuantizer(self.quant.msb_bits, self.quant.lsb_bits)
+        else:
+            bits = LinearQuantizer(self.quant.msb_bits, 0)
+        return bits.dequantize_full(bits.quantize(v))
+
+    # ------------------------------------------------------------------
+    # Layer execution
+    # ------------------------------------------------------------------
+    def run_layer(
+        self,
+        layer_idx: int,
+        model: TransformerModel,
+        x: np.ndarray,
+        positions: np.ndarray,
+        stage: str,
+    ) -> LayerExecution:
+        if stage == "summarize":
+            return self._run_summarize(layer_idx, model, x, positions)
+        if stage == "decode":
+            return self._run_decode(layer_idx, model, x, positions)
+        raise ValueError(f"unknown stage {stage!r}")
+
+    def _prune_heads_at(self, layer_idx: int) -> None:
+        target = int(self._head_counts[layer_idx])
+        if target < len(self._alive_heads):
+            decision = prune_heads(
+                self._alive_heads,
+                self.head_acc.scores_for(self._alive_heads),
+                target,
+            )
+            self._alive_heads = decision.kept_ids
+
+    def _project_live(
+        self, model: TransformerModel, layer_idx: int, x_live: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Q/K/V of the live heads only (``[h_live, L, D]`` each)."""
+        attn = model.attention(layer_idx)
+        q = attn.project_q(x_live)[self._alive_heads]
+        k, v = attn.project_kv(x_live)
+        return q, k[self._alive_heads], v[self._alive_heads]
+
+    def _finish_layer(
+        self,
+        model: TransformerModel,
+        layer_idx: int,
+        probs: np.ndarray,
+        v_live: np.ndarray,
+        key_ids: np.ndarray,
+        query_ids: np.ndarray,
+        lsb_fraction: float,
+        stage: str,
+    ) -> Tuple[np.ndarray, AttentionRecord]:
+        """Local V pruning, importance accumulation, output projection."""
+        kept_per_head = local_value_keep_indices(probs, self.pruning.value_keep)
+        head_out, kept_counts = apply_local_value_pruning(
+            probs, v_live, kept_per_head
+        )
+        self.token_acc.accumulate(probs, key_ids)
+        self.head_acc.accumulate(head_out, self._alive_heads)
+
+        cfg = self._model_config
+        full = expand_pruned_heads(head_out, self._alive_heads, cfg.n_heads)
+        output = model.attention(layer_idx).output_projection(full)
+        record = AttentionRecord(
+            probs=probs,
+            head_outputs=head_out,
+            key_token_ids=key_ids.copy(),
+            query_token_ids=query_ids.copy(),
+            head_ids=self._alive_heads.copy(),
+            value_kept=kept_counts,
+            lsb_refetched=lsb_fraction > 0.0,
+        )
+        self.trace.add(
+            LayerStep(
+                layer=layer_idx,
+                stage=stage,
+                n_queries=len(query_ids),
+                n_keys=len(key_ids),
+                n_heads=len(self._alive_heads),
+                n_values=int(kept_counts[0]) if len(kept_counts) else 0,
+                lsb_fraction=lsb_fraction,
+            )
+        )
+        return output, record
+
+    def _run_summarize(
+        self,
+        layer_idx: int,
+        model: TransformerModel,
+        x: np.ndarray,
+        positions: np.ndarray,
+    ) -> LayerExecution:
+        cfg = self._model_config
+        if layer_idx == 0:
+            self._init_schedules(len(x))
+            self._alive_tokens = positions.copy()
+
+        # --- cascade token pruning (entry, schedule-driven) -----------
+        target = int(self._token_counts[layer_idx])
+        protected = (
+            [self._original_length - 1] if cfg.causal else [0]
+        )
+        decision = prune_tokens(
+            positions, self.token_acc.scores_for(positions), target, protected
+        )
+        kept_rows = decision.kept_rows
+        x_live = x[kept_rows]
+        live_positions = positions[kept_rows]
+        self._alive_tokens = decision.kept_ids
+
+        # --- cascade head pruning (entry) ------------------------------
+        self._prune_heads_at(layer_idx)
+
+        q_live, k_live, v_live = self._project_live(model, layer_idx, x_live)
+
+        if cfg.causal:
+            layer_cache = self._cache[layer_idx]
+            # Summarization visits each layer once, so the cache is empty
+            # here; appending keeps decode and summarize on one code path.
+            k_full = np.zeros((cfg.n_heads, len(x_live), cfg.head_dim))
+            v_full = np.zeros_like(k_full)
+            k_full[self._alive_heads] = k_live
+            v_full[self._alive_heads] = v_live
+            layer_cache.append(k_full, v_full, live_positions)
+            key_ids = layer_cache.token_ids
+            mask = key_ids[None, :] <= live_positions[:, None]
+        else:
+            key_ids = live_positions
+            mask = None
+
+        probs, lsb_fraction = self._attention_probs(q_live, k_live, mask)
+        v_used = self._quantize_values(v_live)
+        output, record = self._finish_layer(
+            model, layer_idx, probs, v_used, key_ids, live_positions,
+            lsb_fraction, "summarize",
+        )
+        return LayerExecution(output, record, kept_rows)
+
+    def _run_decode(
+        self,
+        layer_idx: int,
+        model: TransformerModel,
+        x: np.ndarray,
+        positions: np.ndarray,
+    ) -> LayerExecution:
+        cfg = self._model_config
+        if self._original_length is None:
+            raise RuntimeError("decode before summarize; call encode/generate")
+        if len(x) != 1:
+            raise ValueError("decode processes exactly one token")
+
+        if layer_idx == 0:
+            # A new token enters the live set.
+            self._total_length += 1
+            self.trace.n_generated += 1
+            self._alive_tokens = np.append(self._alive_tokens, positions)
+
+        # --- cascade token pruning over the global live set -----------
+        target = sched.decode_token_target(
+            self.pruning, float(self._token_fracs[layer_idx]), self._total_length
+        )
+        if target < len(self._alive_tokens):
+            decision = prune_tokens(
+                self._alive_tokens,
+                self.token_acc.scores_for(self._alive_tokens),
+                target,
+                protected_ids=[int(positions[0])],
+            )
+            self._alive_tokens = decision.kept_ids
+
+        self._prune_heads_at(layer_idx)
+
+        # --- evict pruned tokens from this layer's KV cache ------------
+        layer_cache = self._cache[layer_idx]
+        keep_cols = np.flatnonzero(
+            np.isin(layer_cache.token_ids, self._alive_tokens)
+        )
+        if len(keep_cols) < len(layer_cache):
+            layer_cache.keep(keep_cols)
+
+        q_live, k_live, v_live = self._project_live(model, layer_idx, x)
+        k_full = np.zeros((cfg.n_heads, 1, cfg.head_dim))
+        v_full = np.zeros_like(k_full)
+        k_full[self._alive_heads] = k_live
+        v_full[self._alive_heads] = v_live
+        layer_cache.append(k_full, v_full, positions)
+
+        key_ids = layer_cache.token_ids
+        k_use = layer_cache.keys[self._alive_heads]
+        v_use = layer_cache.values[self._alive_heads]
+        probs, lsb_fraction = self._attention_probs(q_live, k_use, mask=None)
+        v_used = self._quantize_values(v_use)
+        output, record = self._finish_layer(
+            model, layer_idx, probs, v_used, key_ids, positions,
+            lsb_fraction, "decode",
+        )
+        return LayerExecution(output, record, np.arange(1))

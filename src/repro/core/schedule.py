@@ -1,0 +1,131 @@
+"""Per-layer pruning schedules (paper Section V-A).
+
+The paper's recipe: keep the front 15% of layers un-pruned for tokens
+(30% for heads), then interpolate per-layer ratios linearly from a start
+to an end value; longer sentences tolerate more pruning, so ratios are
+additionally scaled by sentence length.
+
+Schedules here are expressed as *keep fractions relative to the original
+sentence length* — Fig. 1 reports surviving tokens per layer in exactly
+those terms (11 -> 6 tokens, 12 -> 10 -> 8 heads).  Both the
+:class:`~repro.core.pipeline.SpAttenExecutor` (data-driven run) and the
+analytic trace builder (:mod:`repro.core.trace`) call the *same* count
+functions below, which is what lets the reproduction validate that the
+analytic performance model matches the executed model exactly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..config import PruningConfig
+
+__all__ = [
+    "effective_token_keep",
+    "token_keep_fractions",
+    "token_keep_counts",
+    "head_keep_fractions",
+    "head_keep_counts",
+    "decode_token_target",
+]
+
+
+def effective_token_keep(pruning: PruningConfig, sentence_length: int) -> float:
+    """Final-layer token keep fraction, adjusted for sentence length.
+
+    With ``length_adaptive`` on, longer sentences are pruned harder
+    (Section III-A: "Since long sentences are naturally more redundant,
+    we also adjust the pruning ratios based on sentence length").  The
+    adjustment scales the *pruned* mass by ``sqrt(L / reference)``:
+    at the reference length the configured keep applies exactly; a 4x
+    longer sentence prunes twice as much of its prunable mass, a 4x
+    shorter one half.
+    """
+    keep = pruning.token_keep_final
+    if not pruning.length_adaptive or sentence_length <= 0:
+        return keep
+    scale = math.sqrt(sentence_length / pruning.reference_length)
+    if scale >= 1.0:
+        # Longer than reference: shrink the keep fraction toward the floor.
+        keep = keep / scale
+    else:
+        # Shorter: prune proportionally less of the prunable mass.
+        keep = 1.0 - (1.0 - keep) * scale
+    floor = min(1.0, pruning.min_tokens / max(sentence_length, 1))
+    return float(np.clip(keep, floor, 1.0))
+
+
+def _interpolated_fractions(
+    n_layers: int, front_frac: float, final_keep: float
+) -> np.ndarray:
+    """Linear keep-fraction ramp: 1.0 on front layers, down to final_keep."""
+    fractions = np.ones(n_layers, dtype=np.float64)
+    if final_keep >= 1.0 or n_layers == 0:
+        return fractions
+    n_front = min(n_layers - 1, max(0, math.ceil(front_frac * n_layers)))
+    n_ramp = n_layers - n_front
+    for offset in range(n_ramp):
+        t = (offset + 1) / n_ramp
+        fractions[n_front + offset] = 1.0 + (final_keep - 1.0) * t
+    return fractions
+
+
+def token_keep_fractions(
+    pruning: PruningConfig, n_layers: int, sentence_length: int
+) -> np.ndarray:
+    """Per-layer token keep fractions (relative to original length)."""
+    final_keep = effective_token_keep(pruning, sentence_length)
+    return _interpolated_fractions(n_layers, pruning.token_front_frac, final_keep)
+
+
+def token_keep_counts(
+    pruning: PruningConfig, n_layers: int, sentence_length: int
+) -> np.ndarray:
+    """Per-layer surviving token counts for the summarization stage.
+
+    Counts are rounded, floored at ``min_tokens`` (never below 1), and
+    made non-increasing (cascade: the live set can only shrink).
+    """
+    fractions = token_keep_fractions(pruning, n_layers, sentence_length)
+    floor = min(sentence_length, max(1, pruning.min_tokens))
+    counts = np.maximum(
+        np.rint(fractions * sentence_length).astype(np.int64), floor
+    )
+    counts = np.minimum.accumulate(counts)
+    return counts
+
+
+def head_keep_fractions(pruning: PruningConfig, n_layers: int) -> np.ndarray:
+    """Per-layer head keep fractions."""
+    return _interpolated_fractions(
+        n_layers, pruning.head_front_frac, pruning.head_keep_final
+    )
+
+
+def head_keep_counts(
+    pruning: PruningConfig, n_layers: int, n_heads: int
+) -> np.ndarray:
+    """Per-layer surviving head counts (floored at one head)."""
+    fractions = head_keep_fractions(pruning, n_layers)
+    counts = np.maximum(np.rint(fractions * n_heads).astype(np.int64), 1)
+    counts = np.minimum.accumulate(counts)
+    return counts
+
+
+def decode_token_target(
+    pruning: PruningConfig,
+    layer_keep_fraction: float,
+    total_length: int,
+) -> int:
+    """Token keep target at a decode step (generation stage).
+
+    The live-set budget tracks the *current* total sequence length
+    (prompt + generated so far): at layer ``l`` the target is
+    ``keep_fraction[l] * total_length``, so roughly one old token is
+    pruned for every new token generated once the budget is tight —
+    keeping the KV-cache traffic proportional to the keep fraction.
+    """
+    floor = min(total_length, max(1, pruning.min_tokens))
+    return max(int(round(layer_keep_fraction * total_length)), floor)

@@ -1,0 +1,134 @@
+"""ASCII chart rendering for figure-style results.
+
+The paper's evaluation is mostly figures; the benchmark harness prints
+their data as tables, and this module adds terminal-friendly plots so
+the *shape* of a result (saturation, cliffs, waterfalls, rooflines) is
+visible at a glance without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional, Sequence
+
+__all__ = ["line_chart", "bar_chart"]
+
+
+def _format_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1e4 or magnitude < 1e-2:
+        return f"{value:.1e}"
+    if magnitude >= 10:
+        return f"{value:.0f}"
+    return f"{value:.2f}"
+
+
+def line_chart(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    title: str = "",
+    width: int = 60,
+    height: int = 12,
+    x_label: str = "x",
+    y_label: str = "y",
+    log_x: bool = False,
+) -> str:
+    """Render one series as an ASCII scatter/line chart.
+
+    Args:
+        xs, ys: the series (same length, at least 2 points).
+        width, height: plot-area size in characters.
+        log_x: place x ticks on a log scale (ratio sweeps).
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have the same length")
+    if len(xs) < 2:
+        raise ValueError("need at least two points")
+    fx = [math.log10(x) if log_x else float(x) for x in xs]
+    fy = [float(y) for y in ys]
+    x_lo, x_hi = min(fx), max(fx)
+    y_lo, y_hi = min(fy), max(fy)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    points = []
+    for x, y in zip(fx, fy):
+        col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        points.append((height - 1 - row, col))
+    # Connect consecutive points with interpolated markers.
+    for (r0, c0), (r1, c1) in zip(points, points[1:]):
+        steps = max(abs(r1 - r0), abs(c1 - c0), 1)
+        for step in range(steps + 1):
+            t = step / steps
+            row = round(r0 + (r1 - r0) * t)
+            col = round(c0 + (c1 - c0) * t)
+            grid[row][col] = "."
+    for row, col in points:
+        grid[row][col] = "*"
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_tick = _format_tick(y_hi)
+    bottom_tick = _format_tick(y_lo)
+    label_width = max(len(top_tick), len(bottom_tick), len(y_label)) + 1
+    for idx, row in enumerate(grid):
+        if idx == 0:
+            prefix = top_tick.rjust(label_width)
+        elif idx == height - 1:
+            prefix = bottom_tick.rjust(label_width)
+        elif idx == height // 2:
+            prefix = y_label.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row)}|")
+    x_lo_tick = _format_tick(xs[0] if not log_x else min(xs))
+    x_hi_tick = _format_tick(xs[-1] if not log_x else max(xs))
+    axis = f"{' ' * label_width} +{'-' * width}+"
+    lines.append(axis)
+    footer = (
+        f"{' ' * label_width}  {x_lo_tick}"
+        f"{x_label.center(width - len(x_lo_tick) - len(x_hi_tick))}"
+        f"{x_hi_tick}"
+    )
+    lines.append(footer)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Dict[str, float],
+    title: str = "",
+    width: int = 50,
+    log_scale: bool = False,
+    unit: str = "",
+) -> str:
+    """Render labelled values as horizontal bars.
+
+    ``log_scale`` sizes bars by log10 (speedup waterfalls spanning
+    orders of magnitude).
+    """
+    if not values:
+        raise ValueError("no values to chart")
+    numeric = {k: float(v) for k, v in values.items()}
+    if log_scale and any(v <= 0 for v in numeric.values()):
+        raise ValueError("log scale requires positive values")
+    scaled = {
+        k: (math.log10(v) if log_scale else v) for k, v in numeric.items()
+    }
+    lo = min(0.0, min(scaled.values()))
+    hi = max(scaled.values())
+    span = hi - lo if hi != lo else 1.0
+    label_width = max(len(k) for k in numeric)
+    lines = [title] if title else []
+    for key, value in numeric.items():
+        filled = round((scaled[key] - lo) / span * width)
+        bar = "#" * max(filled, 1 if value > 0 else 0)
+        lines.append(f"{key.ljust(label_width)} |{bar.ljust(width)}| "
+                     f"{_format_tick(value)}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,122 @@
+"""FLOPs accounting over workload traces.
+
+Counts multiply-accumulates as 2 FLOPs, matching the paper's convention
+(1024 multipliers @ 1 GHz => 2 TFLOPS computation roof, Section V-C).
+
+The breakdown separates the categories the paper reports:
+
+* ``attention`` — Q x K^T and attention_prob x V (this is what Table IV
+  calls "Attn GFLOPs": for GPT-2-Medium generating 32 tokens from a
+  992-token prompt it evaluates to ~3.3 GFLOPs dense, matching the
+  paper's number exactly);
+* ``fc`` — QKV projections, the attention output FC, and the FFN
+  (Table IV's "FC GFLOPs", ~19.3 for the same workload);
+* ``softmax`` — exponentials/normalisation, reported separately since
+  SpAtten executes it on its float pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import ModelConfig
+from ..core.trace import AttentionTrace, LayerStep
+
+__all__ = ["FlopsBreakdown", "step_flops", "trace_flops"]
+
+#: FLOPs charged per softmax element (exp Taylor pipeline + accumulate +
+#: divide, Section V-A).
+SOFTMAX_FLOPS_PER_ELEMENT = 5
+
+
+@dataclass
+class FlopsBreakdown:
+    """FLOPs split by operation category."""
+
+    qkv_fc: float = 0.0
+    attention_qk: float = 0.0
+    softmax: float = 0.0
+    prob_v: float = 0.0
+    out_fc: float = 0.0
+    ffn: float = 0.0
+
+    @property
+    def attention(self) -> float:
+        """The paper's "attention FLOPs": QK + prob x V."""
+        return self.attention_qk + self.prob_v
+
+    @property
+    def fc(self) -> float:
+        """The paper's "FC FLOPs": projections + output FC + FFN."""
+        return self.qkv_fc + self.out_fc + self.ffn
+
+    @property
+    def total(self) -> float:
+        return self.attention + self.fc + self.softmax
+
+    def __add__(self, other: "FlopsBreakdown") -> "FlopsBreakdown":
+        return FlopsBreakdown(
+            qkv_fc=self.qkv_fc + other.qkv_fc,
+            attention_qk=self.attention_qk + other.attention_qk,
+            softmax=self.softmax + other.softmax,
+            prob_v=self.prob_v + other.prob_v,
+            out_fc=self.out_fc + other.out_fc,
+            ffn=self.ffn + other.ffn,
+        )
+
+
+def step_flops(step: LayerStep, model: ModelConfig) -> FlopsBreakdown:
+    """FLOPs of one attention execution plus its block's FC work.
+
+    Head pruning shrinks the projected width (pruned heads' Q/K/V are
+    never computed, Section III-B); token pruning shrinks the row count
+    everywhere, including the FFN (Section III-A).
+    """
+    head_dim = model.head_dim
+    live_width = step.n_heads * head_dim
+    d_model = model.d_model
+    # K/V are projected only for tokens entering this layer: the whole
+    # live sentence in summarization, the single new token in decode
+    # (cached keys were projected in earlier steps).
+    n_new_kv = step.n_queries if step.stage == "summarize" else 1
+
+    qkv_fc = (
+        2.0 * step.n_queries * d_model * live_width  # Q
+        + 2.0 * 2.0 * n_new_kv * d_model * live_width  # K and V
+    )
+    out_fc = 2.0 * step.n_queries * live_width * d_model
+    attention_qk = 2.0 * step.n_heads * step.n_queries * step.n_keys * head_dim
+    softmax = float(
+        SOFTMAX_FLOPS_PER_ELEMENT * step.n_heads * step.n_queries * step.n_keys
+    )
+    prob_v = 2.0 * step.n_heads * step.n_queries * step.n_values * head_dim
+    ffn = 2.0 * 2.0 * step.n_queries * d_model * model.d_ff
+    return FlopsBreakdown(
+        qkv_fc=qkv_fc,
+        attention_qk=attention_qk,
+        softmax=softmax,
+        prob_v=prob_v,
+        out_fc=out_fc,
+        ffn=ffn,
+    )
+
+
+def trace_flops(
+    trace: AttentionTrace,
+    include_summarize: bool = True,
+    include_decode: bool = True,
+) -> FlopsBreakdown:
+    """Aggregate FLOPs over a trace.
+
+    The paper's generative-model numbers (Table IV, Fig. 15) count the
+    generation stage only ("generation takes the largest part of overall
+    latency"); pass ``include_summarize=False`` to match.
+    """
+    total = FlopsBreakdown()
+    for step in trace.steps:
+        if step.stage == "summarize" and not include_summarize:
+            continue
+        if step.stage == "decode" and not include_decode:
+            continue
+        total = total + step_flops(step, trace.model)
+    return total

@@ -1,0 +1,93 @@
+"""Plain-text table rendering for the experiment harness.
+
+The benchmark files print the same rows the paper's tables and figures
+report; this module keeps the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, List, Optional, Sequence
+
+__all__ = ["Table", "fmt", "fmt_ratio", "geometric_mean"]
+
+
+def fmt(value: Any, digits: int = 2) -> str:
+    """Human-friendly number formatting (SI-ish magnitudes)."""
+    if isinstance(value, str):
+        return value
+    if value is None:
+        return "-"
+    try:
+        v = float(value)
+    except (TypeError, ValueError):
+        return str(value)
+    if v != v:  # NaN
+        return "-"
+    if abs(v) >= 1e12:
+        return f"{v / 1e12:.{digits}f}T"
+    if abs(v) >= 1e9:
+        return f"{v / 1e9:.{digits}f}G"
+    if abs(v) >= 1e6:
+        return f"{v / 1e6:.{digits}f}M"
+    if abs(v) >= 1e3:
+        return f"{v / 1e3:.{digits}f}K"
+    if abs(v) >= 1 or v == 0:
+        return f"{v:.{digits}f}"
+    return f"{v:.{max(digits, 3)}g}"
+
+
+def fmt_ratio(value: float, digits: int = 1) -> str:
+    return f"{value:.{digits}f}x"
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    import numpy as np
+
+    values = np.asarray(list(values), dtype=np.float64)
+    if len(values) == 0:
+        raise ValueError("geometric mean of empty sequence")
+    if np.any(values <= 0):
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(values))))
+
+
+@dataclass
+class Table:
+    """A fixed-width text table."""
+
+    title: str
+    headers: List[str]
+    rows: List[List[str]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: Any) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append([c if isinstance(c, str) else fmt(c) for c in cells])
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for idx, cell in enumerate(row):
+                widths[idx] = max(widths[idx], len(cell))
+
+        def line(cells: Iterable[str]) -> str:
+            return "  ".join(
+                cell.ljust(width) for cell, width in zip(cells, widths)
+            ).rstrip()
+
+        sep = "-" * (sum(widths) + 2 * (len(widths) - 1))
+        parts = [self.title, "=" * len(self.title), line(self.headers), sep]
+        parts += [line(row) for row in self.rows]
+        for note in self.notes:
+            parts.append(f"  * {note}")
+        return "\n".join(parts)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,81 @@
+"""Area model (paper Fig. 13a: 18.71 mm^2 at TSMC 40 nm).
+
+The published module breakdown is encoded directly; a parametric model
+scales each module by its resource driver so design-space exploration
+(different multiplier counts, top-k parallelism, SRAM sizes) produces
+sensible estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .arch_config import ArchConfig, SPATTEN_FULL
+
+__all__ = ["AreaBreakdown", "PAPER_AREA_MM2", "area_model"]
+
+#: Fig. 13(a): on-chip area per module, mm^2 (sums to 18.71).
+PAPER_AREA_MM2: Dict[str, float] = {
+    "qk_module": 7.12,        # 38.1% — includes the Key SRAM
+    "probv_module": 7.22,     # 38.6% — includes the Value SRAM
+    "softmax": 2.65,          # 14.2% — float exp/accumulate/divide pipeline
+    "topk_engines": 0.50,     # 2.7%
+    "qkv_fetcher": 0.79,      # 4.2% — crossbars + FIFOs + converter
+    "others": 0.43,           # 2%
+}
+
+
+@dataclass
+class AreaBreakdown:
+    """Per-module area in mm^2."""
+
+    modules: Dict[str, float]
+
+    @property
+    def total_mm2(self) -> float:
+        return float(sum(self.modules.values()))
+
+    def fraction(self, module: str) -> float:
+        return self.modules[module] / self.total_mm2
+
+
+def area_model(arch: ArchConfig = SPATTEN_FULL) -> AreaBreakdown:
+    """Parametric area estimate for an arbitrary configuration.
+
+    Scaling drivers: Q x K and prob x V scale with their multiplier
+    counts and SRAM sizes; softmax with its parallelism; top-k with its
+    comparator parallelism; the fetcher with channel count.  The
+    reference point reproduces the paper's 18.71 mm^2 exactly.
+    """
+    ref = SPATTEN_FULL
+    # Split datapath-module area between multipliers (60%) and SRAM (40%),
+    # consistent with a 512-multiplier array next to a 196 KB macro.
+    qk = PAPER_AREA_MM2["qk_module"] * (
+        0.6 * arch.qk_multipliers / ref.qk_multipliers
+        + 0.4 * arch.key_sram_bytes / ref.key_sram_bytes
+    )
+    pv = PAPER_AREA_MM2["probv_module"] * (
+        0.6 * arch.probv_multipliers / ref.probv_multipliers
+        + 0.4 * arch.value_sram_bytes / ref.value_sram_bytes
+    )
+    softmax = PAPER_AREA_MM2["softmax"] * (
+        arch.softmax_parallelism / ref.softmax_parallelism
+    )
+    topk = PAPER_AREA_MM2["topk_engines"] * (
+        arch.topk_parallelism / ref.topk_parallelism
+    )
+    fetcher = PAPER_AREA_MM2["qkv_fetcher"] * (
+        arch.hbm_channels / ref.hbm_channels
+    )
+    others = PAPER_AREA_MM2["others"]
+    return AreaBreakdown(
+        modules={
+            "qk_module": qk,
+            "probv_module": pv,
+            "softmax": softmax,
+            "topk_engines": topk,
+            "qkv_fetcher": fetcher,
+            "others": others,
+        }
+    )

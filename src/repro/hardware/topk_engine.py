@@ -1,0 +1,155 @@
+"""High-parallelism top-k engine (paper Section IV-B, Fig. 9).
+
+The engine finds the k most important tokens/heads with average O(n)
+work: a quick-select loop (pivot, comparator arrays, FIFO_L/FIFO_R, zero
+eliminators) locates the k-th largest score, then an order-preserving
+filter pass emits the survivors.
+
+The simulation is faithful at the round level: every STATE_RUN drains
+one FIFO through two ``parallelism``-wide comparator arrays
+(``ceil(size / P)`` cycles), zero eliminators compact the survivors
+(pipelined, adding their stage latency once), and the START logic picks
+the next FIFO exactly as Algorithm 3 does.  The result is bit-identical
+to :func:`repro.core.topk.topk_indices`, which unit tests assert.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.topk import filter_topk, quick_select_kth
+from .zero_eliminator import ZeroEliminator
+
+__all__ = ["TopKEngine", "TopKResult", "TopKEngineStats"]
+
+
+@dataclass
+class TopKResult:
+    """One selection's outcome and cost."""
+
+    indices: np.ndarray
+    kth_value: float
+    cycles: float
+    n_rounds: int
+    comparator_ops: int
+
+
+@dataclass
+class TopKEngineStats:
+    selections: int = 0
+    total_cycles: float = 0.0
+    comparator_ops: int = 0
+    energy_pj: float = 0.0
+    max_fifo_occupancy: int = 0
+    round_sizes: List[int] = field(default_factory=list)
+
+
+class TopKEngine:
+    """Cycle/energy model of the quick-select top-k engine.
+
+    Args:
+        parallelism: comparators per array (the paper uses 16, chosen in
+            Fig. 19 so the engine is never the pipeline bottleneck).
+        fifo_depth: capacity of FIFO_L/FIFO_R.  The architectural default
+            holds a full 1024-token context; occupancy is tracked so
+            design-space exploration can study smaller FIFOs.
+        pivot_cycles: constant cost of the START stage per round.
+        energy_per_compare_pj: comparator toggle energy.
+    """
+
+    def __init__(
+        self,
+        parallelism: int = 16,
+        fifo_depth: int = 1024,
+        pivot_cycles: int = 2,
+        energy_per_compare_pj: float = 0.12,
+        seed: int = 0,
+    ):
+        if parallelism <= 0:
+            raise ValueError("parallelism must be positive")
+        self.parallelism = parallelism
+        self.fifo_depth = fifo_depth
+        self.pivot_cycles = pivot_cycles
+        self.energy_per_compare_pj = energy_per_compare_pj
+        self._rng = np.random.default_rng(seed)
+        self.eliminator = ZeroEliminator(parallelism=parallelism)
+        self.stats = TopKEngineStats()
+
+    def select(self, scores: np.ndarray, k: int) -> TopKResult:
+        """Top-k indices of ``scores`` (order-preserving) plus cost."""
+        scores = np.asarray(scores, dtype=np.float64)
+        n = len(scores)
+        if n == 0 or k <= 0:
+            return TopKResult(np.zeros(0, dtype=np.int64), float("nan"), 0.0, 0, 0)
+        k = min(k, n)
+
+        if k == n:
+            # Pass-through: a single streaming pass, no quick-select.
+            cycles = math.ceil(n / self.parallelism)
+            self._account(cycles, 0, n)
+            return TopKResult(np.arange(n, dtype=np.int64), float(scores.min()),
+                              float(cycles), 0, 0)
+
+        kth_value, num_eq_keep, qs_stats = quick_select_kth(scores, k, self._rng)
+
+        cycles = 0.0
+        comparator_ops = 0
+        for round_size in qs_stats.partition_sizes:
+            if round_size > self.fifo_depth:
+                # Oversized partitions are processed in FIFO-sized chunks
+                # (extra drain passes), costing proportionally more.
+                chunks = math.ceil(round_size / self.fifo_depth)
+            else:
+                chunks = 1
+            cycles += self.pivot_cycles * chunks
+            cycles += math.ceil(round_size / self.parallelism)
+            # Two zero eliminators (FIFO_L and FIFO_R sides) are pipelined
+            # with the comparators; their stage latency appears once.
+            cycles += self.eliminator.latency_cycles(round_size)
+            comparator_ops += round_size
+            self.stats.round_sizes.append(round_size)
+            self.stats.max_fifo_occupancy = max(
+                self.stats.max_fifo_occupancy, min(round_size, self.fifo_depth)
+            )
+
+        # Final filtering pass over the buffered inputs + zero eliminate.
+        indices = filter_topk(scores, kth_value, num_eq_keep)
+        cycles += math.ceil(n / self.parallelism)
+        cycles += self.eliminator.latency_cycles(n)
+        comparator_ops += n
+
+        self._account(cycles, comparator_ops, n)
+        return TopKResult(
+            indices, kth_value, float(cycles), qs_stats.n_rounds, comparator_ops
+        )
+
+    def _account(self, cycles: float, comparator_ops: int, n: int) -> None:
+        self.stats.selections += 1
+        self.stats.total_cycles += cycles
+        self.stats.comparator_ops += comparator_ops
+        self.stats.energy_pj += comparator_ops * self.energy_per_compare_pj
+
+    def expected_cycles(self, n: int, k: Optional[int] = None) -> float:
+        """Closed-form expected cost (used by the pipeline scheduler).
+
+        Quick-select processes a geometrically shrinking series of
+        partitions, ~2n elements in expectation, plus the final filter
+        pass over n elements.
+        """
+        if n <= 0:
+            return 0.0
+        expected_rounds = max(1.0, math.log2(max(n, 2)))
+        partition_work = 2.0 * n
+        cycles = (partition_work + n) / self.parallelism
+        cycles += expected_rounds * (
+            self.pivot_cycles + self.eliminator.latency_cycles(n)
+        )
+        return float(cycles)
+
+    def reset(self) -> None:
+        self.stats = TopKEngineStats()
+        self.eliminator.reset()

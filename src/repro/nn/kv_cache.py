@@ -1,0 +1,90 @@
+"""Per-layer key/value cache for the GPT generation stage.
+
+The paper's generation stage concatenates the K and V of each newly
+generated token with the cached ones (Fig. 3 right).  Cascade token
+pruning additionally *removes* cached entries: "once a token is pruned,
+the QKV of it will never be used in all the following attention heads and
+layers".  The cache therefore tracks, for every cached column, the
+original sentence position it came from.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["LayerKVCache", "KVCache"]
+
+
+class LayerKVCache:
+    """KV cache of a single layer: per-head tensors plus position labels."""
+
+    def __init__(self, n_heads: int, head_dim: int):
+        self.n_heads = n_heads
+        self.head_dim = head_dim
+        self.keys = np.zeros((n_heads, 0, head_dim))
+        self.values = np.zeros((n_heads, 0, head_dim))
+        self.token_ids = np.zeros(0, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return self.keys.shape[1]
+
+    def append(self, k: np.ndarray, v: np.ndarray, token_ids: np.ndarray) -> None:
+        """Concatenate new per-head K/V columns (``[h, L_new, D]``)."""
+        if k.shape != v.shape:
+            raise ValueError("K and V shapes must match")
+        if k.shape[0] != self.n_heads or k.shape[2] != self.head_dim:
+            raise ValueError(
+                f"expected [h={self.n_heads}, *, D={self.head_dim}], got {k.shape}"
+            )
+        if k.shape[1] != len(token_ids):
+            raise ValueError("token_ids must label every appended column")
+        self.keys = np.concatenate([self.keys, k], axis=1)
+        self.values = np.concatenate([self.values, v], axis=1)
+        self.token_ids = np.concatenate([self.token_ids, np.asarray(token_ids)])
+
+    def keep(self, column_indices: np.ndarray) -> None:
+        """Retain only the given cache columns (cascade token pruning).
+
+        ``column_indices`` index the *current* cache layout and must be
+        sorted so the original token order is preserved (the top-k engine
+        preserves input order; Section IV-B).
+        """
+        column_indices = np.asarray(column_indices)
+        if len(column_indices) and not np.all(np.diff(column_indices) > 0):
+            raise ValueError("column_indices must be strictly increasing")
+        self.keys = self.keys[:, column_indices, :]
+        self.values = self.values[:, column_indices, :]
+        self.token_ids = self.token_ids[column_indices]
+
+    def as_tuple(self) -> Tuple[np.ndarray, np.ndarray]:
+        return self.keys, self.values
+
+    @property
+    def n_bytes(self) -> int:
+        """Cache footprint in bytes at fp16 storage."""
+        return int(self.keys.size + self.values.size) * 2
+
+
+class KVCache:
+    """All-layer cache container used by the generation loop."""
+
+    def __init__(self, n_layers: int, n_heads: int, head_dim: int):
+        self.layers: List[LayerKVCache] = [
+            LayerKVCache(n_heads, head_dim) for _ in range(n_layers)
+        ]
+
+    def __getitem__(self, layer_idx: int) -> LayerKVCache:
+        return self.layers[layer_idx]
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    @property
+    def total_cached_tokens(self) -> int:
+        return sum(len(layer) for layer in self.layers)
+
+    @property
+    def n_bytes(self) -> int:
+        return sum(layer.n_bytes for layer in self.layers)

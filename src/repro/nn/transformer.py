@@ -1,0 +1,397 @@
+"""Transformer blocks, encoder (BERT-style) and decoder (GPT-style) models.
+
+The model follows the paper's Fig. 3: per block, hidden states go through
+the QKV FCs and attention, a residual + LayerNorm, a two-FC feed-forward
+network, and another residual + LayerNorm.  BERT runs only the
+summarization stage; GPT runs summarization followed by token-by-token
+generation against a KV cache.
+
+Attention execution is pluggable through :class:`AttentionExecutor` so the
+SpAtten pipeline (:mod:`repro.core.pipeline`) can replace the dense inner
+computation with cascade-pruned, progressively-quantized attention while
+the surrounding model code stays identical.  Crucially, when an executor
+prunes tokens the *model* drops those rows from the residual stream, which
+is exactly how SpAtten saves FFN computation too (Section III-A: "Token
+pruning can reduce the computation and memory access of both attention,
+and also FC layers outside attention").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from ..config import ModelConfig
+from .attention import AttentionRecord, AttentionWeights, MultiHeadAttention
+from .functional import gelu, layer_norm, linear, softmax
+from .kv_cache import KVCache
+
+__all__ = [
+    "BlockParams",
+    "ModelParams",
+    "LayerExecution",
+    "AttentionExecutor",
+    "DenseExecutor",
+    "EncodeResult",
+    "GenerationResult",
+    "TransformerModel",
+]
+
+
+@dataclass
+class BlockParams:
+    """Parameters of one transformer block."""
+
+    attn: AttentionWeights
+    ln1_gamma: np.ndarray
+    ln1_beta: np.ndarray
+    ffn_w1: np.ndarray
+    ffn_b1: np.ndarray
+    ffn_w2: np.ndarray
+    ffn_b2: np.ndarray
+    ln2_gamma: np.ndarray
+    ln2_beta: np.ndarray
+
+    @staticmethod
+    def random(d_model: int, d_ff: int, rng: np.random.Generator) -> "BlockParams":
+        return BlockParams(
+            attn=AttentionWeights.random(d_model, rng),
+            ln1_gamma=np.ones(d_model),
+            ln1_beta=np.zeros(d_model),
+            ffn_w1=rng.normal(0, 1.0 / np.sqrt(d_model), size=(d_model, d_ff)),
+            ffn_b1=np.zeros(d_ff),
+            ffn_w2=rng.normal(0, 1.0 / np.sqrt(d_ff), size=(d_ff, d_model)),
+            ffn_b2=np.zeros(d_model),
+            ln2_gamma=np.ones(d_model),
+            ln2_beta=np.zeros(d_model),
+        )
+
+
+@dataclass
+class ModelParams:
+    """All parameters of a transformer model (weights only, no config)."""
+
+    token_embedding: np.ndarray  # [vocab, d_model]
+    pos_embedding: np.ndarray  # [max_seq_len, d_model]
+    blocks: List[BlockParams]
+    lm_head: Optional[np.ndarray] = None  # [d_model, vocab]; None => tied
+
+    def lm_projection(self) -> np.ndarray:
+        """Vocabulary projection matrix (tied to embeddings by default)."""
+        if self.lm_head is not None:
+            return self.lm_head
+        return self.token_embedding.T
+
+
+@dataclass
+class LayerExecution:
+    """Result of executing the attention part of one block.
+
+    Attributes:
+        output: ``attention_out`` rows for the *surviving* queries,
+            ``[L_kept, d_model]``.
+        record: instrumentation (probabilities, head outputs, ids).
+        kept_query_rows: indices into the incoming hidden-state rows that
+            survive this layer's token pruning.  The model subsets the
+            residual stream with these before the residual add, which is
+            what propagates token pruning to the FFN and later layers.
+    """
+
+    output: np.ndarray
+    record: AttentionRecord
+    kept_query_rows: np.ndarray
+
+
+class AttentionExecutor:
+    """Strategy interface for running attention inside the model.
+
+    Implementations own all sequence-level state (KV caches, cumulative
+    importance scores) between :meth:`begin_sequence` calls.
+    """
+
+    def begin_sequence(self, model: "TransformerModel") -> None:
+        raise NotImplementedError
+
+    def run_layer(
+        self,
+        layer_idx: int,
+        model: "TransformerModel",
+        x: np.ndarray,
+        positions: np.ndarray,
+        stage: str,
+    ) -> LayerExecution:
+        """Execute attention of block ``layer_idx`` on hidden rows ``x``.
+
+        Args:
+            layer_idx: block index.
+            model: owning model (for weights and config).
+            x: ``[L, d_model]`` hidden rows entering the block.
+            positions: absolute sentence positions of each row of ``x``.
+            stage: ``"summarize"`` (batch over the whole remaining
+                sentence) or ``"decode"`` (single new token against the
+                KV cache).
+        """
+        raise NotImplementedError
+
+
+class DenseExecutor(AttentionExecutor):
+    """Reference dense attention: no pruning, no quantization."""
+
+    def __init__(self) -> None:
+        self._cache: Optional[KVCache] = None
+
+    def begin_sequence(self, model: "TransformerModel") -> None:
+        cfg = model.config
+        if cfg.causal:
+            self._cache = KVCache(cfg.n_layers, cfg.n_heads, cfg.head_dim)
+        else:
+            self._cache = None
+
+    def run_layer(
+        self,
+        layer_idx: int,
+        model: "TransformerModel",
+        x: np.ndarray,
+        positions: np.ndarray,
+        stage: str,
+    ) -> LayerExecution:
+        attn = model.attention(layer_idx)
+        cfg = model.config
+        if not cfg.causal:
+            out, record = attn.forward(x, causal=False)
+            record.key_token_ids = positions.copy()
+            record.query_token_ids = positions.copy()
+            return LayerExecution(out, record, np.arange(len(x)))
+
+        # Causal model: maintain the KV cache across summarize + decode.
+        layer_cache = self._cache[layer_idx]
+        k_new, v_new = attn.project_kv(x)
+        layer_cache.append(k_new, v_new, positions)
+        q = attn.project_q(x)
+        if stage == "summarize":
+            out, record = attn.forward(
+                x, causal=True, kv=layer_cache.as_tuple(),
+                query_offset=int(positions[0]),
+            )
+        else:
+            out, record = attn.forward(x, causal=False, kv=layer_cache.as_tuple())
+        record.key_token_ids = layer_cache.token_ids.copy()
+        record.query_token_ids = positions.copy()
+        del q  # projections recomputed inside forward; kept simple on purpose
+        return LayerExecution(out, record, np.arange(len(x)))
+
+
+@dataclass
+class EncodeResult:
+    """Output of the summarization stage."""
+
+    hidden: np.ndarray  # [L_survivors, d_model]
+    positions: np.ndarray  # original positions of surviving rows
+    records: List[AttentionRecord]
+
+    def pooled(self, strategy: str = "cls") -> np.ndarray:
+        """Sentence feature for classification heads.
+
+        ``cls`` returns the hidden state of original position 0 (which
+        cascade pruning always protects); ``mean`` averages survivors.
+        """
+        if strategy == "cls":
+            matches = np.flatnonzero(self.positions == 0)
+            if len(matches) == 0:
+                raise ValueError("CLS token was pruned; use mean pooling")
+            return self.hidden[matches[0]]
+        if strategy == "mean":
+            return self.hidden.mean(axis=0)
+        raise ValueError(f"unknown pooling strategy: {strategy}")
+
+
+@dataclass
+class GenerationResult:
+    """Output of the generation stage."""
+
+    token_ids: List[int]
+    logits: List[np.ndarray]
+    step_records: List[List[AttentionRecord]] = field(default_factory=list)
+
+    @property
+    def n_generated(self) -> int:
+        return len(self.token_ids)
+
+
+class TransformerModel:
+    """A BERT- or GPT-style transformer over NumPy arrays."""
+
+    def __init__(self, config: ModelConfig, params: ModelParams):
+        if len(params.blocks) != config.n_layers:
+            raise ValueError(
+                f"params has {len(params.blocks)} blocks, config expects "
+                f"{config.n_layers}"
+            )
+        if params.token_embedding.shape != (config.vocab_size, config.d_model):
+            raise ValueError("token embedding shape mismatch")
+        self.config = config
+        self.params = params
+        self._attentions = [
+            MultiHeadAttention(bp.attn, config.n_heads) for bp in params.blocks
+        ]
+
+    # ------------------------------------------------------------------
+    # Components
+    # ------------------------------------------------------------------
+    def attention(self, layer_idx: int) -> MultiHeadAttention:
+        return self._attentions[layer_idx]
+
+    def block(self, layer_idx: int) -> BlockParams:
+        return self.params.blocks[layer_idx]
+
+    def embed(self, token_ids: Sequence[int], position_offset: int = 0) -> np.ndarray:
+        """Token + positional embedding lookup."""
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        if token_ids.ndim != 1:
+            raise ValueError("token_ids must be a 1-D sequence")
+        if np.any(token_ids < 0) or np.any(token_ids >= self.config.vocab_size):
+            raise ValueError("token id out of vocabulary range")
+        positions = np.arange(len(token_ids)) + position_offset
+        if positions[-1] >= self.config.max_seq_len:
+            raise ValueError(
+                f"sequence exceeds max_seq_len={self.config.max_seq_len}"
+            )
+        return (
+            self.params.token_embedding[token_ids]
+            + self.params.pos_embedding[positions]
+        )
+
+    def _ffn(self, layer_idx: int, x: np.ndarray) -> np.ndarray:
+        bp = self.block(layer_idx)
+        hidden = gelu(linear(x, bp.ffn_w1, bp.ffn_b1))
+        return linear(hidden, bp.ffn_w2, bp.ffn_b2)
+
+    def _run_block(
+        self,
+        layer_idx: int,
+        x: np.ndarray,
+        positions: np.ndarray,
+        executor: AttentionExecutor,
+        stage: str,
+    ):
+        """One block: attention (possibly pruned) + FFN with residuals."""
+        bp = self.block(layer_idx)
+        execution = executor.run_layer(layer_idx, self, x, positions, stage)
+        kept = execution.kept_query_rows
+        x = x[kept]
+        positions = positions[kept]
+        x = layer_norm(x + execution.output, bp.ln1_gamma, bp.ln1_beta)
+        x = layer_norm(x + self._ffn(layer_idx, x), bp.ln2_gamma, bp.ln2_beta)
+        return x, positions, execution.record
+
+    # ------------------------------------------------------------------
+    # Stages
+    # ------------------------------------------------------------------
+    def encode(
+        self,
+        token_ids: Sequence[int],
+        executor: Optional[AttentionExecutor] = None,
+    ) -> EncodeResult:
+        """Summarization stage over a whole sentence (Fig. 3 left)."""
+        executor = executor or DenseExecutor()
+        executor.begin_sequence(self)
+        x = self.embed(token_ids)
+        positions = np.arange(len(token_ids))
+        records: List[AttentionRecord] = []
+        for layer_idx in range(self.config.n_layers):
+            x, positions, record = self._run_block(
+                layer_idx, x, positions, executor, stage="summarize"
+            )
+            records.append(record)
+        return EncodeResult(hidden=x, positions=positions, records=records)
+
+    def lm_logits(self, hidden: np.ndarray) -> np.ndarray:
+        """Language-model head over hidden rows."""
+        return hidden @ self.params.lm_projection()
+
+    def generate(
+        self,
+        prompt_ids: Sequence[int],
+        n_new_tokens: int,
+        executor: Optional[AttentionExecutor] = None,
+        sampler: Optional[Callable[[np.ndarray], int]] = None,
+        collect_records: bool = False,
+    ) -> GenerationResult:
+        """Summarize the prompt, then generate tokens one at a time.
+
+        Mirrors the paper's GPT-2 benchmark setting: a long prompt (992
+        tokens in the paper) followed by iterative single-token decode
+        steps against the growing KV cache.
+
+        Args:
+            prompt_ids: prompt token ids.
+            n_new_tokens: number of decode iterations.
+            executor: attention strategy (dense by default).
+            sampler: maps final-token logits to the next token id
+                (greedy argmax by default).
+            collect_records: keep per-step attention records (memory
+                heavy for long generations).
+        """
+        if not self.config.causal:
+            raise ValueError("generate() requires a causal (GPT-style) model")
+        if sampler is None:
+            sampler = lambda logits: int(np.argmax(logits))
+        executor = executor or DenseExecutor()
+        executor.begin_sequence(self)
+
+        # Summarization stage over the prompt.
+        x = self.embed(prompt_ids)
+        positions = np.arange(len(prompt_ids))
+        for layer_idx in range(self.config.n_layers):
+            x, positions, _ = self._run_block(
+                layer_idx, x, positions, executor, stage="summarize"
+            )
+        last_hidden = x[-1:]
+
+        result = GenerationResult(token_ids=[], logits=[])
+        next_position = len(prompt_ids)
+        logits = self.lm_logits(last_hidden)[0]
+        for _ in range(n_new_tokens):
+            next_id = sampler(logits)
+            result.token_ids.append(next_id)
+            result.logits.append(logits)
+            # Decode stage: one token through every block.
+            x = self.embed([next_id], position_offset=next_position)
+            positions = np.array([next_position])
+            step_records: List[AttentionRecord] = []
+            for layer_idx in range(self.config.n_layers):
+                x, positions, record = self._run_block(
+                    layer_idx, x, positions, executor, stage="decode"
+                )
+                if collect_records:
+                    step_records.append(record)
+            if collect_records:
+                result.step_records.append(step_records)
+            logits = self.lm_logits(x)[0]
+            next_position += 1
+        return result
+
+    def next_token_distribution(
+        self,
+        prompt_ids: Sequence[int],
+        executor: Optional[AttentionExecutor] = None,
+    ) -> np.ndarray:
+        """Probability distribution of the next token after the prompt.
+
+        This is the LM-fidelity probe: comparing it between dense and
+        SpAtten executors quantifies the quality impact of pruning and
+        quantization (used for the Fig. 21 trade-off curves).
+        """
+        if not self.config.causal:
+            raise ValueError("requires a causal model")
+        executor = executor or DenseExecutor()
+        executor.begin_sequence(self)
+        x = self.embed(prompt_ids)
+        positions = np.arange(len(prompt_ids))
+        for layer_idx in range(self.config.n_layers):
+            x, positions, _ = self._run_block(
+                layer_idx, x, positions, executor, stage="summarize"
+            )
+        return softmax(self.lm_logits(x[-1:]))[0]

@@ -1,0 +1,375 @@
+"""Model-weight constructors for the substrate.
+
+Two constructors are provided:
+
+* :func:`random_model` — Gaussian weights, used by unit tests that only
+  exercise shapes and numerics.
+
+* :func:`build_semantic_model` — the reproduction's stand-in for a
+  *trained* BERT/GPT-2 (see DESIGN.md, substitution table).  Offline we
+  cannot load pretrained checkpoints, but cascade pruning does not depend
+  on the literal weights — it depends on the empirical *structure* of
+  trained attention that the paper exploits:
+
+  1. attention probability mass concentrates on a minority of salient
+     (content) tokens, while structural/function tokens receive little
+     attention (paper Fig. 5, Fig. 22);
+  2. some heads matter much more than others (paper Section III-B,
+     citing Voita et al.);
+  3. value vectors of attended tokens carry the information that the
+     output depends on (so pruning unattended tokens is harmless, and
+     pruning attended ones is not).
+
+  ``build_semantic_model`` constructs weights with exactly these three
+  properties, parameterised by a :class:`SemanticSpec` that assigns each
+  vocabulary item a salience (how strongly heads attend to it) and an
+  evidence vector (the label/topic information its value carries).
+
+Feature layout of the embedding space (first dims of ``d_model``):
+
+====================  =========================================================
+dim 0 (CONST)         constant 1.0 — gives every query a shared direction so
+                      that keys of salient tokens win the dot product
+dim 1 (SALIENCE)      the token's salience score
+dims 2..2+E           evidence block (class one-hot or topic signature)
+dims 2+E..2+E+P       sinusoidal position code (written by the position
+                      embedding; drives the *local* attention heads)
+remaining dims        random per-token identity features
+====================  =========================================================
+
+Two head families are constructed, mirroring the empirically observed
+split in trained transformers (Voita et al., cited by the paper):
+
+* **content heads** attend to salient tokens wherever they are — these
+  produce the global importance signal cascade token pruning uses;
+* **local heads** attend by position (score peaks at small query-key
+  distance via the sinusoidal code) — these keep *recent* context
+  important in causal models, exactly the property that lets GPT-style
+  token pruning preserve the live topic.
+
+Weak (redundant) heads of both families write small outputs, giving
+cascade head pruning its targets.  Strong heads additionally specialise
+on evidence sub-blocks, so over-pruning heads loses class information —
+the Fig. 21 head-curve cliff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..config import ModelConfig
+from .attention import AttentionWeights
+from .transformer import BlockParams, ModelParams
+
+__all__ = [
+    "CONST_DIM",
+    "SALIENCE_DIM",
+    "EVIDENCE_START",
+    "POSITION_DIMS",
+    "SemanticSpec",
+    "SemanticModelInfo",
+    "random_model",
+    "build_semantic_model",
+]
+
+CONST_DIM = 0
+SALIENCE_DIM = 1
+EVIDENCE_START = 2
+#: Width of the sinusoidal position code (pairs of sin/cos at
+#: geometrically spaced frequencies).
+POSITION_DIMS = 8
+
+
+def random_model(config: ModelConfig, seed: int = 0) -> ModelParams:
+    """Gaussian-initialised model (shape/numerics testing only)."""
+    rng = np.random.default_rng(seed)
+    blocks = [
+        BlockParams.random(config.d_model, config.d_ff, rng)
+        for _ in range(config.n_layers)
+    ]
+    return ModelParams(
+        token_embedding=rng.normal(0, 0.5, size=(config.vocab_size, config.d_model)),
+        pos_embedding=rng.normal(0, 0.02, size=(config.max_seq_len, config.d_model)),
+        blocks=blocks,
+    )
+
+
+@dataclass
+class SemanticSpec:
+    """Per-vocabulary semantic structure for the constructed model.
+
+    Attributes:
+        salience: ``[vocab]`` array in ``[0, 1]``.  Function words sit
+            near 0, content words near 1; attention heads attend to
+            tokens roughly in proportion to ``exp(gain * salience)``.
+        evidence: ``[vocab, evidence_dim]`` array; the information each
+            token's value vector deposits into the residual stream.
+            Class one-hot rows for classification tasks, topic
+            signatures for LM tasks, zero rows for contentless tokens.
+    """
+
+    salience: np.ndarray
+    evidence: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.salience = np.asarray(self.salience, dtype=np.float64)
+        self.evidence = np.atleast_2d(np.asarray(self.evidence, dtype=np.float64))
+        if self.salience.ndim != 1:
+            raise ValueError("salience must be 1-D [vocab]")
+        if len(self.evidence) != len(self.salience):
+            raise ValueError("salience and evidence must cover the same vocab")
+        if np.any(self.salience < 0) or np.any(self.salience > 1):
+            raise ValueError("salience values must lie in [0, 1]")
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self.salience)
+
+    @property
+    def evidence_dim(self) -> int:
+        return self.evidence.shape[1]
+
+
+@dataclass
+class SemanticModelInfo:
+    """Construction metadata (useful for tests and ablations).
+
+    ``head_strengths[l][h]`` in ``[0, 1]`` is the built-in importance of
+    head ``h`` of layer ``l``: strong heads attend sharply (to salient
+    tokens or to nearby positions) and write large outputs; weak heads
+    are diffuse and quiet — these are the heads cascade head pruning
+    should discover and remove.  ``head_is_local[l][h]`` marks the
+    position-driven heads.
+    """
+
+    head_strengths: np.ndarray  # [n_layers, n_heads]
+    spec: SemanticSpec
+    head_is_local: Optional[np.ndarray] = None  # [n_layers, n_heads] bool
+
+
+def _head_strength_profile(
+    n_layers: int, n_heads: int, strong_frac: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Assign per-head strengths: ``strong_frac`` strong, rest weak.
+
+    A head's role is *consistent across layers* (a base strength per
+    head index plus small per-layer jitter): this is both what trained
+    transformers exhibit and the property cascade head pruning relies on
+    when it removes a head index from every following layer.  Strengths
+    are spread rather than binary so the importance ranking is graded
+    (paper Fig. 1 prunes 12 -> 10 -> 8 heads).
+    """
+    n_strong = max(1, int(round(strong_frac * n_heads)))
+    strong = 0.7 + 0.3 * rng.random(n_strong)
+    weak = 0.05 + 0.2 * rng.random(n_heads - n_strong)
+    base = np.concatenate([strong, weak])
+    rng.shuffle(base)
+    jitter = rng.normal(0.0, 0.03, size=(n_layers, n_heads))
+    return np.clip(base[None, :] + jitter, 0.02, 1.0)
+
+
+def build_semantic_model(
+    config: ModelConfig,
+    spec: SemanticSpec,
+    seed: int = 0,
+    strong_frac: float = 0.7,
+    local_frac: float = 0.35,
+    attention_gain: float = 5.0,
+    value_gain: float = 0.8,
+    background_noise: float = 0.03,
+    evidence_scale: float = 0.6,
+    id_scale: float = 0.35,
+):
+    """Construct a transformer whose attention genuinely tracks salience.
+
+    Args:
+        config: model geometry (must satisfy
+            ``d_model >= EVIDENCE_START + spec.evidence_dim``).
+        spec: vocabulary semantics.
+        seed: RNG seed; construction is fully deterministic given it.
+        strong_frac: fraction of heads per layer that are strong.
+        local_frac: fraction of the strong heads that are *local*
+            (position-driven) rather than content-driven.
+        attention_gain: logit gain from salience; larger => sharper
+            attention concentration (more "dominant" probability rows,
+            which also drives the progressive-quantization behaviour of
+            paper Fig. 7).
+        value_gain: scale of evidence written by strong heads.
+        background_noise: scale of the random component of every
+            projection matrix (keeps the model generic and exercises
+            quantization).
+        evidence_scale / id_scale: embedding feature scales.
+
+    Returns:
+        ``(ModelParams, SemanticModelInfo)``.
+    """
+    if spec.vocab_size != config.vocab_size:
+        raise ValueError(
+            f"spec covers {spec.vocab_size} tokens, config.vocab_size is "
+            f"{config.vocab_size}"
+        )
+    if config.d_model < EVIDENCE_START + spec.evidence_dim:
+        raise ValueError("d_model too small for the evidence block")
+
+    rng = np.random.default_rng(seed)
+    d_model, head_dim = config.d_model, config.head_dim
+    e_dim = spec.evidence_dim
+    e_slice = slice(EVIDENCE_START, EVIDENCE_START + e_dim)
+    p_start = EVIDENCE_START + e_dim
+    if d_model < p_start + POSITION_DIMS:
+        raise ValueError("d_model too small for the position code")
+    p_slice = slice(p_start, p_start + POSITION_DIMS)
+    if head_dim < POSITION_DIMS:
+        raise ValueError(f"head_dim must be >= {POSITION_DIMS}")
+
+    # ------------------------------------------------------------------
+    # Embeddings.
+    # ------------------------------------------------------------------
+    token_embedding = rng.normal(0, id_scale, size=(config.vocab_size, d_model))
+    token_embedding[:, CONST_DIM] = 1.0
+    token_embedding[:, SALIENCE_DIM] = spec.salience
+    token_embedding[:, e_slice] = spec.evidence * evidence_scale
+    token_embedding[:, p_slice] = 0.0
+    pos_embedding = rng.normal(0, 0.02, size=(config.max_seq_len, d_model))
+    # Sinusoidal position code: pairs (sin, cos) at geometric
+    # wavelengths, so q_i . k_j of a local head sums cos(w_f (i - j)) —
+    # peaked at zero distance and decaying with |i - j|.
+    positions = np.arange(config.max_seq_len)[:, None]
+    wavelengths = 3.0 * (4.0 ** np.arange(POSITION_DIMS // 2))
+    angles = positions / wavelengths[None, :]
+    pos_code = np.concatenate([np.sin(angles), np.cos(angles)], axis=1)
+    pos_embedding[:, p_slice] = pos_code
+
+    head_strengths = _head_strength_profile(
+        config.n_layers, config.n_heads, strong_frac, rng
+    )
+    # Among the strong heads of each layer, mark ~local_frac as local.
+    head_is_local = np.zeros_like(head_strengths, dtype=bool)
+    for layer in range(config.n_layers):
+        strong_heads = np.flatnonzero(head_strengths[layer] >= 0.5)
+        n_local = int(round(local_frac * len(strong_heads)))
+        head_is_local[layer, strong_heads[:n_local]] = True
+
+    # Evidence-slot specialisation: strong heads split the evidence
+    # block into groups so that over-pruning heads loses information.
+    # Groups are dealt round-robin over the *strong* heads so every
+    # evidence group is carried by at least one strong head.
+    n_groups = 2 if e_dim <= 4 else 4
+    evidence_group = np.zeros(config.n_heads, dtype=np.int64)
+    strong_order = np.flatnonzero(head_strengths[0] >= 0.5)
+    for rank, head in enumerate(strong_order):
+        evidence_group[head] = rank % n_groups
+    weak_order = np.flatnonzero(head_strengths[0] < 0.5)
+    for rank, head in enumerate(weak_order):
+        evidence_group[head] = rank % n_groups
+
+    # ------------------------------------------------------------------
+    # Blocks.
+    # ------------------------------------------------------------------
+    blocks: List[BlockParams] = []
+    for layer in range(config.n_layers):
+        wq = rng.normal(0, background_noise, size=(d_model, d_model))
+        wk = rng.normal(0, background_noise, size=(d_model, d_model))
+        # The value path is cleaner than the routing path (trained V/O
+        # projections are lower-rank): less background noise, so a
+        # head's output magnitude is governed by its evidence writes —
+        # the property cumulative head importance relies on.
+        wv = rng.normal(0, 0.3 * background_noise, size=(d_model, d_model))
+        wo = rng.normal(0, 0.3 * background_noise, size=(d_model, d_model))
+
+        for head in range(config.n_heads):
+            strength = head_strengths[layer, head]
+            block = slice(head * head_dim, (head + 1) * head_dim)
+            gain = attention_gain * strength * np.sqrt(head_dim)
+            if head_is_local[layer, head]:
+                # Local head: queries and keys both carry the position
+                # code, so scores peak at small query-key distance.
+                beta = np.sqrt(2.0 * gain / POSITION_DIMS)
+                for offset in range(POSITION_DIMS):
+                    wq[p_start + offset, block.start + offset] += beta
+                    wk[p_start + offset, block.start + offset] += beta
+            else:
+                # Content head: all queries ~ q0 (constant feature);
+                # keys of salient tokens align with q0 => scores ~
+                # gain * salience.
+                q0 = rng.normal(size=head_dim)
+                q0 /= np.linalg.norm(q0)
+                wq[CONST_DIM, block] += q0 * np.sqrt(gain)
+                wk[SALIENCE_DIM, block] += q0 * np.sqrt(gain)
+            # Values carry (a group of) the evidence block into the head;
+            # the output projection writes it back into the residual
+            # evidence block.  Weak heads write almost nothing, which is
+            # exactly what makes their |attention_out| small and lets
+            # cumulative head importance find them.
+            n_slots = min(e_dim, head_dim)
+            gv = value_gain * strength
+            if e_dim <= 4:
+                # Few evidence slots (classification): every strong head
+                # carries all of them, but through a per-head rotation of
+                # the evidence plane — heads agree on average yet play
+                # distinct roles, so pruning past the weak ones rotates
+                # the aggregate feature and costs accuracy (the Fig. 21
+                # head-curve cliff).
+                theta = rng.normal(0.0, np.deg2rad(18.0))
+                cos_t, sin_t = np.cos(theta), np.sin(theta)
+                for s0 in range(0, n_slots - 1, 2):
+                    s1 = s0 + 1
+                    wv[EVIDENCE_START + s0, block.start + s0] += gv * cos_t
+                    wv[EVIDENCE_START + s0, block.start + s1] += gv * sin_t
+                    wv[EVIDENCE_START + s1, block.start + s0] -= gv * sin_t
+                    wv[EVIDENCE_START + s1, block.start + s1] += gv * cos_t
+                    wo[block.start + s0, EVIDENCE_START + s0] += gv
+                    wo[block.start + s1, EVIDENCE_START + s1] += gv
+                if n_slots % 2 == 1:
+                    last = n_slots - 1
+                    wv[EVIDENCE_START + last, block.start + last] += gv
+                    wo[block.start + last, EVIDENCE_START + last] += gv
+            else:
+                # Many evidence slots (LM topic signatures): strong heads
+                # specialise on slot groups instead.
+                for slot in range(n_slots):
+                    if strength >= 0.5 and slot % n_groups != evidence_group[head]:
+                        continue  # specialised: this head skips other groups
+                    wv[EVIDENCE_START + slot, block.start + slot] += gv
+                    wo[block.start + slot, EVIDENCE_START + slot] += gv
+            # Preserve the routing features through the value path a
+            # little so deeper layers still see salience structure
+            # (scaled by strength: quiet heads carry nothing).
+            if head_dim > n_slots + 1:
+                wv[CONST_DIM, block.start + n_slots] += 0.3 * strength
+                wo[block.start + n_slots, CONST_DIM] += 0.1 * strength
+                wv[SALIENCE_DIM, block.start + n_slots + 1] += 0.3 * strength
+                wo[block.start + n_slots + 1, SALIENCE_DIM] += 0.1 * strength
+
+        attn = AttentionWeights(
+            wq=wq, wk=wk, wv=wv, wo=wo,
+            bq=np.zeros(d_model), bk=np.zeros(d_model),
+            bv=np.zeros(d_model), bo=np.zeros(d_model),
+        )
+        # FFN: a gentle random mixing; small output scale keeps the
+        # residual stream (and its semantic features) dominant, the way
+        # trained post-LN transformers behave.
+        ffn_w1 = rng.normal(0, background_noise, size=(d_model, config.d_ff))
+        ffn_w2 = rng.normal(0, background_noise, size=(config.d_ff, d_model))
+        blocks.append(
+            BlockParams(
+                attn=attn,
+                ln1_gamma=np.ones(d_model), ln1_beta=np.zeros(d_model),
+                ffn_w1=ffn_w1, ffn_b1=np.zeros(config.d_ff),
+                ffn_w2=ffn_w2, ffn_b2=np.zeros(d_model),
+                ln2_gamma=np.ones(d_model), ln2_beta=np.zeros(d_model),
+            )
+        )
+
+    params = ModelParams(
+        token_embedding=token_embedding,
+        pos_embedding=pos_embedding,
+        blocks=blocks,
+    )
+    info = SemanticModelInfo(
+        head_strengths=head_strengths, spec=spec, head_is_local=head_is_local
+    )
+    return params, info

@@ -1,0 +1,211 @@
+"""Registry of the paper's 30 evaluation benchmarks (Section V-A).
+
+22 discriminative benchmarks — BERT-Base and BERT-Large on the nine
+GLUE tasks plus SQuAD v1.1/v2.0 — and 8 generative benchmarks — GPT-2
+Small and Medium on WikiText-2, WikiText-103, Penn Tree Bank, and
+One-Billion-Word language modelling.
+
+Each entry pins the workload geometry (average dev-set sentence length
+for BERT; 992-token prompt + 32 generated tokens for GPT-2, matching
+Section V-A) and the per-task SpAtten settings: token/head/value keep
+ratios ("for each task, we try multiple sets of token/head pruning
+ratios ... to not lose accuracy") and the quantization mode (static for
+BERT, progressive MSB+LSB for GPT-2, Section III-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..config import (
+    BERT_BASE,
+    BERT_LARGE,
+    GPT2_MEDIUM,
+    GPT2_SMALL,
+    ModelConfig,
+    PruningConfig,
+    QuantConfig,
+)
+from ..core.trace import DEFAULT_LSB_FRACTION
+
+__all__ = [
+    "Benchmark",
+    "all_benchmarks",
+    "bert_benchmarks",
+    "gpt2_benchmarks",
+    "get_benchmark",
+    "GPT2_PROMPT_LEN",
+    "GPT2_GEN_TOKENS",
+]
+
+#: GPT-2 workload shape (Section V-A: "we set the initial length of the
+#: input sentence as 992 and measure the latency of generating 32
+#: tokens").
+GPT2_PROMPT_LEN = 992
+GPT2_GEN_TOKENS = 32
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One (model, task) evaluation point.
+
+    Attributes:
+        key: canonical name, e.g. ``"bert-base-sst-2"``.
+        model: full paper geometry (used by trace-level experiments).
+        task: dataset name.
+        family: ``"bert"`` or ``"gpt2"``.
+        seq_len: input length (avg dev-set length / prompt length).
+        n_generate: generated tokens (0 for discriminative models).
+        pruning: per-task SpAtten pruning setting.
+        quant: per-task quantization setting.
+        lsb_fraction: expected LSB-refetch rate for analytic traces.
+        n_classes: label cardinality (classification tasks).
+    """
+
+    key: str
+    model: ModelConfig
+    task: str
+    family: str
+    seq_len: int
+    n_generate: int
+    pruning: PruningConfig
+    quant: QuantConfig
+    lsb_fraction: float
+    n_classes: int = 2
+
+    @property
+    def is_generative(self) -> bool:
+        return self.n_generate > 0
+
+
+# Average dev-set sentence lengths of the BERT tasks (tokens; the GLUE
+# and SQuAD numbers the paper uses to set input lengths, Section V-A).
+_BERT_TASK_LENGTHS: Dict[str, int] = {
+    "cola": 11,
+    "sst-2": 25,
+    "mrpc": 53,
+    "sts-b": 27,
+    "qqp": 30,
+    "mnli-m": 39,
+    "mnli-mm": 39,
+    "qnli": 50,
+    "rte": 64,
+    "squad-v1": 170,
+    "squad-v2": 170,
+}
+
+# Per-task token keep fractions: longer inputs are more redundant and
+# tolerate more pruning (Section III-A).  Values chosen to land the
+# paper's aggregate reductions (~1.5x tokens+values on BERT, 3.8x on
+# GPT-2) while Fig. 21-style sweeps confirm no accuracy loss.
+_BERT_TOKEN_KEEP: Dict[str, float] = {
+    "cola": 0.80,
+    "sst-2": 0.72,
+    "mrpc": 0.60,
+    "sts-b": 0.70,
+    "qqp": 0.68,
+    "mnli-m": 0.65,
+    "mnli-mm": 0.65,
+    "qnli": 0.62,
+    "rte": 0.58,
+    "squad-v1": 0.50,
+    "squad-v2": 0.50,
+}
+
+_BERT_N_CLASSES: Dict[str, int] = {
+    "cola": 2, "sst-2": 2, "mrpc": 2, "sts-b": 0, "qqp": 2,
+    "mnli-m": 3, "mnli-mm": 3, "qnli": 2, "rte": 2,
+    "squad-v1": 2, "squad-v2": 2,
+}
+
+_GPT2_TASKS: List[str] = ["wikitext2", "wikitext103", "ptb", "1bw"]
+
+
+def _bert_pruning(task: str, model: ModelConfig) -> PruningConfig:
+    # 12-head models prune to 9 heads, 16-head models to 13 (~1.15x).
+    head_keep = 0.75 if model.n_heads == 12 else 0.81
+    return PruningConfig(
+        token_keep_final=_BERT_TOKEN_KEEP[task],
+        head_keep_final=head_keep,
+        value_keep=0.90,
+        token_front_frac=0.15,
+        head_front_frac=0.30,
+    )
+
+
+def _gpt2_pruning(model: ModelConfig) -> PruningConfig:
+    head_keep = 0.83 if model.n_heads == 12 else 0.875
+    return PruningConfig(
+        token_keep_final=0.26,  # ~3.8x with local value pruning on top
+        head_keep_final=head_keep,
+        value_keep=0.85,
+        token_front_frac=0.15,
+        head_front_frac=0.30,
+    )
+
+
+#: BERT uses static quantization (Section III-D: "For BERT, we only
+#: apply static quantization because BERT models are computation-
+#: bounded"); GPT-2 uses progressive 6+4 (a "common combination").
+_BERT_QUANT = QuantConfig(msb_bits=8, lsb_bits=4, progressive=False)
+_GPT2_QUANT = QuantConfig(msb_bits=6, lsb_bits=4, progressive=True, threshold=0.1)
+
+
+def _build_registry() -> Dict[str, Benchmark]:
+    registry: Dict[str, Benchmark] = {}
+    for model in (BERT_BASE, BERT_LARGE):
+        for task, length in _BERT_TASK_LENGTHS.items():
+            key = f"{model.name}-{task}"
+            registry[key] = Benchmark(
+                key=key,
+                model=model,
+                task=task,
+                family="bert",
+                seq_len=length,
+                n_generate=0,
+                pruning=_bert_pruning(task, model),
+                quant=_BERT_QUANT,
+                lsb_fraction=0.0,
+                n_classes=_BERT_N_CLASSES[task],
+            )
+    for model in (GPT2_SMALL, GPT2_MEDIUM):
+        for task in _GPT2_TASKS:
+            key = f"{model.name}-{task}"
+            registry[key] = Benchmark(
+                key=key,
+                model=model,
+                task=task,
+                family="gpt2",
+                seq_len=GPT2_PROMPT_LEN,
+                n_generate=GPT2_GEN_TOKENS,
+                pruning=_gpt2_pruning(model),
+                quant=_GPT2_QUANT,
+                lsb_fraction=DEFAULT_LSB_FRACTION,
+                n_classes=0,
+            )
+    return registry
+
+
+_REGISTRY = _build_registry()
+
+
+def all_benchmarks() -> List[Benchmark]:
+    """All 30 benchmarks in the paper's presentation order."""
+    return list(_REGISTRY.values())
+
+
+def bert_benchmarks() -> List[Benchmark]:
+    return [b for b in _REGISTRY.values() if b.family == "bert"]
+
+
+def gpt2_benchmarks() -> List[Benchmark]:
+    return [b for b in _REGISTRY.values() if b.family == "gpt2"]
+
+
+def get_benchmark(key: str) -> Benchmark:
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown benchmark {key!r}; known: {known}") from None

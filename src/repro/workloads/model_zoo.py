@@ -1,0 +1,124 @@
+"""Model construction helpers tying vocabularies to semantic weights.
+
+Two usage scales:
+
+* **paper scale** — BERT-Base/Large, GPT-2-Small/Medium geometries are
+  used *as configurations only* by the trace-driven performance
+  experiments (no weights are materialised: a BERT-Large float64
+  parameter set would be ~1.2 GB and the performance results depend only
+  on work shapes).
+* **accuracy scale** — reduced geometries (:func:`accuracy_scale_config`)
+  with full semantic weights, used for every experiment that measures
+  output quality (Fig. 7 error statistics, Fig. 21 trade-off curves,
+  Fig. 22/23 visualisations, executor-vs-analytic validation).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..config import ModelConfig
+from ..nn import (
+    SemanticModelInfo,
+    SemanticSpec,
+    TransformerModel,
+    build_semantic_model,
+)
+from .vocab import Vocabulary, build_vocabulary
+
+__all__ = [
+    "accuracy_scale_config",
+    "build_task_model",
+    "default_accuracy_vocab",
+]
+
+
+def accuracy_scale_config(
+    base: ModelConfig,
+    vocab_size: int,
+    n_layers: Optional[int] = None,
+    d_model: int = 128,
+    n_heads: int = 8,
+    max_seq_len: int = 1024,
+) -> ModelConfig:
+    """Shrink a paper geometry to an accuracy-experiment scale.
+
+    Keeps the layer count (unless overridden) so cascade schedules span
+    the same depth profile, but reduces width — accuracy trends under
+    pruning depend on attention structure, not on raw dimension.
+    """
+    return base.with_overrides(
+        name=f"{base.name}-acc",
+        n_layers=n_layers if n_layers is not None else base.n_layers,
+        d_model=d_model,
+        n_heads=n_heads,
+        d_ff=4 * d_model,
+        vocab_size=vocab_size,
+        max_seq_len=max_seq_len,
+    )
+
+
+def default_accuracy_vocab(n_classes: int = 2, seed: int = 0) -> Vocabulary:
+    """The standard vocabulary for accuracy-scale experiments."""
+    return build_vocabulary(size=512, n_classes=n_classes, seed=seed)
+
+
+def build_task_model(
+    config: ModelConfig,
+    vocab: Vocabulary,
+    task_type: str = "classification",
+    seed: int = 0,
+    lm_signature_dim: int = 16,
+    **semantic_kwargs,
+) -> Tuple[TransformerModel, SemanticModelInfo]:
+    """Construct a semantic model aligned with a vocabulary's structure.
+
+    Args:
+        config: model geometry (``config.vocab_size`` must equal
+            ``len(vocab)``).
+        vocab: the task vocabulary (salience + class structure).
+        task_type: ``"classification"``/``"regression"`` use class
+            one-hot evidence; ``"lm"`` appends a per-token topic
+            signature so the LM head can distinguish content words.
+        seed: weight-construction seed.
+        semantic_kwargs: forwarded to
+            :func:`repro.nn.build_semantic_model` (gains, noise, ...).
+    """
+    if config.vocab_size != len(vocab):
+        raise ValueError(
+            f"config.vocab_size={config.vocab_size} != len(vocab)={len(vocab)}"
+        )
+    if task_type == "classification":
+        evidence = vocab.evidence_matrix()
+    elif task_type in ("regression", "lm"):
+        # Pair-similarity regression and language modelling both need
+        # *word-identity* information in the value path (overlap /
+        # next-word prediction), not just class mass: append per-token
+        # signatures to the class one-hots.
+        evidence = vocab.evidence_matrix(
+            evidence_dim=vocab.n_classes + lm_signature_dim, seed=seed + 1
+        )
+    else:
+        raise ValueError(f"unknown task_type {task_type!r}")
+    spec = SemanticSpec(salience=vocab.salience, evidence=evidence)
+    # Positional/local heads are far more prominent in autoregressive
+    # decoders (where recency matters) than in bidirectional encoders;
+    # default the local-head fraction accordingly.
+    semantic_kwargs.setdefault(
+        "local_frac", 0.35 if task_type == "lm" else 0.15
+    )
+    params, info = build_semantic_model(config, spec, seed=seed, **semantic_kwargs)
+    if task_type == "lm":
+        # Explicit LM head reading the evidence subspace: next-token
+        # logits are driven by the topic/evidence state the attention
+        # layers accumulated, not by incidental id-feature alignments.
+        import numpy as np
+
+        from ..nn.weights import EVIDENCE_START
+
+        rng = np.random.default_rng(seed + 7)
+        lm_head = rng.normal(0, 0.02, size=(config.d_model, config.vocab_size))
+        e_dim = spec.evidence_dim
+        lm_head[EVIDENCE_START : EVIDENCE_START + e_dim, :] += 4.0 * evidence.T
+        params.lm_head = lm_head
+    return TransformerModel(config, params), info

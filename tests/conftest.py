@@ -1,0 +1,60 @@
+"""Shared fixtures: tiny model geometries and deterministic RNGs.
+
+Tests use reduced geometries (4 layers, 32-128 dims) — every algorithm
+under test is dimension-agnostic, and the paper-scale geometries are
+exercised by the analytic-trace tests and the benchmark harness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig, PruningConfig, QuantConfig
+from repro.nn import TransformerModel, random_model
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_encoder_config():
+    return ModelConfig(
+        "tiny-encoder", n_layers=4, n_heads=4, d_model=32, d_ff=64,
+        vocab_size=64, max_seq_len=128, causal=False,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_decoder_config():
+    return ModelConfig(
+        "tiny-decoder", n_layers=4, n_heads=4, d_model=32, d_ff=64,
+        vocab_size=64, max_seq_len=128, causal=True,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_encoder(tiny_encoder_config):
+    return TransformerModel(tiny_encoder_config, random_model(tiny_encoder_config, seed=7))
+
+
+@pytest.fixture(scope="session")
+def tiny_decoder(tiny_decoder_config):
+    return TransformerModel(tiny_decoder_config, random_model(tiny_decoder_config, seed=8))
+
+
+@pytest.fixture
+def sample_tokens(rng, tiny_encoder_config):
+    return rng.integers(0, tiny_encoder_config.vocab_size, size=20).tolist()
+
+
+@pytest.fixture
+def moderate_pruning():
+    return PruningConfig(
+        token_keep_final=0.5, head_keep_final=0.75, value_keep=0.9
+    )
+
+
+@pytest.fixture
+def progressive_quant():
+    return QuantConfig(msb_bits=6, lsb_bits=4, progressive=True, threshold=0.1)

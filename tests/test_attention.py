@@ -1,0 +1,151 @@
+"""Unit tests for the multi-head attention layer."""
+
+import numpy as np
+import pytest
+
+from repro.nn import softmax
+from repro.nn.attention import (
+    AttentionWeights,
+    MultiHeadAttention,
+    causal_mask,
+    expand_pruned_heads,
+    merge_heads,
+    scaled_dot_attention,
+    split_heads,
+)
+
+
+@pytest.fixture
+def mha(rng):
+    weights = AttentionWeights.random(32, np.random.default_rng(3))
+    return MultiHeadAttention(weights, n_heads=4)
+
+
+class TestHeadReshaping:
+    def test_split_merge_roundtrip(self, rng):
+        x = rng.normal(size=(10, 32))
+        assert np.array_equal(merge_heads(split_heads(x, 4)), x)
+
+    def test_split_shape(self, rng):
+        heads = split_heads(rng.normal(size=(5, 32)), 8)
+        assert heads.shape == (8, 5, 4)
+
+    def test_split_rejects_indivisible(self, rng):
+        with pytest.raises(ValueError):
+            split_heads(rng.normal(size=(5, 30)), 4)
+
+    def test_head_content_is_contiguous_chunk(self, rng):
+        x = rng.normal(size=(3, 8))
+        heads = split_heads(x, 2)
+        assert np.array_equal(heads[0], x[:, :4])
+        assert np.array_equal(heads[1], x[:, 4:])
+
+
+class TestCausalMask:
+    def test_square_lower_triangular(self):
+        mask = causal_mask(4, 4)
+        assert np.array_equal(mask, np.tril(np.ones((4, 4), dtype=bool)))
+
+    def test_offset_for_generation(self):
+        # A single query at absolute position 5 sees all six keys.
+        mask = causal_mask(1, 6, query_offset=5)
+        assert mask.all()
+
+    def test_offset_blocks_future(self):
+        mask = causal_mask(2, 6, query_offset=3)
+        assert mask[0, :4].all() and not mask[0, 4:].any()
+        assert mask[1, :5].all() and not mask[1, 5:].any()
+
+
+class TestScaledDotAttention:
+    def test_probs_rows_normalised(self, rng):
+        q = rng.normal(size=(2, 5, 8))
+        k = rng.normal(size=(2, 7, 8))
+        v = rng.normal(size=(2, 7, 8))
+        out, probs = scaled_dot_attention(q, k, v)
+        assert out.shape == (2, 5, 8)
+        assert np.allclose(probs.sum(axis=-1), 1.0)
+
+    def test_masked_positions_get_zero_probability(self, rng):
+        q = rng.normal(size=(1, 3, 8))
+        k = rng.normal(size=(1, 3, 8))
+        v = rng.normal(size=(1, 3, 8))
+        _, probs = scaled_dot_attention(q, k, v, mask=causal_mask(3, 3))
+        assert probs[0, 0, 1] == pytest.approx(0.0, abs=1e-12)
+        assert probs[0, 0, 2] == pytest.approx(0.0, abs=1e-12)
+
+    def test_uniform_when_keys_identical(self, rng):
+        q = rng.normal(size=(1, 2, 8))
+        k = np.tile(rng.normal(size=(1, 1, 8)), (1, 5, 1))
+        v = rng.normal(size=(1, 5, 8))
+        _, probs = scaled_dot_attention(q, k, v)
+        assert np.allclose(probs, 0.2)
+
+    def test_matches_manual_computation(self, rng):
+        q = rng.normal(size=(1, 2, 4))
+        k = rng.normal(size=(1, 3, 4))
+        v = rng.normal(size=(1, 3, 4))
+        out, probs = scaled_dot_attention(q, k, v)
+        manual = softmax(q[0] @ k[0].T / 2.0) @ v[0]
+        assert np.allclose(out[0], manual)
+
+
+class TestMultiHeadAttention:
+    def test_forward_shapes_and_record(self, mha, rng):
+        x = rng.normal(size=(6, 32))
+        out, record = mha.forward(x)
+        assert out.shape == (6, 32)
+        assert record.probs.shape == (4, 6, 6)
+        assert record.head_outputs.shape == (4, 6, 8)
+        assert np.array_equal(record.key_token_ids, np.arange(6))
+        assert np.array_equal(record.head_ids, np.arange(4))
+
+    def test_causal_forward(self, mha, rng):
+        x = rng.normal(size=(5, 32))
+        _, record = mha.forward(x, causal=True)
+        upper = np.triu_indices(5, k=1)
+        assert np.allclose(record.probs[:, upper[0], upper[1]], 0.0, atol=1e-12)
+
+    def test_kv_override_for_generation(self, mha, rng):
+        x = rng.normal(size=(1, 32))
+        k = rng.normal(size=(4, 9, 8))
+        v = rng.normal(size=(4, 9, 8))
+        out, record = mha.forward(x, kv=(k, v))
+        assert out.shape == (1, 32)
+        assert record.n_keys == 9
+
+    def test_weight_shape_validation(self):
+        with pytest.raises(ValueError):
+            AttentionWeights(
+                wq=np.zeros((4, 4)), wk=np.zeros((4, 4)),
+                wv=np.zeros((4, 4)), wo=np.zeros((4, 3)),
+                bq=np.zeros(4), bk=np.zeros(4), bv=np.zeros(4), bo=np.zeros(4),
+            )
+
+    def test_head_count_must_divide(self):
+        weights = AttentionWeights.random(32, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            MultiHeadAttention(weights, n_heads=5)
+
+
+class TestExpandPrunedHeads:
+    def test_scatter_and_zero_fill(self, rng):
+        kept = rng.normal(size=(2, 3, 4))
+        full = expand_pruned_heads(kept, np.array([0, 3]), 4)
+        assert full.shape == (4, 3, 4)
+        assert np.array_equal(full[0], kept[0])
+        assert np.array_equal(full[3], kept[1])
+        assert np.all(full[1] == 0) and np.all(full[2] == 0)
+
+    def test_mismatched_ids_rejected(self, rng):
+        with pytest.raises(ValueError):
+            expand_pruned_heads(rng.normal(size=(2, 3, 4)), np.array([0]), 4)
+
+    def test_output_projection_consistency(self, mha, rng):
+        """Pruning no heads and expanding is identical to the dense path."""
+        x = rng.normal(size=(4, 32))
+        out_dense, record = mha.forward(x)
+        expanded = expand_pruned_heads(
+            record.head_outputs, np.arange(4), 4
+        )
+        assert np.allclose(mha.output_projection(expanded), out_dense)

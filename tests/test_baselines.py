@@ -1,0 +1,164 @@
+"""Tests for platform cost models and prior-art accelerators."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ALL_PLATFORMS,
+    JETSON_NANO,
+    RASPBERRY_PI,
+    TITAN_XP,
+    XEON,
+    A3CostModel,
+    MNNFastCostModel,
+    Roofline,
+    RooflinePoint,
+    a3_attention,
+    attainable,
+    attention_cost,
+    fc_cost,
+    mnnfast_attention,
+)
+from repro.baselines.roofline import classify
+from repro.config import BERT_BASE, GPT2_SMALL
+from repro.core.trace import dense_trace
+from repro.nn.attention import scaled_dot_attention
+
+
+@pytest.fixture(scope="module")
+def bert_trace():
+    return dense_trace(BERT_BASE, 64)
+
+
+@pytest.fixture(scope="module")
+def gpt2_trace():
+    return dense_trace(GPT2_SMALL, 256, n_generate=8)
+
+
+class TestPlatformModels:
+    def test_platform_ordering(self, bert_trace):
+        """GPU < CPU < Nano < Pi latency, matching Fig. 14's ordering."""
+        latencies = [
+            attention_cost(spec, bert_trace).latency_s
+            for spec in (TITAN_XP, XEON, JETSON_NANO, RASPBERRY_PI)
+        ]
+        assert latencies == sorted(latencies)
+
+    def test_overhead_dominates_short_sentences(self):
+        """CoLA-length inputs are overhead-bound on the GPU — the reason
+        Fig. 14 shows ~1000x speedups on the shortest tasks."""
+        short = dense_trace(BERT_BASE, 11)
+        report = attention_cost(TITAN_XP, short)
+        overhead = BERT_BASE.n_layers * TITAN_XP.layer_overhead_summarize_s
+        assert report.latency_s < 2 * overhead
+
+    def test_flops_dominate_long_sentences(self):
+        long = dense_trace(BERT_BASE, 170)
+        report = attention_cost(TITAN_XP, long)
+        flops_time = report.flops / TITAN_XP.attn_eff_summarize
+        assert flops_time > 0.5 * report.latency_s
+
+    def test_decode_uses_decode_efficiency(self, gpt2_trace):
+        summarize = attention_cost(TITAN_XP, gpt2_trace, include_decode=False)
+        decode = attention_cost(TITAN_XP, gpt2_trace, include_summarize=False)
+        assert summarize.flops > 0 and decode.flops > 0
+
+    def test_energy_is_power_times_latency(self, bert_trace):
+        report = attention_cost(XEON, bert_trace)
+        assert report.energy_j == pytest.approx(
+            report.latency_s * XEON.dynamic_power_w
+        )
+
+    def test_fc_cost_positive_and_weight_bound(self, gpt2_trace):
+        report = fc_cost(RASPBERRY_PI, gpt2_trace, include_summarize=False)
+        assert report.latency_s > 0
+        assert report.dram_bytes > 0
+
+    def test_gather_overhead_multiplies(self, bert_trace):
+        plain = attention_cost(TITAN_XP, bert_trace).latency_s
+        with_gather = attention_cost(
+            TITAN_XP, bert_trace, gather_overhead=1.2
+        ).latency_s
+        assert with_gather > plain
+
+
+class TestA3:
+    def test_approximates_dense_attention(self, rng):
+        k = rng.normal(size=(32, 16))
+        v = rng.normal(size=(32, 16))
+        q = rng.normal(size=16)
+        exact, _ = scaled_dot_attention(q[None, None, :], k[None], v[None])
+        approx, stats = a3_attention(q, k, v, n_components=12, score_margin=3.0)
+        rel_err = np.linalg.norm(approx - exact[0, 0]) / np.linalg.norm(exact)
+        assert rel_err < 0.5
+        assert 0 < stats.keys_kept <= 32
+
+    def test_prunes_locally(self, rng):
+        k = rng.normal(size=(64, 8))
+        v = rng.normal(size=(64, 8))
+        q = rng.normal(size=8) * 3
+        _, stats = a3_attention(q, k, v, n_components=4, score_margin=1.0)
+        assert stats.keep_fraction < 1.0
+
+    def test_preprocessing_overhead_counted(self, rng):
+        _, stats = a3_attention(
+            rng.normal(size=8), rng.normal(size=(16, 8)), rng.normal(size=(16, 8))
+        )
+        assert stats.preprocessing_ops > 0
+
+    def test_cost_model_no_dram_saving(self):
+        """A3 fetches everything: latency floor is the dense fetch."""
+        model = A3CostModel(dram_bandwidth=64e9)
+        dense_bytes = 64e9  # one second of fetch
+        latency = model.attention_latency(1e9, dense_bytes)
+        assert latency >= 1.0
+
+    def test_energy_model(self):
+        model = A3CostModel()
+        assert model.energy(269e9) == pytest.approx(1.0)
+
+
+class TestMNNFast:
+    def test_drops_low_probability_values(self, rng):
+        k = rng.normal(size=(32, 8)) * 2
+        v = rng.normal(size=(32, 8))
+        q = rng.normal(size=8) * 2
+        out, stats = mnnfast_attention(q, k, v, prob_threshold=0.02)
+        assert stats.values_kept < 32
+        exact, _ = scaled_dot_attention(q[None, None, :], k[None], v[None])
+        rel_err = np.linalg.norm(out - exact[0, 0]) / np.linalg.norm(exact)
+        assert rel_err < 0.3
+
+    def test_threshold_zero_keeps_all(self, rng):
+        k = rng.normal(size=(8, 4))
+        v = rng.normal(size=(8, 4))
+        q = rng.normal(size=4)
+        _, stats = mnnfast_attention(q, k, v, prob_threshold=0.0)
+        assert stats.values_kept == 8
+
+    def test_cost_model_slower_than_a3(self):
+        flops, dense_bytes = 1e9, 1e6
+        a3_latency = A3CostModel().attention_latency(flops, dense_bytes)
+        mnn_latency = MNNFastCostModel().attention_latency(flops, dense_bytes)
+        assert mnn_latency > a3_latency
+
+
+class TestRoofline:
+    def test_attainable(self):
+        roof = Roofline("m", 2e12, 512e9)
+        assert attainable(roof, 100.0) == 2e12  # compute-bound
+        assert attainable(roof, 1.0) == 512e9  # memory-bound
+        with pytest.raises(ValueError):
+            attainable(roof, -1)
+
+    def test_ridge_point(self):
+        roof = Roofline("m", 2e12, 512e9)
+        assert roof.ridge_intensity == pytest.approx(3.90625)
+
+    def test_classification(self):
+        roof = Roofline("m", 2e12, 512e9)
+        memory = RooflinePoint("gpt", "m", 1.0, 0.4e12)
+        compute = RooflinePoint("bert", "m", 50.0, 1.6e12)
+        assert classify(roof, memory) == "memory-bound"
+        assert classify(roof, compute) == "compute-bound"
+        assert 0 < memory.utilisation(roof) <= 1.0

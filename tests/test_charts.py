@@ -1,0 +1,60 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.eval.charts import bar_chart, line_chart
+
+
+class TestLineChart:
+    def test_renders_all_points(self):
+        chart = line_chart([1, 2, 4, 8], [10, 20, 25, 26], title="t")
+        assert chart.count("*") >= 4
+        assert "t" in chart
+
+    def test_monotone_series_shape(self):
+        chart = line_chart([0, 1, 2, 3], [0, 1, 2, 3], height=4, width=8)
+        rows = [line for line in chart.splitlines() if "|" in line]
+        first_star_rows = [i for i, r in enumerate(rows) if "*" in r]
+        # Increasing series: stars appear from top-right to bottom-left.
+        assert first_star_rows[0] < first_star_rows[-1] or len(first_star_rows) == 1
+
+    def test_axis_labels_present(self):
+        chart = line_chart([1, 10], [5, 50], x_label="ratio", y_label="acc")
+        assert "ratio" in chart and "acc" in chart
+
+    def test_log_x(self):
+        chart = line_chart([1, 10, 100], [1, 2, 3], log_x=True)
+        assert "*" in chart
+
+    def test_constant_series_safe(self):
+        chart = line_chart([0, 1], [5, 5])
+        assert "*" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart([1], [1])
+        with pytest.raises(ValueError):
+            line_chart([1, 2], [1])
+
+
+class TestBarChart:
+    def test_bars_scale(self):
+        chart = bar_chart({"a": 1.0, "b": 2.0}, width=20)
+        rows = chart.splitlines()
+        assert rows[0].count("#") < rows[1].count("#")
+
+    def test_log_scale(self):
+        chart = bar_chart({"x": 10.0, "y": 1000.0}, log_scale=True, width=30)
+        rows = chart.splitlines()
+        assert 0 < rows[0].count("#") < rows[1].count("#")
+
+    def test_log_scale_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            bar_chart({"a": 0.0}, log_scale=True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+    def test_unit_suffix(self):
+        assert "5.00x" in bar_chart({"a": 5.0}, unit="x")

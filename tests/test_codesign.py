@@ -1,0 +1,105 @@
+"""Tests for the HAT co-design search (Fig. 16/17)."""
+
+import numpy as np
+import pytest
+
+from repro.codesign import hat
+
+
+class TestDesignAccounting:
+    def test_transformer_base_anchors(self):
+        """FLOPs accounting must match the paper's Fig. 17 for vanilla
+        Transformer-Base: ~2.7 GFLOPs FC, ~28.9 MFLOPs attention."""
+        attn, fc = hat.design_flops(hat.TRANSFORMER_BASE)
+        assert fc / 1e9 == pytest.approx(2.7, rel=0.1)
+        assert attn / 1e6 == pytest.approx(28.9, rel=0.15)
+
+    def test_parameter_counts(self):
+        base = hat.design_parameters(hat.TRANSFORMER_BASE)
+        big = hat.design_parameters(hat.TRANSFORMER_BIG)
+        assert base / 1e6 == pytest.approx(44.0, rel=0.05)
+        assert big / base == pytest.approx(4.0, rel=0.05)
+
+    def test_bleu_anchors(self):
+        assert hat.bleu_surrogate(hat.TRANSFORMER_BASE) == pytest.approx(27.6, abs=0.15)
+        assert hat.bleu_surrogate(hat.TRANSFORMER_BIG) == pytest.approx(28.4, abs=0.15)
+
+    def test_bleu_monotone_in_depth(self):
+        shallow = hat.TransformerDesign(512, 2048, 1)
+        deep = hat.TransformerDesign(512, 2048, 6)
+        assert hat.bleu_surrogate(deep) > hat.bleu_surrogate(shallow)
+
+    def test_latency_monotone_in_ffn(self):
+        small = hat.TransformerDesign(512, 512, 4)
+        big = hat.TransformerDesign(512, 3072, 4)
+        assert hat.spatten_e2e_latency(big) > hat.spatten_e2e_latency(small)
+
+    def test_fc_bits_scale_latency(self):
+        design = hat.TRANSFORMER_BASE
+        assert hat.spatten_e2e_latency(design, fc_bits=12) > (
+            hat.spatten_e2e_latency(design, fc_bits=8)
+        )
+
+    def test_arbitrary_attn_increases_attention_flops(self):
+        narrow = hat.TransformerDesign(512, 2048, 6, arbitrary_attn=(1, 1, 1))
+        wide = hat.TransformerDesign(512, 2048, 6, arbitrary_attn=(3, 3, 3))
+        attn_narrow, _ = hat.design_flops(narrow)
+        attn_wide, _ = hat.design_flops(wide)
+        assert attn_wide > attn_narrow
+
+    def test_design_validation(self):
+        with pytest.raises(ValueError):
+            hat.TransformerDesign(510, 2048, 6)  # not divisible by heads
+        with pytest.raises(ValueError):
+            hat.TransformerDesign(512, 2048, 6, arbitrary_attn=(1, 1))
+
+
+class TestEvolutionarySearch:
+    def test_respects_latency_constraint(self):
+        big = hat.evaluate_design(hat.TRANSFORMER_BIG)
+        constraint = big.latency_s * 0.3
+        best = hat.evolutionary_search(constraint, seed=0, population=24,
+                                       generations=10)
+        assert best.latency_s <= constraint
+
+    def test_bleu_increases_with_budget(self):
+        big = hat.evaluate_design(hat.TRANSFORMER_BIG)
+        tight = hat.evolutionary_search(big.latency_s * 0.1, seed=0,
+                                        population=24, generations=10)
+        loose = hat.evolutionary_search(big.latency_s * 0.5, seed=0,
+                                        population=24, generations=10)
+        assert loose.bleu >= tight.bleu
+
+    def test_beats_vanilla_scaling_at_matched_latency(self):
+        """The co-design headline: at a vanilla design's latency the
+        searched design reaches at least its BLEU (usually more)."""
+        vanilla = hat.evaluate_design(hat.TransformerDesign(512, 2048, 4))
+        best = hat.evolutionary_search(vanilla.latency_s, seed=1,
+                                       population=32, generations=15)
+        assert best.bleu >= vanilla.bleu - 0.05
+
+    def test_deterministic_given_seed(self):
+        constraint = 2e-3
+        a = hat.evolutionary_search(constraint, seed=5, population=16,
+                                    generations=5)
+        b = hat.evolutionary_search(constraint, seed=5, population=16,
+                                    generations=5)
+        assert a.design == b.design
+
+    def test_invalid_constraint(self):
+        with pytest.raises(ValueError):
+            hat.evolutionary_search(0.0)
+
+
+class TestVanillaScalingCurves:
+    def test_layer_scaling_monotone_latency(self):
+        points = hat.vanilla_layer_scaling()
+        latencies = [p.latency_s for p in points]
+        assert latencies == sorted(latencies)
+        assert len(points) == 6
+
+    def test_dim_scaling_reaches_big(self):
+        points = hat.vanilla_dim_scaling()
+        assert points[-1].design == hat.TRANSFORMER_BIG
+        bleus = [p.bleu for p in points]
+        assert bleus == sorted(bleus)

@@ -1,0 +1,103 @@
+"""Unit tests for repro.config dataclasses and the model zoo."""
+
+import pytest
+
+from repro.config import (
+    BERT_BASE,
+    BERT_LARGE,
+    GPT2_MEDIUM,
+    GPT2_SMALL,
+    MODEL_ZOO,
+    ModelConfig,
+    PruningConfig,
+    QuantConfig,
+    SUPPORTED_BIT_SETTINGS,
+)
+
+
+class TestModelConfig:
+    def test_paper_geometries(self):
+        assert BERT_BASE.n_layers == 12 and BERT_BASE.n_heads == 12
+        assert BERT_BASE.d_model == 768 and BERT_BASE.d_ff == 3072
+        assert BERT_LARGE.n_layers == 24 and BERT_LARGE.n_heads == 16
+        assert BERT_LARGE.d_model == 1024
+        assert GPT2_SMALL.causal and GPT2_MEDIUM.causal
+        assert not BERT_BASE.causal and not BERT_LARGE.causal
+
+    def test_head_dim(self):
+        assert BERT_BASE.head_dim == 64
+        assert BERT_LARGE.head_dim == 64
+        assert GPT2_MEDIUM.head_dim == 64
+
+    def test_zoo_contains_all_four(self):
+        assert set(MODEL_ZOO) == {
+            "bert-base", "bert-large", "gpt2-small", "gpt2-medium"
+        }
+
+    def test_indivisible_heads_rejected(self):
+        with pytest.raises(ValueError, match="divisible"):
+            ModelConfig("bad", 2, 3, 32, 64)
+
+    def test_nonpositive_dims_rejected(self):
+        with pytest.raises(ValueError):
+            ModelConfig("bad", 0, 2, 32, 64)
+        with pytest.raises(ValueError):
+            ModelConfig("bad", 2, 2, 32, -1)
+
+    def test_with_overrides_returns_new_config(self):
+        small = BERT_BASE.with_overrides(n_layers=2)
+        assert small.n_layers == 2
+        assert BERT_BASE.n_layers == 12
+        assert small.d_model == BERT_BASE.d_model
+
+
+class TestPruningConfig:
+    def test_defaults_disable_pruning(self):
+        config = PruningConfig()
+        assert config.token_keep_final == 1.0
+        assert config.head_keep_final == 1.0
+        assert config.value_keep == 1.0
+
+    def test_prune_ratio_properties(self):
+        config = PruningConfig(token_keep_final=0.25, head_keep_final=0.5)
+        assert config.token_prune_ratio == pytest.approx(4.0)
+        assert config.head_prune_ratio == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("field", ["token_keep_final", "head_keep_final", "value_keep"])
+    @pytest.mark.parametrize("value", [0.0, -0.1, 1.5])
+    def test_keep_fractions_validated(self, field, value):
+        with pytest.raises(ValueError):
+            PruningConfig(**{field: value})
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1])
+    def test_front_fractions_validated(self, value):
+        with pytest.raises(ValueError):
+            PruningConfig(token_front_frac=value)
+
+    def test_with_overrides(self):
+        config = PruningConfig(token_keep_final=0.5)
+        harder = config.with_overrides(token_keep_final=0.25)
+        assert harder.token_keep_final == 0.25
+        assert config.token_keep_final == 0.5
+
+
+class TestQuantConfig:
+    @pytest.mark.parametrize("msb,lsb", SUPPORTED_BIT_SETTINGS)
+    def test_supported_settings(self, msb, lsb):
+        config = QuantConfig(msb_bits=msb, lsb_bits=lsb)
+        assert config.full_bits == msb + lsb
+
+    @pytest.mark.parametrize("msb,lsb", [(5, 4), (4, 2), (12, 0), (16, 4)])
+    def test_unsupported_settings_rejected(self, msb, lsb):
+        with pytest.raises(ValueError, match="unsupported"):
+            QuantConfig(msb_bits=msb, lsb_bits=lsb)
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            QuantConfig(threshold=1.5)
+
+    def test_paper_settings(self):
+        # "the common MSB+LSB combinations are 6+4 and 8+4"
+        for msb in (6, 8):
+            config = QuantConfig(msb_bits=msb, lsb_bits=4, progressive=True)
+            assert config.onchip_bits == 12

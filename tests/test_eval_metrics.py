@@ -1,0 +1,171 @@
+"""Tests for FLOPs/DRAM accounting, readouts, and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    GPT2_MEDIUM,
+    ModelConfig,
+    PruningConfig,
+    QuantConfig,
+)
+from repro.core.trace import AttentionTrace, LayerStep, dense_trace, spatten_trace
+from repro.eval.dram import step_attention_bytes, trace_dram
+from repro.eval.flops import step_flops, trace_flops
+from repro.eval.accuracy import (
+    train_classification_readout,
+    train_regression_readout,
+)
+from repro.eval.reporting import Table, fmt, geometric_mean
+
+
+class TestFlops:
+    def test_hand_computed_step(self):
+        model = ModelConfig("m", 1, 2, 8, 16, vocab_size=16)
+        step = LayerStep(0, "summarize", 3, 3, 2, 3)
+        flops = step_flops(step, model)
+        # QK: 2 * heads * L0 * L1 * head_dim = 2*2*3*3*4
+        assert flops.attention_qk == 2 * 2 * 3 * 3 * 4
+        # prob x V identical with all values kept.
+        assert flops.prob_v == flops.attention_qk
+        # FFN: 2 FCs of [3, 8] x [8, 16]
+        assert flops.ffn == 2 * 2 * 3 * 8 * 16
+
+    def test_decode_projects_single_kv(self):
+        model = ModelConfig("m", 1, 2, 8, 16, vocab_size=16, causal=True)
+        step = LayerStep(0, "decode", 1, 10, 2, 10)
+        flops = step_flops(step, model)
+        # K/V projections cover one new token only: 2*2*1*8*8 = 256.
+        assert flops.qkv_fc == 2 * 1 * 8 * 8 + 2 * 2 * 1 * 8 * 8
+
+    def test_head_pruning_shrinks_projections(self):
+        model = ModelConfig("m", 1, 4, 16, 32, vocab_size=16)
+        full = step_flops(LayerStep(0, "summarize", 4, 4, 4, 4), model)
+        pruned = step_flops(LayerStep(0, "summarize", 4, 4, 2, 4), model)
+        assert pruned.qkv_fc == full.qkv_fc / 2
+
+    def test_gpt2_medium_generation_matches_paper_table4(self):
+        """Dense GPT-2-Medium generating 32 tokens from a 992 prompt:
+        the paper's Table IV reports 19.3 GFLOPs FC / 3.3 GFLOPs attn."""
+        trace = dense_trace(GPT2_MEDIUM, 992, n_generate=32)
+        flops = trace_flops(trace, include_summarize=False)
+        assert flops.fc / 1e9 == pytest.approx(19.3, rel=0.03)
+        assert flops.attention / 1e9 == pytest.approx(3.3, rel=0.05)
+
+    def test_stage_filters(self):
+        trace = dense_trace(GPT2_MEDIUM, 64, n_generate=2)
+        total = trace_flops(trace).total
+        summarize = trace_flops(trace, include_decode=False).total
+        decode = trace_flops(trace, include_summarize=False).total
+        assert total == pytest.approx(summarize + decode)
+
+
+class TestDram:
+    def test_fp32_baseline_bytes(self):
+        model = ModelConfig("m", 1, 2, 8, 16, vocab_size=16)
+        step = LayerStep(0, "summarize", 3, 3, 2, 3)
+        traffic = step_attention_bytes(step, model, None)
+        elems = 3 * 2 * 4
+        assert traffic.query == elems * 4
+        assert traffic.key == elems * 4
+        assert traffic.value == elems * 4
+        assert traffic.output == elems * 4
+
+    def test_static_quant_fetches_msb_only(self):
+        model = ModelConfig("m", 1, 2, 8, 16, vocab_size=16)
+        step = LayerStep(0, "summarize", 3, 3, 2, 3)
+        quant = QuantConfig(msb_bits=8, lsb_bits=4, progressive=False)
+        traffic = step_attention_bytes(step, model, quant)
+        assert traffic.key == 3 * 2 * 4 * 1.0  # 8 bits = 1 byte/elem
+
+    def test_progressive_adds_lsb_fraction(self):
+        model = ModelConfig("m", 1, 2, 8, 16, vocab_size=16)
+        quant = QuantConfig(msb_bits=6, lsb_bits=4, progressive=True)
+        no_refetch = LayerStep(0, "summarize", 3, 3, 2, 3, lsb_fraction=0.0)
+        half_refetch = LayerStep(0, "summarize", 3, 3, 2, 3, lsb_fraction=0.5)
+        a = step_attention_bytes(no_refetch, model, quant).key
+        b = step_attention_bytes(half_refetch, model, quant).key
+        assert b == pytest.approx(a * (6 + 2) / 6)
+
+    def test_value_pruning_reduces_value_traffic_only(self):
+        model = ModelConfig("m", 1, 2, 8, 16, vocab_size=16)
+        full = step_attention_bytes(LayerStep(0, "summarize", 4, 4, 2, 4), model, None)
+        pruned = step_attention_bytes(LayerStep(0, "summarize", 4, 4, 2, 2), model, None)
+        assert pruned.value == full.value / 2
+        assert pruned.key == full.key
+
+    def test_paper_dram_reduction_band(self):
+        """Token pruning + progressive quantization on a GPT-2 workload
+        cuts attention DRAM traffic by an order of magnitude vs fp32."""
+        pruning = PruningConfig(token_keep_final=0.26, value_keep=0.85)
+        quant = QuantConfig(msb_bits=6, lsb_bits=4, progressive=True)
+        pruned = spatten_trace(GPT2_MEDIUM, pruning, quant, 992, 32)
+        dense = dense_trace(GPT2_MEDIUM, 992, 32)
+        reduction = trace_dram(dense, quant=None).total / trace_dram(pruned).total
+        assert reduction > 8.0
+
+    def test_trace_quant_default_from_trace(self):
+        pruning = PruningConfig(token_keep_final=0.5)
+        quant = QuantConfig(msb_bits=8, lsb_bits=4, progressive=False)
+        trace = spatten_trace(GPT2_MEDIUM, pruning, quant, 32)
+        with_quant = trace_dram(trace).total
+        fp32 = trace_dram(trace, quant=None).total
+        assert fp32 / with_quant == pytest.approx(32 / 8, rel=0.25)
+
+
+class TestReadouts:
+    def test_classification_on_separable_data(self, rng):
+        n, d = 120, 8
+        labels = rng.integers(0, 2, size=n)
+        features = rng.normal(size=(n, d))
+        features[:, 0] += 5.0 * (labels - 0.5)  # well-separated clusters
+        readout = train_classification_readout(features, labels, 2)
+        acc = np.mean(readout.predict(features) == labels)
+        assert acc > 0.95
+
+    def test_three_class(self, rng):
+        n = 150
+        labels = rng.integers(0, 3, size=n)
+        features = np.eye(3)[labels] * 4 + rng.normal(size=(n, 3))
+        readout = train_classification_readout(features, labels, 3)
+        assert np.mean(readout.predict(features) == labels) > 0.9
+
+    def test_ridge_recovers_linear_map(self, rng):
+        n, d = 100, 6
+        features = rng.normal(size=(n, d))
+        true_w = rng.normal(size=d)
+        targets = features @ true_w + 2.0
+        readout = train_regression_readout(features, targets, l2=1e-6)
+        preds = readout.predict(features)
+        assert np.corrcoef(preds, targets)[0, 1] > 0.99
+
+
+class TestReporting:
+    def test_table_renders(self):
+        table = Table("Demo", ["a", "b"])
+        table.add_row("x", 1.5)
+        table.add_note("note")
+        text = table.render()
+        assert "Demo" in text and "1.50" in text and "* note" in text
+
+    def test_row_width_validation(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    def test_fmt_magnitudes(self):
+        assert fmt(1.5e12) == "1.50T"
+        assert fmt(2.5e9) == "2.50G"
+        assert fmt(3.5e6) == "3.50M"
+        assert fmt(4500) == "4.50K"
+        assert fmt(0.5) == "0.5"
+        assert fmt("text") == "text"
+        assert fmt(None) == "-"
+        assert fmt(float("nan")) == "-"
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 100]) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -1.0])

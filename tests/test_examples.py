@@ -1,0 +1,43 @@
+"""Smoke tests: every example script must run end-to-end.
+
+The heavier examples are exercised through their ``main()`` functions
+with output captured; they double as living documentation, so breaking
+one is a release blocker.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+
+def _load_module(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"examples_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["quickstart", "sentiment_token_pruning", "generation_kv_pruning"],
+)
+def test_example_runs(name, capsys):
+    module = _load_module(name)
+    module.main()
+    output = capsys.readouterr().out
+    assert len(output) > 100  # produced a real report
+
+
+def test_quickstart_reports_savings(capsys):
+    module = _load_module("quickstart")
+    module.main()
+    output = capsys.readouterr().out
+    assert "survivors after cascade pruning" in output
+    assert "DRAM traffic" in output
+    assert "SpAtten latency" in output

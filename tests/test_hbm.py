@@ -1,0 +1,82 @@
+"""Unit tests for the HBM memory-system model."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.hbm import HBMConfig, HBMModel
+
+
+@pytest.fixture
+def hbm():
+    return HBMModel(HBMConfig())
+
+
+class TestTransfers:
+    def test_zero_bytes_free(self, hbm):
+        result = hbm.transfer(0)
+        assert result.cycles == 0 and result.energy_pj == 0
+
+    def test_negative_rejected(self, hbm):
+        with pytest.raises(ValueError):
+            hbm.transfer(-1)
+
+    def test_cycles_scale_with_bytes(self, hbm):
+        small = hbm.transfer(64 * 1024).cycles
+        large = hbm.transfer(64 * 1024 * 8).cycles
+        assert large == pytest.approx(small * 8, rel=0.05)
+
+    def test_peak_bandwidth_bound(self, hbm):
+        """A big streaming transfer approaches but never exceeds peak."""
+        n_bytes = 16 * 1024 * 1024
+        result = hbm.transfer(n_bytes, random_access=False)
+        achieved = n_bytes / result.cycles  # bytes per cycle
+        peak = hbm.config.peak_bandwidth / hbm.config.clock_hz
+        assert achieved <= peak
+        assert achieved >= 0.9 * peak * hbm.config.sequential_efficiency
+
+    def test_random_access_slower(self, hbm):
+        n_bytes = 1024 * 1024
+        sequential = hbm.transfer(n_bytes, random_access=False).cycles
+        random = hbm.transfer(n_bytes, random_access=True).cycles
+        assert random > sequential
+
+    def test_random_access_more_activations(self, hbm):
+        n_bytes = 64 * 1024
+        seq = hbm.transfer(n_bytes, random_access=False)
+        rnd = hbm.transfer(n_bytes, random_access=True)
+        assert rnd.n_activations > seq.n_activations
+        assert rnd.energy_pj > seq.energy_pj
+
+    def test_channel_balance(self, hbm):
+        result = hbm.transfer(256 * 64)  # 64 bursts over 16 channels
+        assert result.per_channel_bytes.max() - result.per_channel_bytes.min() == 0
+
+    def test_residual_burst_imbalance_bounded(self, hbm):
+        result = hbm.transfer(256 * 17)  # 17 bursts -> one channel gets 2
+        spread = result.per_channel_bytes.max() - result.per_channel_bytes.min()
+        assert spread == 256
+
+    def test_accounting_accumulates(self, hbm):
+        hbm.transfer(1000)
+        hbm.transfer(2000)
+        assert hbm.total_bytes == 3000
+        hbm.reset()
+        assert hbm.total_bytes == 0 and hbm.total_energy_pj == 0
+
+
+class TestConfig:
+    def test_paper_geometry(self):
+        config = HBMConfig()
+        assert config.n_channels == 16
+        assert config.peak_bandwidth == pytest.approx(512e9)
+
+    def test_static_power_scales_with_channels(self):
+        full = HBMConfig(n_channels=16)
+        eighth = HBMConfig(n_channels=2)
+        assert full.static_power_w == pytest.approx(8 * eighth.static_power_w)
+
+    def test_energy_proportional_to_bits(self):
+        hbm = HBMModel(HBMConfig(activation_energy_pj=0.0))
+        a = hbm.transfer(1024).energy_pj
+        b = hbm.transfer(2048).energy_pj
+        assert b == pytest.approx(2 * a)

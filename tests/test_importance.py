@@ -1,0 +1,93 @@
+"""Unit tests for cumulative importance accumulators (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.importance import (
+    HeadImportanceAccumulator,
+    TokenImportanceAccumulator,
+)
+from repro.nn.functional import softmax
+
+
+class TestTokenImportance:
+    def test_column_sum_accumulation(self, rng):
+        probs = softmax(rng.normal(size=(2, 3, 4)))
+        acc = TokenImportanceAccumulator()
+        acc.accumulate(probs, np.arange(4))
+        assert np.allclose(acc.raw_scores, probs.sum(axis=(0, 1)))
+
+    def test_total_mass_equals_rows(self, rng):
+        """Each softmax row sums to 1, so total accumulated mass is
+        n_heads * n_queries per round — a conservation law."""
+        probs = softmax(rng.normal(size=(3, 5, 7)))
+        acc = TokenImportanceAccumulator()
+        acc.accumulate(probs, np.arange(7))
+        assert acc.raw_scores.sum() == pytest.approx(3 * 5)
+
+    def test_accumulates_across_rounds(self, rng):
+        probs = softmax(rng.normal(size=(1, 2, 3)))
+        acc = TokenImportanceAccumulator()
+        acc.accumulate(probs, np.arange(3))
+        acc.accumulate(probs, np.arange(3))
+        assert np.allclose(acc.raw_scores, 2 * probs.sum(axis=(0, 1)))
+
+    def test_addressed_by_original_position(self, rng):
+        probs = softmax(rng.normal(size=(1, 1, 2)))
+        acc = TokenImportanceAccumulator()
+        acc.accumulate(probs, np.array([5, 9]))
+        assert len(acc.raw_scores) == 10
+        assert acc.raw_scores[5] == pytest.approx(probs[0, 0, 0])
+        assert acc.raw_scores[0] == 0.0
+
+    def test_duplicate_ids_accumulate(self, rng):
+        probs = np.ones((1, 1, 2)) * 0.5
+        acc = TokenImportanceAccumulator()
+        acc.accumulate(probs, np.array([3, 3]))
+        assert acc.raw_scores[3] == pytest.approx(1.0)
+
+    def test_scores_for_grows_lazily(self):
+        acc = TokenImportanceAccumulator()
+        scores = acc.scores_for(np.array([0, 7]))
+        assert np.array_equal(scores, [0.0, 0.0])
+
+    def test_shape_validation(self, rng):
+        acc = TokenImportanceAccumulator()
+        with pytest.raises(ValueError):
+            acc.accumulate(np.ones((2, 3)), np.arange(3))
+        with pytest.raises(ValueError):
+            acc.accumulate(np.ones((1, 2, 3)), np.arange(2))
+
+
+class TestHeadImportance:
+    def test_magnitude_accumulation(self, rng):
+        outputs = rng.normal(size=(2, 3, 4))
+        acc = HeadImportanceAccumulator(4)
+        acc.accumulate(outputs, np.array([0, 2]))
+        assert acc.raw_scores[0] == pytest.approx(np.abs(outputs[0]).sum())
+        assert acc.raw_scores[2] == pytest.approx(np.abs(outputs[1]).sum())
+        assert acc.raw_scores[1] == 0.0
+
+    def test_accumulates_across_layers(self, rng):
+        outputs = rng.normal(size=(1, 2, 2))
+        acc = HeadImportanceAccumulator(2)
+        acc.accumulate(outputs, np.array([1]))
+        acc.accumulate(outputs, np.array([1]))
+        assert acc.raw_scores[1] == pytest.approx(2 * np.abs(outputs[0]).sum())
+
+    def test_quiet_heads_rank_low(self, rng):
+        loud = rng.normal(0, 2.0, size=(1, 4, 8))
+        quiet = rng.normal(0, 0.01, size=(1, 4, 8))
+        acc = HeadImportanceAccumulator(2)
+        acc.accumulate(loud, np.array([0]))
+        acc.accumulate(quiet, np.array([1]))
+        assert acc.raw_scores[0] > acc.raw_scores[1]
+
+    def test_validation(self, rng):
+        acc = HeadImportanceAccumulator(2)
+        with pytest.raises(ValueError):
+            acc.accumulate(rng.normal(size=(1, 2, 2)), np.array([5]))
+        with pytest.raises(ValueError):
+            acc.accumulate(rng.normal(size=(2, 2)), np.array([0]))
+        with pytest.raises(ValueError):
+            HeadImportanceAccumulator(0)

@@ -1,0 +1,120 @@
+"""End-to-end integration tests crossing every subsystem boundary."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import TITAN_XP, attention_cost
+from repro.config import PruningConfig, QuantConfig
+from repro.core import SpAttenExecutor, dense_trace
+from repro.eval import trace_dram, trace_flops
+from repro.eval.experiments import benchmark_traces, spatten_benchmark_report
+from repro.hardware import SpAttenSimulator
+from repro.workloads import (
+    accuracy_scale_config,
+    build_task_model,
+    build_vocabulary,
+    get_benchmark,
+)
+from repro.config import BERT_BASE
+
+
+class TestExecutorToSimulator:
+    """A measured executor trace must be a valid simulator input and
+    cost the same as its analytic twin."""
+
+    def test_measured_trace_simulates_identically(self):
+        vocab = build_vocabulary(size=512, n_classes=2, seed=0)
+        config = accuracy_scale_config(
+            BERT_BASE, len(vocab), n_layers=6, d_model=128, n_heads=8,
+            max_seq_len=128,
+        )
+        model, _ = build_task_model(config, vocab, "classification", seed=0)
+        ids = vocab.encode("the film is a wonderful treat", add_cls=True)
+
+        executor = SpAttenExecutor(
+            pruning=PruningConfig(token_keep_final=0.5, head_keep_final=0.75,
+                                  value_keep=0.9),
+            quant=QuantConfig(msb_bits=8, lsb_bits=4, progressive=False),
+        )
+        model.encode(ids, executor=executor)
+
+        from repro.core import spatten_trace
+
+        analytic = spatten_trace(
+            config, executor.pruning, executor.quant, len(ids)
+        )
+        sim = SpAttenSimulator()
+        measured_report = sim.run_trace(executor.trace)
+        analytic_report = sim.run_trace(analytic)
+        assert measured_report.total_cycles == pytest.approx(
+            analytic_report.total_cycles, rel=1e-9
+        )
+        assert measured_report.dram_bytes == pytest.approx(
+            analytic_report.dram_bytes, rel=1e-9
+        )
+
+
+class TestBenchmarkPipeline:
+    """Registry benchmark -> traces -> simulator -> platform comparison."""
+
+    @pytest.mark.parametrize("key", ["bert-base-sst-2", "gpt2-small-ptb"])
+    def test_end_to_end_speedup_positive(self, key):
+        bench = get_benchmark(key)
+        report = spatten_benchmark_report(bench)
+        _, dense = benchmark_traces(bench)
+        gpu = attention_cost(
+            TITAN_XP, dense,
+            include_summarize=not bench.is_generative,
+            include_decode=bench.is_generative,
+        )
+        assert gpu.latency_s / report.latency_s > 20.0
+        assert report.energy_j > 0
+
+    def test_flops_dram_consistency(self):
+        """Pruned work must never exceed dense work in any dimension."""
+        bench = get_benchmark("bert-large-qnli")
+        pruned, dense = benchmark_traces(bench)
+        assert trace_flops(pruned).total < trace_flops(dense).total
+        assert trace_dram(pruned).total < trace_dram(dense, quant=None).total
+        for p_step, d_step in zip(pruned.steps, dense.steps):
+            assert p_step.n_queries <= d_step.n_queries
+            assert p_step.n_keys <= d_step.n_keys
+            assert p_step.n_heads <= d_step.n_heads
+
+    def test_simulator_scales_with_model_size(self):
+        small = spatten_benchmark_report(get_benchmark("gpt2-small-ptb"))
+        medium = spatten_benchmark_report(get_benchmark("gpt2-medium-ptb"))
+        assert medium.latency_s > small.latency_s
+
+
+class TestFullStackQuality:
+    """The complete stack (pruning + quantization) at the registry's
+    own settings must preserve model quality on a real task."""
+
+    def test_registry_settings_lossless_on_classification(self):
+        from repro.eval.accuracy import (
+            classification_accuracy,
+            extract_features,
+            train_classification_readout,
+        )
+        from repro.workloads import make_classification_dataset
+
+        bench = get_benchmark("bert-base-sst-2")
+        vocab = build_vocabulary(size=512, n_classes=2, seed=0)
+        config = accuracy_scale_config(
+            BERT_BASE, len(vocab), n_layers=6, d_model=128, n_heads=8,
+            max_seq_len=256,
+        )
+        model, _ = build_task_model(config, vocab, "classification", seed=0)
+        dataset = make_classification_dataset(
+            vocab, "sst2", avg_len=bench.seq_len, n_train=72, n_test=48, seed=1
+        )
+        features = extract_features(model, dataset.train)
+        labels = np.array([int(e.label) for e in dataset.train])
+        readout = train_classification_readout(features, labels, 2)
+        dense_acc = classification_accuracy(model, dataset, readout)
+
+        factory = lambda: SpAttenExecutor(bench.pruning, bench.quant)
+        pruned_acc = classification_accuracy(model, dataset, readout, factory)
+        # Paper claim: the per-task settings cost no accuracy.
+        assert pruned_acc >= dense_acc - 0.035

@@ -1,0 +1,81 @@
+"""Unit tests for the per-layer KV cache."""
+
+import numpy as np
+import pytest
+
+from repro.nn.kv_cache import KVCache, LayerKVCache
+
+
+@pytest.fixture
+def layer_cache():
+    return LayerKVCache(n_heads=2, head_dim=4)
+
+
+class TestLayerKVCache:
+    def test_starts_empty(self, layer_cache):
+        assert len(layer_cache) == 0
+        assert layer_cache.n_bytes == 0
+
+    def test_append_accumulates(self, layer_cache, rng):
+        k = rng.normal(size=(2, 3, 4))
+        v = rng.normal(size=(2, 3, 4))
+        layer_cache.append(k, v, np.array([0, 1, 2]))
+        layer_cache.append(k[:, :1], v[:, :1], np.array([3]))
+        assert len(layer_cache) == 4
+        assert np.array_equal(layer_cache.token_ids, [0, 1, 2, 3])
+
+    def test_append_shape_validation(self, layer_cache, rng):
+        k = rng.normal(size=(2, 3, 4))
+        with pytest.raises(ValueError):
+            layer_cache.append(k, rng.normal(size=(2, 2, 4)), np.array([0, 1, 2]))
+        with pytest.raises(ValueError):
+            layer_cache.append(
+                rng.normal(size=(3, 3, 4)), rng.normal(size=(3, 3, 4)),
+                np.array([0, 1, 2]),
+            )
+        with pytest.raises(ValueError):
+            layer_cache.append(k, k, np.array([0, 1]))
+
+    def test_keep_preserves_order_and_content(self, layer_cache, rng):
+        k = rng.normal(size=(2, 5, 4))
+        v = rng.normal(size=(2, 5, 4))
+        layer_cache.append(k, v, np.arange(5))
+        layer_cache.keep(np.array([0, 2, 4]))
+        assert np.array_equal(layer_cache.token_ids, [0, 2, 4])
+        assert np.array_equal(layer_cache.keys, k[:, [0, 2, 4]])
+        assert np.array_equal(layer_cache.values, v[:, [0, 2, 4]])
+
+    def test_keep_rejects_unsorted(self, layer_cache, rng):
+        layer_cache.append(
+            rng.normal(size=(2, 3, 4)), rng.normal(size=(2, 3, 4)), np.arange(3)
+        )
+        with pytest.raises(ValueError):
+            layer_cache.keep(np.array([2, 0]))
+
+    def test_nbytes_fp16(self, layer_cache, rng):
+        layer_cache.append(
+            rng.normal(size=(2, 3, 4)), rng.normal(size=(2, 3, 4)), np.arange(3)
+        )
+        # 2 tensors x 2 heads x 3 tokens x 4 dims x 2 bytes
+        assert layer_cache.n_bytes == 2 * 2 * 3 * 4 * 2
+
+
+class TestKVCache:
+    def test_per_layer_independence(self, rng):
+        cache = KVCache(n_layers=3, n_heads=2, head_dim=4)
+        cache[0].append(
+            rng.normal(size=(2, 2, 4)), rng.normal(size=(2, 2, 4)), np.arange(2)
+        )
+        assert len(cache[0]) == 2
+        assert len(cache[1]) == 0
+        assert cache.total_cached_tokens == 2
+        assert len(cache) == 3
+
+    def test_total_bytes(self, rng):
+        cache = KVCache(n_layers=2, n_heads=2, head_dim=4)
+        for layer in range(2):
+            cache[layer].append(
+                rng.normal(size=(2, 1, 4)), rng.normal(size=(2, 1, 4)),
+                np.array([0]),
+            )
+        assert cache.n_bytes == 2 * (2 * 2 * 1 * 4 * 2)

@@ -1,0 +1,85 @@
+"""Direct tests for the datapath modules and the CLI entry point."""
+
+import numpy as np
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+from repro.hardware.energy import DEFAULT_ENERGY
+from repro.hardware.modules import ProbVModule, QKModule, SoftmaxUnit
+
+
+class TestQKModule:
+    def test_keys_per_cycle_packing(self):
+        qk = QKModule(512, DEFAULT_ENERGY)
+        assert qk.keys_per_cycle(64) == 8  # the paper's 512/D packing
+        assert qk.keys_per_cycle(128) == 4
+
+    def test_wide_head_multi_cycle(self):
+        qk = QKModule(64, DEFAULT_ENERGY)
+        assert qk.keys_per_cycle(128) == 0.5
+        assert qk.query_cycles(4, 128) == 8
+
+    def test_query_cycles(self):
+        qk = QKModule(512, DEFAULT_ENERGY)
+        assert qk.query_cycles(64, 64) == 8
+        assert qk.query_cycles(0, 64) == 0
+
+    def test_accounting(self):
+        qk = QKModule(512, DEFAULT_ENERGY)
+        qk.account(n_queries=2, n_keys=64, head_dim=64)
+        assert qk.stats.operations == 2 * 64 * 64
+        assert qk.stats.energy_pj == pytest.approx(
+            2 * 64 * 64 * DEFAULT_ENERGY.mac_pj
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QKModule(0, DEFAULT_ENERGY)
+
+
+class TestSoftmaxUnit:
+    def test_parallelism(self):
+        unit = SoftmaxUnit(8, DEFAULT_ENERGY)
+        assert unit.query_cycles(64) == 8
+        assert unit.query_cycles(65) == 9
+
+    def test_energy(self):
+        unit = SoftmaxUnit(8, DEFAULT_ENERGY)
+        unit.account(n_rows=3, n_keys=10)
+        assert unit.stats.operations == 30
+
+
+class TestProbVModule:
+    def test_value_pruning_shrinks_cycles(self):
+        pv = ProbVModule(512, DEFAULT_ENERGY)
+        assert pv.query_cycles(32, 64) < pv.query_cycles(64, 64)
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig14" in out and "table4" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_run_single(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Architectural setup" in out
+
+    def test_run_chart_experiment(self, capsys):
+        assert main(["run", "fig19"]) == 0
+        out = capsys.readouterr().out
+        assert "GFLOPS" in out and "*" in out  # table + chart
+
+    def test_registry_covers_all_figures(self):
+        expected = {
+            "headline", "fig01", "fig02", "fig07", "table1", "table2",
+            "fig13", "fig14", "table3", "table4", "fig15", "fig16",
+            "fig18", "fig19", "fig20", "fig21", "fig22", "fig23",
+            "topk", "ablation", "gpu-pruning",
+        }
+        assert set(EXPERIMENTS) == expected

@@ -1,0 +1,117 @@
+"""Cross-cutting property tests (hypothesis) over whole subsystems.
+
+These check invariants that hold for *arbitrary* configurations, not
+just the calibrated defaults: trace equivalence between the executor
+and the analytic builder, schedule monotonicity, quantizer identities
+across every supported bit setting, and conservation laws of the cost
+models.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ModelConfig, PruningConfig, QuantConfig, SUPPORTED_BIT_SETTINGS
+from repro.core import SpAttenExecutor, dense_trace, spatten_trace
+from repro.core.quantization import LinearQuantizer
+from repro.core.schedule import head_keep_counts, token_keep_counts
+from repro.eval.dram import trace_dram
+from repro.eval.flops import trace_flops
+from repro.nn import TransformerModel, random_model
+
+pruning_configs = st.builds(
+    PruningConfig,
+    token_keep_final=st.sampled_from([1.0, 0.75, 0.5, 0.3, 0.15]),
+    head_keep_final=st.sampled_from([1.0, 0.75, 0.5]),
+    value_keep=st.sampled_from([1.0, 0.9, 0.6]),
+    token_front_frac=st.sampled_from([0.0, 0.15, 0.3]),
+)
+
+
+class TestTraceEquivalence:
+    """The reproduction's load-bearing invariant: the analytic trace
+    predicts the executor's work shape exactly, for any schedule."""
+
+    @given(pruning_configs, st.integers(6, 24), st.integers(0, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_encoder_and_decoder_traces_match(self, pruning, length, n_generate):
+        config = ModelConfig(
+            "prop", n_layers=3, n_heads=4, d_model=32, d_ff=48,
+            vocab_size=64, max_seq_len=96, causal=n_generate > 0,
+        )
+        model = TransformerModel(config, random_model(config, seed=11))
+        tokens = np.random.default_rng(length).integers(
+            0, 64, size=length
+        ).tolist()
+        executor = SpAttenExecutor(pruning)
+        if config.causal:
+            model.generate(tokens, n_generate, executor=executor)
+        else:
+            model.encode(tokens, executor=executor)
+        analytic = spatten_trace(config, pruning, None, length, n_generate)
+        assert executor.trace.count_signature() == analytic.count_signature()
+
+
+class TestScheduleProperties:
+    @given(pruning_configs, st.integers(1, 36), st.integers(1, 300))
+    @settings(max_examples=60, deadline=None)
+    def test_token_counts_monotone_bounded(self, pruning, n_layers, length):
+        counts = token_keep_counts(pruning, n_layers, length)
+        assert len(counts) == n_layers
+        assert counts[0] <= length
+        assert np.all(np.diff(counts) <= 0)
+        assert counts[-1] >= min(length, 1)
+
+    @given(pruning_configs, st.integers(1, 36), st.integers(1, 16))
+    @settings(max_examples=60, deadline=None)
+    def test_head_counts_monotone_bounded(self, pruning, n_layers, n_heads):
+        counts = head_keep_counts(pruning, n_layers, n_heads)
+        assert np.all(counts >= 1)
+        assert np.all(counts <= n_heads)
+        assert np.all(np.diff(counts) <= 0)
+
+
+class TestQuantizerAcrossSettings:
+    @pytest.mark.parametrize("msb,lsb", SUPPORTED_BIT_SETTINGS)
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_split_recompose_identity_every_setting(self, msb, lsb, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(0, rng.uniform(0.1, 10), size=64)
+        quantizer = LinearQuantizer(msb, lsb)
+        q = quantizer.quantize(x)
+        m, l = quantizer.split(q)
+        assert np.allclose(
+            quantizer.recompose(m, l, q.scale), quantizer.dequantize_full(q)
+        )
+        # MSB codes fit their width.
+        assert np.all(np.abs(m) < 2 ** (msb - 1) + 1)
+
+
+class TestCostModelConservation:
+    @given(pruning_configs, st.integers(8, 64))
+    @settings(max_examples=30, deadline=None)
+    def test_pruned_work_never_exceeds_dense(self, pruning, length):
+        config = ModelConfig(
+            "prop", n_layers=4, n_heads=4, d_model=32, d_ff=48,
+            vocab_size=64, max_seq_len=128,
+        )
+        pruned = spatten_trace(config, pruning, None, length)
+        dense = dense_trace(config, length)
+        assert trace_flops(pruned).total <= trace_flops(dense).total + 1e-9
+        assert trace_dram(pruned).total <= trace_dram(dense, quant=None).total + 1e-9
+
+    @given(st.sampled_from(SUPPORTED_BIT_SETTINGS), st.booleans())
+    @settings(max_examples=20, deadline=None)
+    def test_quantized_traffic_below_fp32(self, bits, progressive):
+        msb, lsb = bits
+        config = ModelConfig(
+            "prop", n_layers=2, n_heads=2, d_model=16, d_ff=32, vocab_size=32
+        )
+        quant = QuantConfig(msb_bits=msb, lsb_bits=lsb, progressive=progressive)
+        trace = spatten_trace(config, PruningConfig(), quant, 16,
+                              lsb_fraction=0.2)
+        quantized = trace_dram(trace).total
+        fp32 = trace_dram(trace, quant=None).total
+        assert quantized < fp32

@@ -1,0 +1,147 @@
+"""Unit tests for token/head pruning decisions and local value pruning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.head_pruning import prune_heads
+from repro.core.token_pruning import prune_tokens
+from repro.core.value_pruning import (
+    apply_local_value_pruning,
+    local_value_keep_indices,
+)
+from repro.nn.functional import softmax
+
+
+class TestPruneTokens:
+    def test_keeps_highest_scores(self):
+        decision = prune_tokens(
+            np.arange(5), np.array([0.1, 0.9, 0.5, 0.8, 0.2]), 2
+        )
+        assert np.array_equal(decision.kept_ids, [1, 3])
+        assert np.array_equal(decision.pruned_ids, [0, 2, 4])
+
+    def test_kept_rows_strictly_increasing(self, rng):
+        decision = prune_tokens(np.arange(20), rng.random(20), 7)
+        assert np.all(np.diff(decision.kept_rows) > 0)
+        assert decision.n_kept == 7
+
+    def test_protected_token_survives_zero_score(self):
+        scores = np.array([0.0, 0.9, 0.8, 0.7])
+        decision = prune_tokens(np.arange(4), scores, 2, protected_ids=[0])
+        assert 0 in decision.kept_ids
+
+    def test_protection_counts_against_budget(self):
+        scores = np.array([0.0, 0.9, 0.8])
+        decision = prune_tokens(np.arange(3), scores, 2, protected_ids=[0])
+        assert decision.n_kept == 2
+        assert set(decision.kept_ids) == {0, 1}
+
+    def test_keep_all_when_target_at_or_above_live(self):
+        decision = prune_tokens(np.arange(3), np.ones(3), 5)
+        assert decision.n_kept == 3
+        assert len(decision.pruned_ids) == 0
+
+    def test_protection_can_exceed_target(self):
+        decision = prune_tokens(
+            np.arange(3), np.ones(3), 1, protected_ids=[0, 2]
+        )
+        assert decision.n_kept == 2
+
+    def test_live_ids_need_not_start_at_zero(self):
+        live = np.array([4, 9, 17])
+        decision = prune_tokens(live, np.array([0.5, 0.1, 0.9]), 2)
+        assert np.array_equal(decision.kept_ids, [4, 17])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            prune_tokens(np.arange(3), np.ones(2), 1)
+
+    @given(st.integers(1, 40), st.integers(0, 45), st.integers(0, 10_000))
+    @settings(max_examples=60, deadline=None)
+    def test_budget_always_met(self, n_live, target, seed):
+        rng = np.random.default_rng(seed)
+        scores = rng.random(n_live)
+        decision = prune_tokens(np.arange(n_live), scores, target)
+        assert decision.n_kept == min(max(target, 0), n_live)
+        # kept + pruned partition the live set
+        union = np.sort(np.concatenate([decision.kept_ids, decision.pruned_ids]))
+        assert np.array_equal(union, np.arange(n_live))
+
+
+class TestPruneHeads:
+    def test_keeps_loudest(self):
+        decision = prune_heads(np.arange(4), np.array([3.0, 9.0, 1.0, 5.0]), 2)
+        assert np.array_equal(decision.kept_ids, [1, 3])
+
+    def test_minimum_one_head(self):
+        decision = prune_heads(np.arange(4), np.ones(4), 0)
+        assert decision.n_kept == 1
+
+    def test_no_op_when_target_covers_all(self):
+        decision = prune_heads(np.arange(3), np.ones(3), 3)
+        assert np.array_equal(decision.kept_ids, np.arange(3))
+        assert len(decision.pruned_ids) == 0
+
+    def test_respects_original_head_ids(self):
+        live = np.array([1, 4, 7])
+        decision = prune_heads(live, np.array([0.1, 0.9, 0.5]), 2)
+        assert np.array_equal(decision.kept_ids, [4, 7])
+
+
+class TestLocalValuePruning:
+    def test_keep_count_ceil(self, rng):
+        probs = softmax(rng.normal(size=(2, 3, 10)))
+        kept = local_value_keep_indices(probs, keep_fraction=0.25)
+        assert all(len(k) == 3 for k in kept)  # ceil(0.25 * 10)
+
+    def test_keep_one_minimum(self, rng):
+        probs = softmax(rng.normal(size=(1, 1, 4)))
+        kept = local_value_keep_indices(probs, keep_fraction=0.01)
+        assert len(kept[0]) == 1
+
+    def test_per_head_independence(self):
+        probs = np.zeros((2, 1, 4))
+        probs[0, 0] = [0.7, 0.1, 0.1, 0.1]
+        probs[1, 0] = [0.1, 0.1, 0.1, 0.7]
+        kept = local_value_keep_indices(probs, keep_fraction=0.25)
+        assert kept[0][0] == 0 and kept[1][0] == 3
+
+    def test_keep_all_is_exact(self, rng):
+        probs = softmax(rng.normal(size=(2, 4, 6)))
+        values = rng.normal(size=(2, 6, 8))
+        kept = local_value_keep_indices(probs, keep_fraction=1.0)
+        outputs, counts = apply_local_value_pruning(probs, values, kept)
+        assert np.allclose(outputs, probs @ values)
+        assert np.all(counts == 6)
+
+    def test_pruned_columns_do_not_contribute(self):
+        probs = np.array([[[0.6, 0.4]]])
+        values = np.array([[[1.0], [100.0]]])
+        kept = [np.array([0])]
+        outputs, counts = apply_local_value_pruning(probs, values, kept)
+        assert outputs[0, 0, 0] == pytest.approx(0.6)
+        assert counts[0] == 1
+
+    def test_invalid_fraction_rejected(self, rng):
+        probs = softmax(rng.normal(size=(1, 1, 4)))
+        with pytest.raises(ValueError):
+            local_value_keep_indices(probs, 0.0)
+        with pytest.raises(ValueError):
+            local_value_keep_indices(probs, 1.5)
+
+    def test_error_dominated_by_small_probabilities(self, rng):
+        """Dropping the lowest-probability V rows changes the output
+        less than dropping random rows — the design rationale."""
+        probs = softmax(rng.normal(0, 2.0, size=(1, 8, 32)))
+        values = rng.normal(size=(1, 32, 16))
+        exact = probs @ values
+        kept = local_value_keep_indices(probs, keep_fraction=0.5)
+        pruned, _ = apply_local_value_pruning(probs, values, kept)
+        smart_err = np.abs(exact - pruned).mean()
+        rng2 = np.random.default_rng(0)
+        random_kept = [np.sort(rng2.choice(32, size=16, replace=False))]
+        random_pruned, _ = apply_local_value_pruning(probs, values, random_kept)
+        random_err = np.abs(exact - random_pruned).mean()
+        assert smart_err < random_err

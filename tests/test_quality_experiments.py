@@ -1,0 +1,115 @@
+"""Band tests for the quality experiments (accuracy-scale model runs).
+
+Marked as a single module so the cached worlds are built once; total
+runtime is dominated by the Fig. 21 sweeps.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval import quality_experiments as Q
+
+
+@pytest.fixture(scope="module")
+def fig21():
+    return Q.fig21_accuracy_tradeoff()
+
+
+class TestFig01:
+    def test_cascade_counts(self):
+        result = Q.fig01_cascade_pruning()
+        assert result.tokens_per_layer[0] == len(result.sentence)
+        assert result.tokens_per_layer[-1] == 2
+        assert all(np.diff(result.tokens_per_layer) <= 0)
+        assert all(np.diff(result.heads_per_layer) <= 0)
+        # Compute collapses across layers (paper: 100% -> 38% -> 12%).
+        assert result.compute_fraction_per_layer[0] == pytest.approx(1.0)
+        assert result.compute_fraction_per_layer[-1] < 0.35
+
+    def test_survivors_are_content_words(self):
+        result = Q.fig01_cascade_pruning()
+        survivors = [w for w in result.surviving_words if w != "[CLS]"]
+        function_words = {"as", "a", "the", "is", "almost"}
+        assert not function_words.intersection(survivors)
+
+    def test_prediction_preserved(self):
+        result = Q.fig01_cascade_pruning()
+        assert result.predicted_label == result.dense_label
+
+
+class TestFig07:
+    def test_negative_correlation(self):
+        result = Q.fig07_quant_error(n_rows=1500)
+        assert result.correlation < -0.4
+
+    def test_dominated_rows_cheap_to_quantize(self):
+        result = Q.fig07_quant_error(n_rows=1500)
+        means = result.bin_mean_errors
+        valid = ~np.isnan(means)
+        low_bins = means[valid][:3].mean()
+        high_bins = means[valid][-3:].mean()
+        assert high_bins < 0.6 * low_bins
+
+    def test_more_bits_less_error(self):
+        err4 = Q.fig07_quant_error(bits=4, n_rows=600).errors.mean()
+        err8 = Q.fig07_quant_error(bits=8, n_rows=600).errors.mean()
+        assert err8 < err4
+
+
+class TestFig21:
+    def test_token_curve_flat_then_degrading(self, fig21):
+        losses = fig21.token_losses  # keeps (1.0, 0.5, 0.33, 0.25, ...)
+        assert losses[0] == pytest.approx(0.0)
+        assert losses[1] > -0.07  # paper: free at ~2x
+        assert losses[2] > -0.07  # ... and still near-free at ~3x
+        # Degradation appears at extreme ratios.
+        assert min(losses) < -0.04
+
+    def test_token_kl_monotone_degradation(self, fig21):
+        kls = fig21.token_kls
+        # keep=1.0 still applies 12-bit static quantization -> tiny KL.
+        assert kls[0] == pytest.approx(0.0, abs=1e-3)
+        assert kls[-1] > max(10 * kls[0], 0.1)
+
+    def test_head_curve_flat_then_degrading(self, fig21):
+        losses = dict(zip(fig21.head_ratios, fig21.head_losses))
+        assert losses[1.0] == pytest.approx(0.0)
+        # Mild ratios near-free (paper: ~1.2x), strong ratios degrade.
+        assert losses[min(r for r in losses if r > 1.0)] > -0.06
+        assert min(fig21.head_losses) < -0.015
+
+
+class TestFig22:
+    def test_prunes_function_words_first(self):
+        result = Q.fig22_visualization()
+        for task, stages in result.visualisations.items():
+            sizes = [len(stage.surviving_words) for stage in stages]
+            assert sizes == sorted(sizes, reverse=True), task
+            final = stages[-1].surviving_words
+            assert not {"the", "a", "is", "to", "and"}.intersection(final), task
+
+    def test_lm_sentence_keeps_translate(self):
+        result = Q.fig22_visualization()
+        mid_stage = result.visualisations["lm"][1].surviving_words
+        assert "translate" in mid_stage
+
+
+class TestFig23:
+    def test_importance_consistent_across_layers(self):
+        result = Q.fig23_importance_map()
+        importance = result.importance
+        # Rank correlation between consecutive layers is high: important
+        # tokens stay important (paper: 'published' dark in every row).
+        from scipy.stats import spearmanr
+
+        for layer in range(1, importance.shape[0]):
+            rho = spearmanr(importance[layer - 1], importance[layer]).statistic
+            assert rho > 0.7
+
+    def test_content_words_outrank_function_words(self):
+        result = Q.fig23_importance_map()
+        lm = Q.lm_world()
+        final = result.importance[-1]
+        ids = lm.vocab.encode(Q.PAPER_SENTENCES["lm"])
+        salient = lm.vocab.salience[ids] > 0.3
+        assert final[salient].mean() > 1.5 * final[~salient].mean()

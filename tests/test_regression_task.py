@@ -1,0 +1,114 @@
+"""Quality tests on the sentence-pair regression task (STS-B-like) and
+the length-adaptive pruning rule — the remaining task family of the
+paper's 30-benchmark suite.
+
+Pair similarity is read out from interaction features over the
+evidence block ([h1*h2, |h1-h2|]); absolute correlations are modest at
+this scale, but the pruning behaviour — moderate ratios preserved,
+extreme ratios degraded — is what the paper claims and what we assert.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import BERT_BASE, PruningConfig
+from repro.core import SpAttenExecutor
+from repro.eval.accuracy import extract_pair_features, train_regression_readout
+from repro.nn.weights import EVIDENCE_START
+from repro.workloads import (
+    accuracy_scale_config,
+    build_task_model,
+    build_vocabulary,
+    make_regression_dataset,
+)
+
+EVIDENCE_SLICE = slice(EVIDENCE_START, EVIDENCE_START + 18)
+
+
+@pytest.fixture(scope="module")
+def regression_world():
+    vocab = build_vocabulary(size=512, n_classes=2, seed=0)
+    config = accuracy_scale_config(
+        BERT_BASE, len(vocab), n_layers=6, d_model=128, n_heads=8,
+        max_seq_len=256,
+    )
+    model, _ = build_task_model(config, vocab, "regression", seed=0)
+    dataset = make_regression_dataset(
+        vocab, "sts-b-like", avg_len=27, n_train=128, n_test=64, seed=1
+    )
+    features = extract_pair_features(
+        model, dataset.train, vocab.sep_id, feature_slice=EVIDENCE_SLICE
+    )
+    targets = np.array([e.label for e in dataset.train])
+    readout = train_regression_readout(features, targets, l2=0.1)
+
+    def score(executor_factory=None):
+        test_features = extract_pair_features(
+            model, dataset.test, vocab.sep_id,
+            executor_factory=executor_factory, feature_slice=EVIDENCE_SLICE,
+        )
+        test_targets = np.array([e.label for e in dataset.test])
+        return float(np.corrcoef(readout.predict(test_features), test_targets)[0, 1])
+
+    return vocab, model, dataset, score
+
+
+class TestRegressionQuality:
+    def test_dense_correlation_meaningful(self, regression_world):
+        *_, score = regression_world
+        assert score() > 0.15
+
+    def test_moderate_pruning_preserves_correlation(self, regression_world):
+        *_, score = regression_world
+        dense = score()
+        pruned = score(lambda: SpAttenExecutor(
+            PruningConfig(token_keep_final=0.7, head_keep_final=0.75,
+                          value_keep=0.9)
+        ))
+        assert pruned > dense - 0.15
+
+    def test_extreme_pruning_degrades(self, regression_world):
+        """Over-pruning a *pair* task is harsh: the overlap signal needs
+        both sentences' content words."""
+        *_, score = regression_world
+        dense = score()
+        pruned = score(lambda: SpAttenExecutor(
+            PruningConfig(token_keep_final=0.08, min_tokens=2)
+        ))
+        assert pruned < dense
+
+    def test_pair_feature_requires_sep(self, regression_world):
+        vocab, model, dataset, _ = regression_world
+        from repro.workloads.tasks import Example
+
+        bad = Example(np.array([vocab.cls_id, 5, 6]), 1.0)
+        with pytest.raises(ValueError, match="SEP"):
+            extract_pair_features(model, [bad], vocab.sep_id)
+
+
+class TestLengthAdaptivePruning:
+    """Section III-A: 'the longer, the more tokens are pruned away'."""
+
+    def test_longer_sentences_prune_to_smaller_fraction(self):
+        from repro.core.schedule import token_keep_counts
+
+        pruning = PruningConfig(
+            token_keep_final=0.5, length_adaptive=True, reference_length=64
+        )
+        short = token_keep_counts(pruning, 12, 16)
+        long = token_keep_counts(pruning, 12, 256)
+        assert short[-1] / 16 > long[-1] / 256
+
+    def test_adaptive_executor_consistent_with_trace(self, tiny_encoder, rng):
+        """Length adaptation flows through both the executor and the
+        analytic builder identically."""
+        from repro.core import spatten_trace
+
+        pruning = PruningConfig(
+            token_keep_final=0.5, length_adaptive=True, reference_length=16
+        )
+        tokens = rng.integers(0, 64, size=32).tolist()
+        executor = SpAttenExecutor(pruning)
+        tiny_encoder.encode(tokens, executor=executor)
+        analytic = spatten_trace(tiny_encoder.config, pruning, None, 32)
+        assert executor.trace.count_signature() == analytic.count_signature()

@@ -1,0 +1,117 @@
+"""Unit tests for the pruning schedules."""
+
+import numpy as np
+import pytest
+
+from repro.config import PruningConfig
+from repro.core.schedule import (
+    decode_token_target,
+    effective_token_keep,
+    head_keep_counts,
+    head_keep_fractions,
+    token_keep_counts,
+    token_keep_fractions,
+)
+
+
+class TestTokenSchedule:
+    def test_no_pruning_is_all_ones(self):
+        fractions = token_keep_fractions(PruningConfig(), 12, 50)
+        assert np.all(fractions == 1.0)
+
+    def test_front_layers_unpruned(self):
+        config = PruningConfig(token_keep_final=0.3, token_front_frac=0.25)
+        fractions = token_keep_fractions(config, 12, 100)
+        assert np.all(fractions[:3] == 1.0)
+        assert fractions[-1] == pytest.approx(0.3)
+
+    def test_fractions_non_increasing(self):
+        config = PruningConfig(token_keep_final=0.2)
+        fractions = token_keep_fractions(config, 24, 100)
+        assert np.all(np.diff(fractions) <= 1e-12)
+
+    def test_counts_non_increasing_and_floored(self):
+        config = PruningConfig(token_keep_final=0.05, min_tokens=3)
+        counts = token_keep_counts(config, 12, 40)
+        assert np.all(np.diff(counts) <= 0)
+        assert counts[-1] >= 3
+        assert counts[0] == 40
+
+    def test_counts_for_short_sentence(self):
+        config = PruningConfig(token_keep_final=0.1, min_tokens=2)
+        counts = token_keep_counts(config, 4, 3)
+        assert np.all(counts >= 2)
+
+    def test_single_layer_model(self):
+        config = PruningConfig(token_keep_final=0.5)
+        counts = token_keep_counts(config, 1, 10)
+        assert len(counts) == 1
+
+
+class TestLengthAdaptive:
+    def test_reference_length_unchanged(self):
+        config = PruningConfig(
+            token_keep_final=0.5, length_adaptive=True, reference_length=128
+        )
+        assert effective_token_keep(config, 128) == pytest.approx(0.5)
+
+    def test_longer_prunes_more(self):
+        config = PruningConfig(
+            token_keep_final=0.5, length_adaptive=True, reference_length=128
+        )
+        assert effective_token_keep(config, 512) < 0.5
+
+    def test_shorter_prunes_less(self):
+        config = PruningConfig(
+            token_keep_final=0.5, length_adaptive=True, reference_length=128
+        )
+        assert effective_token_keep(config, 32) > 0.5
+
+    def test_disabled_by_default(self):
+        config = PruningConfig(token_keep_final=0.5)
+        assert effective_token_keep(config, 512) == 0.5
+
+    def test_floor_respected(self):
+        config = PruningConfig(
+            token_keep_final=0.1, length_adaptive=True,
+            reference_length=16, min_tokens=2,
+        )
+        keep = effective_token_keep(config, 1024)
+        assert keep * 1024 >= 2
+
+
+class TestHeadSchedule:
+    def test_front_fraction_is_larger_for_heads(self):
+        """Paper: 30% front layers unpruned for heads vs 15% for tokens."""
+        config = PruningConfig(token_keep_final=0.5, head_keep_final=0.5)
+        token_f = token_keep_fractions(config, 12, 100)
+        head_f = head_keep_fractions(config, 12)
+        assert np.sum(head_f == 1.0) > np.sum(token_f == 1.0)
+
+    def test_head_counts_floor_one(self):
+        config = PruningConfig(head_keep_final=0.01)
+        counts = head_keep_counts(config, 12, 12)
+        assert counts[-1] >= 1
+
+    def test_paper_fig1_progression(self):
+        """12 -> ~10 -> ~8 heads as in Fig. 1 with keep=0.67."""
+        config = PruningConfig(head_keep_final=8.0 / 12.0, head_front_frac=0.2)
+        counts = head_keep_counts(config, 3, 12)
+        assert counts[0] == 12
+        assert counts[-1] == 8
+        assert 8 <= counts[1] <= 12
+
+
+class TestDecodeTarget:
+    def test_tracks_total_length(self):
+        config = PruningConfig(token_keep_final=0.25)
+        assert decode_token_target(config, 0.25, 1000) == 250
+        assert decode_token_target(config, 0.25, 1004) == 251
+
+    def test_floor(self):
+        config = PruningConfig(token_keep_final=0.25, min_tokens=4)
+        assert decode_token_target(config, 0.01, 100) == 4
+
+    def test_no_pruning_fraction(self):
+        config = PruningConfig()
+        assert decode_token_target(config, 1.0, 57) == 57

@@ -1,0 +1,114 @@
+"""Unit tests for workload traces (analytic builders)."""
+
+import numpy as np
+import pytest
+
+from repro.config import GPT2_SMALL, ModelConfig, PruningConfig, QuantConfig
+from repro.core.trace import (
+    AttentionTrace,
+    LayerStep,
+    dense_trace,
+    spatten_trace,
+)
+
+
+class TestLayerStep:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LayerStep(0, "invalid", 1, 1, 1, 1)
+        with pytest.raises(ValueError):
+            LayerStep(0, "summarize", -1, 1, 1, 1)
+        with pytest.raises(ValueError):
+            LayerStep(0, "summarize", 1, 2, 1, 3)  # values > keys
+
+
+class TestDenseTrace:
+    def test_encoder_trace(self, tiny_encoder_config):
+        trace = dense_trace(tiny_encoder_config, 10)
+        assert len(trace.steps) == 4
+        assert all(s.n_queries == 10 and s.n_keys == 10 for s in trace.steps)
+        assert all(s.n_heads == 4 for s in trace.steps)
+
+    def test_decoder_trace_grows_keys(self, tiny_decoder_config):
+        trace = dense_trace(tiny_decoder_config, 10, n_generate=3)
+        decode = trace.decode_steps
+        assert len(decode) == 3 * 4
+        assert decode[0].n_keys == 11
+        assert decode[-1].n_keys == 13
+
+    def test_generation_requires_causal(self, tiny_encoder_config):
+        with pytest.raises(ValueError):
+            dense_trace(tiny_encoder_config, 10, n_generate=2)
+
+    def test_rejects_empty_sentence(self, tiny_encoder_config):
+        with pytest.raises(ValueError):
+            dense_trace(tiny_encoder_config, 0)
+
+
+class TestSpattenTrace:
+    def test_counts_shrink_across_layers(self, tiny_encoder_config):
+        pruning = PruningConfig(token_keep_final=0.3, head_keep_final=0.5)
+        trace = spatten_trace(tiny_encoder_config, pruning, None, 20)
+        queries = [s.n_queries for s in trace.steps]
+        heads = [s.n_heads for s in trace.steps]
+        assert queries[0] == 20
+        assert queries[-1] == 6
+        assert all(np.diff(queries) <= 0)
+        assert all(np.diff(heads) <= 0)
+
+    def test_value_pruning_counts(self, tiny_encoder_config):
+        pruning = PruningConfig(value_keep=0.5)
+        trace = spatten_trace(tiny_encoder_config, pruning, None, 10)
+        assert all(s.n_values == 5 for s in trace.steps)
+
+    def test_decode_alive_set_tracks_budget(self, tiny_decoder_config):
+        pruning = PruningConfig(token_keep_final=0.25)
+        trace = spatten_trace(tiny_decoder_config, pruning, None, 40, n_generate=4)
+        final_steps = [s for s in trace.decode_steps if s.layer == 3]
+        for idx, step in enumerate(final_steps):
+            total = 40 + idx + 1
+            assert step.n_keys == max(round(0.25 * total), 2)
+
+    def test_lsb_fraction_only_with_progressive(self, tiny_decoder_config):
+        pruning = PruningConfig(token_keep_final=0.5)
+        progressive = QuantConfig(msb_bits=6, lsb_bits=4, progressive=True)
+        static = QuantConfig(msb_bits=8, lsb_bits=4, progressive=False)
+        t_prog = spatten_trace(
+            tiny_decoder_config, pruning, progressive, 20, 2, lsb_fraction=0.1
+        )
+        t_static = spatten_trace(
+            tiny_decoder_config, pruning, static, 20, 2, lsb_fraction=0.1
+        )
+        assert t_prog.steps[0].lsb_fraction == 0.1
+        assert t_static.steps[0].lsb_fraction == 0.0
+
+    def test_mean_lsb_fraction(self, tiny_decoder_config):
+        pruning = PruningConfig()
+        quant = QuantConfig(msb_bits=6, lsb_bits=4, progressive=True)
+        trace = spatten_trace(
+            tiny_decoder_config, pruning, quant, 10, lsb_fraction=0.059
+        )
+        assert trace.mean_lsb_fraction == pytest.approx(0.059)
+
+    def test_count_signature_stable(self, tiny_encoder_config):
+        pruning = PruningConfig(token_keep_final=0.5)
+        a = spatten_trace(tiny_encoder_config, pruning, None, 16)
+        b = spatten_trace(tiny_encoder_config, pruning, None, 16)
+        assert a.count_signature() == b.count_signature()
+
+    def test_no_pruning_equals_dense_counts(self, tiny_decoder_config):
+        trace = spatten_trace(
+            tiny_decoder_config, PruningConfig(), None, 12, n_generate=2
+        )
+        dense = dense_trace(tiny_decoder_config, 12, n_generate=2)
+        assert trace.count_signature() == dense.count_signature()
+
+    def test_paper_scale_gpt2(self):
+        """992-token prompt, 32 generated — the paper's GPT-2 workload."""
+        pruning = PruningConfig(token_keep_final=0.26, value_keep=0.85)
+        trace = spatten_trace(GPT2_SMALL, pruning, None, 992, n_generate=32)
+        assert len(trace.summarize_steps) == 12
+        assert len(trace.decode_steps) == 12 * 32
+        last = trace.decode_steps[-1]
+        assert last.n_keys == round(0.26 * 1024)
+        assert last.n_values < last.n_keys

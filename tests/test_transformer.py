@@ -1,0 +1,135 @@
+"""Unit and integration tests for the transformer models."""
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig
+from repro.nn import (
+    DenseExecutor,
+    TransformerModel,
+    random_model,
+    softmax,
+)
+from repro.nn.attention import causal_mask, scaled_dot_attention
+
+
+class TestEmbedding:
+    def test_embed_shape(self, tiny_encoder):
+        x = tiny_encoder.embed([1, 2, 3])
+        assert x.shape == (3, 32)
+
+    def test_embed_includes_positions(self, tiny_encoder):
+        a = tiny_encoder.embed([5])
+        b = tiny_encoder.embed([5], position_offset=3)
+        assert not np.allclose(a, b)
+
+    def test_embed_validates_vocab(self, tiny_encoder):
+        with pytest.raises(ValueError):
+            tiny_encoder.embed([999])
+
+    def test_embed_validates_length(self, tiny_encoder):
+        with pytest.raises(ValueError):
+            tiny_encoder.embed([0] * 1000)
+
+    def test_embed_rejects_2d(self, tiny_encoder):
+        with pytest.raises(ValueError):
+            tiny_encoder.embed(np.zeros((2, 2), dtype=int))
+
+
+class TestEncode:
+    def test_output_shape(self, tiny_encoder, sample_tokens):
+        result = tiny_encoder.encode(sample_tokens)
+        assert result.hidden.shape == (len(sample_tokens), 32)
+        assert len(result.records) == 4
+        assert np.array_equal(result.positions, np.arange(len(sample_tokens)))
+
+    def test_deterministic(self, tiny_encoder, sample_tokens):
+        a = tiny_encoder.encode(sample_tokens).hidden
+        b = tiny_encoder.encode(sample_tokens).hidden
+        assert np.array_equal(a, b)
+
+    def test_pooling_strategies(self, tiny_encoder, sample_tokens):
+        result = tiny_encoder.encode(sample_tokens)
+        assert result.pooled("cls").shape == (32,)
+        assert result.pooled("mean").shape == (32,)
+        with pytest.raises(ValueError):
+            result.pooled("max")
+
+    def test_config_param_mismatch_rejected(self, tiny_encoder_config):
+        params = random_model(tiny_encoder_config, seed=0)
+        bad = tiny_encoder_config.with_overrides(n_layers=5)
+        with pytest.raises(ValueError):
+            TransformerModel(bad, params)
+
+
+class TestGenerate:
+    def test_generates_requested_tokens(self, tiny_decoder, sample_tokens):
+        result = tiny_decoder.generate(sample_tokens, n_new_tokens=6)
+        assert result.n_generated == 6
+        assert all(0 <= t < 64 for t in result.token_ids)
+
+    def test_generate_requires_causal(self, tiny_encoder, sample_tokens):
+        with pytest.raises(ValueError):
+            tiny_encoder.generate(sample_tokens, 2)
+
+    def test_greedy_is_deterministic(self, tiny_decoder, sample_tokens):
+        a = tiny_decoder.generate(sample_tokens, 5).token_ids
+        b = tiny_decoder.generate(sample_tokens, 5).token_ids
+        assert a == b
+
+    def test_custom_sampler_used(self, tiny_decoder, sample_tokens):
+        result = tiny_decoder.generate(
+            sample_tokens, 3, sampler=lambda logits: 7
+        )
+        assert result.token_ids == [7, 7, 7]
+
+    def test_collect_records(self, tiny_decoder, sample_tokens):
+        result = tiny_decoder.generate(
+            sample_tokens, 2, collect_records=True
+        )
+        assert len(result.step_records) == 2
+        assert len(result.step_records[0]) == 4  # one per layer
+
+    def test_incremental_decode_matches_batch_attention(self, tiny_decoder, rng):
+        """KV-cache decoding must equal full causal recomputation.
+
+        Run the summarization over ``prompt + generated`` in one batch
+        and check the final next-token distribution matches the one the
+        incremental path produced.
+        """
+        prompt = rng.integers(0, 64, size=10).tolist()
+        gen = tiny_decoder.generate(prompt, n_new_tokens=3)
+        full_sequence = prompt + gen.token_ids[:2]
+        batch_dist = tiny_decoder.next_token_distribution(full_sequence)
+        incremental_logits = gen.logits[2]
+        assert np.allclose(softmax(incremental_logits), batch_dist, atol=1e-9)
+
+
+class TestNextTokenDistribution:
+    def test_is_distribution(self, tiny_decoder, sample_tokens):
+        dist = tiny_decoder.next_token_distribution(sample_tokens)
+        assert dist.shape == (64,)
+        assert dist.sum() == pytest.approx(1.0)
+        assert np.all(dist >= 0)
+
+    def test_requires_causal(self, tiny_encoder, sample_tokens):
+        with pytest.raises(ValueError):
+            tiny_encoder.next_token_distribution(sample_tokens)
+
+
+class TestDenseExecutorEquivalence:
+    def test_encoder_attention_matches_direct_computation(self, tiny_encoder, rng):
+        """The executor path must equal plain scaled-dot attention."""
+        tokens = rng.integers(0, 64, size=8).tolist()
+        result = tiny_encoder.encode(tokens, executor=DenseExecutor())
+        x = tiny_encoder.embed(tokens)
+        attn = tiny_encoder.attention(0)
+        q = attn.project_q(x)
+        k, v = attn.project_kv(x)
+        _, probs = scaled_dot_attention(q, k, v)
+        assert np.allclose(result.records[0].probs, probs)
+
+    def test_causal_records_have_growing_keys(self, tiny_decoder, sample_tokens):
+        gen = tiny_decoder.generate(sample_tokens, 3, collect_records=True)
+        n_keys = [records[0].n_keys for records in gen.step_records]
+        assert n_keys == [len(sample_tokens) + 1 + i for i in range(3)]

@@ -1,0 +1,153 @@
+"""Tests for the constructed semantic models — the reproduction's
+stand-in for trained BERT/GPT-2 (see DESIGN.md substitution table).
+
+These assertions are the licence for every accuracy experiment: the
+constructed attention must exhibit the structure the paper's pruning
+exploits (salience concentration, head redundancy, local heads).
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig
+from repro.nn import (
+    SemanticSpec,
+    TransformerModel,
+    build_semantic_model,
+)
+from repro.workloads import build_vocabulary
+from repro.workloads.model_zoo import build_task_model, accuracy_scale_config
+from repro.config import BERT_BASE, GPT2_SMALL
+
+
+@pytest.fixture(scope="module")
+def world():
+    vocab = build_vocabulary(size=512, n_classes=2, seed=0)
+    config = accuracy_scale_config(BERT_BASE, len(vocab), n_layers=4,
+                                   d_model=128, n_heads=8, max_seq_len=128)
+    model, info = build_task_model(config, vocab, "classification", seed=0)
+    return vocab, model, info
+
+
+class TestSemanticSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SemanticSpec(salience=np.array([0.5, 1.5]), evidence=np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            SemanticSpec(salience=np.array([0.5]), evidence=np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            SemanticSpec(salience=np.ones((2, 2)), evidence=np.zeros((2, 2)))
+
+    def test_properties(self):
+        spec = SemanticSpec(salience=np.array([0.1, 0.9]),
+                            evidence=np.zeros((2, 3)))
+        assert spec.vocab_size == 2
+        assert spec.evidence_dim == 3
+
+
+class TestConstructionValidation:
+    def test_vocab_size_must_match(self):
+        spec = SemanticSpec(np.ones(10) * 0.5, np.zeros((10, 2)))
+        config = ModelConfig("m", 2, 2, 32, 64, vocab_size=11)
+        with pytest.raises(ValueError):
+            build_semantic_model(config, spec)
+
+    def test_d_model_must_fit_features(self):
+        spec = SemanticSpec(np.ones(10) * 0.5, np.zeros((10, 30)))
+        config = ModelConfig("m", 2, 2, 32, 64, vocab_size=10)
+        with pytest.raises(ValueError):
+            build_semantic_model(config, spec)
+
+    def test_deterministic_given_seed(self):
+        spec = SemanticSpec(np.ones(16) * 0.5, np.zeros((16, 2)))
+        config = ModelConfig("m", 2, 2, 32, 64, vocab_size=16)
+        params_a, _ = build_semantic_model(config, spec, seed=3)
+        params_b, _ = build_semantic_model(config, spec, seed=3)
+        assert np.array_equal(params_a.token_embedding, params_b.token_embedding)
+        assert np.array_equal(params_a.blocks[0].attn.wq, params_b.blocks[0].attn.wq)
+
+
+class TestAttentionStructure:
+    def test_strong_content_heads_concentrate_on_salient_tokens(self, world, rng):
+        vocab, model, info = world
+        tokens = rng.integers(3, 512, size=24)
+        result = model.encode(tokens)
+        salient = vocab.salience[tokens] > 0.3
+        record = result.records[0]
+        strong_content = [
+            h for h in range(8)
+            if info.head_strengths[0][h] > 0.7 and not info.head_is_local[0][h]
+        ]
+        for head in strong_content:
+            mass = record.probs[head][:, salient].sum(axis=1).mean()
+            assert mass > 0.75, f"head {head} salient mass only {mass:.2f}"
+
+    def test_weak_heads_are_diffuse(self, world, rng):
+        vocab, model, info = world
+        tokens = rng.integers(3, 512, size=24)
+        result = model.encode(tokens)
+        record = result.records[0]
+        weak = np.argmin(info.head_strengths[0])
+        strong = np.argmax(info.head_strengths[0])
+        # Entropy of the weak head's rows is higher (closer to uniform).
+        def mean_entropy(head):
+            probs = record.probs[head]
+            return float(-(probs * np.log(probs + 1e-12)).sum(axis=1).mean())
+        assert mean_entropy(weak) > mean_entropy(strong)
+
+    def test_local_heads_attend_nearby(self, world, rng):
+        vocab, model, info = world
+        tokens = rng.integers(3, 512, size=32)
+        result = model.encode(tokens)
+        record = result.records[0]
+        local_heads = np.flatnonzero(info.head_is_local[0])
+        assert len(local_heads) > 0
+        positions = np.arange(32)
+        for head in local_heads:
+            probs = record.probs[head]
+            expected_distance = np.abs(
+                positions[:, None] - positions[None, :]
+            )
+            mean_dist = (probs * expected_distance).sum(axis=1).mean()
+            uniform_dist = expected_distance.mean()
+            assert mean_dist < 0.6 * uniform_dist
+
+    def test_weak_heads_write_small_outputs(self, world, rng):
+        vocab, model, info = world
+        tokens = rng.integers(3, 512, size=16)
+        result = model.encode(tokens)
+        record = result.records[0]
+        magnitudes = np.abs(record.head_outputs).sum(axis=(1, 2))
+        weak = np.argmin(info.head_strengths[0])
+        assert magnitudes[weak] < np.median(magnitudes)
+
+    def test_head_strengths_consistent_across_layers(self, world):
+        _, _, info = world
+        correlations = [
+            np.corrcoef(info.head_strengths[0], info.head_strengths[layer])[0, 1]
+            for layer in range(1, info.head_strengths.shape[0])
+        ]
+        assert min(correlations) > 0.95
+
+
+class TestLmConstruction:
+    def test_next_token_prefers_live_topic(self):
+        vocab = build_vocabulary(size=512, n_classes=4, seed=0)
+        config = accuracy_scale_config(GPT2_SMALL, len(vocab), n_layers=4,
+                                       d_model=128, n_heads=8, max_seq_len=128)
+        model, _ = build_task_model(config, vocab, "lm", seed=0)
+        topic = 2
+        topic_tokens = vocab.content_ids_of_class(topic)
+        rng = np.random.default_rng(1)
+        fn = vocab.function_ids
+        prompt = []
+        for _ in range(30):
+            if rng.random() < 0.4:
+                prompt.append(int(rng.choice(topic_tokens)))
+            else:
+                prompt.append(int(rng.choice(fn)))
+        dist = model.next_token_distribution(np.array(prompt))
+        per_class_mass = [
+            dist[vocab.content_ids_of_class(c)].sum() for c in range(4)
+        ]
+        assert int(np.argmax(per_class_mass)) == topic
