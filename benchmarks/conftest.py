@@ -5,12 +5,28 @@ prints it, and archives the rendered text under ``benchmarks/results/``
 so the artefacts survive the run.
 """
 
+import random
 import sys
 from pathlib import Path
 
+import numpy as np
 import pytest
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(autouse=True)
+def _seed_global_rngs():
+    """Pin the global RNGs before every benchmark.
+
+    Most experiment code threads explicit ``np.random.default_rng(seed)``
+    generators, but anything that falls back to the global state (library
+    helpers, ad-hoc sampling) would otherwise make repeated runs emit
+    different archived tables/JSON.  Seeding here makes every benchmark
+    invocation bit-reproducible.
+    """
+    random.seed(20210301)  # HPCA 2021
+    np.random.seed(20210301)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the full unit/integration suite plus a fast
+# serving smoke benchmark (marker: smoke).  Extra args pass through to
+# the first pytest invocation, e.g. `scripts/run_tier1.sh -k serving`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+python -m pytest -x -q "$@"
+python -m pytest -q -m smoke tests/test_serving.py \
+    benchmarks/bench_serving_throughput.py

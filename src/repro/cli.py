@@ -5,9 +5,13 @@ Usage::
     python -m repro.cli list                 # show available experiments
     python -m repro.cli run fig14 table4     # run specific experiments
     python -m repro.cli run all              # everything (a few minutes)
+    python -m repro.cli serve --mode both    # continuous-batching serving
 
 Each experiment prints the same rows the paper's table or figure
-reports, with the paper's numbers quoted in the table notes.
+reports, with the paper's numbers quoted in the table notes.  The
+``serve`` subcommand runs a synthetic Poisson arrival trace through the
+continuous-batching engine (:mod:`repro.serving`) and prints its
+:class:`~repro.serving.ServingStats` report.
 """
 
 from __future__ import annotations
@@ -96,6 +100,69 @@ EXPERIMENTS: Dict[str, Callable] = {
 }
 
 
+def serve_command(args) -> int:
+    """Serve a synthetic arrival trace with the continuous-batching engine."""
+    from .serving import PoolExhausted
+
+    try:
+        return _serve(args)
+    except (ValueError, PoolExhausted) as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+
+
+def _serve(args) -> int:
+    from .config import GPT2_SMALL, PruningConfig
+    from .serving import KVMemoryPool, ServingEngine
+    from .workloads import (
+        accuracy_scale_config,
+        build_task_model,
+        build_vocabulary,
+        make_lm_corpus,
+        synthetic_request_trace,
+    )
+
+    vocab = build_vocabulary(size=512, n_classes=4, seed=args.seed)
+    config = accuracy_scale_config(
+        GPT2_SMALL, len(vocab), n_layers=args.layers, d_model=128, n_heads=8,
+        max_seq_len=max(256, args.prompt_len + args.max_new[1] + 1),
+    )
+    model, _ = build_task_model(config, vocab, "lm", seed=args.seed)
+    corpus = make_lm_corpus(vocab, n_tokens=4096, seed=args.seed + 1)
+    requests = synthetic_request_trace(
+        corpus,
+        n_requests=args.requests,
+        rate_per_s=args.rate,
+        prompt_len=args.prompt_len,
+        max_new_tokens=tuple(args.max_new),
+        n_priorities=args.priorities,
+        seed=args.seed,
+    )
+    pruning = PruningConfig(
+        token_keep_final=args.token_keep, head_keep_final=0.75, value_keep=0.9
+    )
+    modes = (
+        [("dense", None), ("spatten", pruning)]
+        if args.mode == "both"
+        else [(args.mode, pruning if args.mode == "spatten" else None)]
+    )
+    throughputs = {}
+    for mode, mode_pruning in modes:
+        pool = KVMemoryPool(
+            config, budget_bytes=args.pool_kib * 1024,
+            page_tokens=args.page_tokens,
+        )
+        engine = ServingEngine(model, pool, pruning=mode_pruning)
+        stats = engine.run(requests)
+        throughputs[mode] = stats.throughput_tps
+        print()
+        print(stats.table())
+    if len(throughputs) == 2:
+        ratio = throughputs["spatten"] / throughputs["dense"]
+        print(f"\nspatten/dense throughput at the same pool budget: {ratio:.2f}x")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="SpAtten (HPCA 2021) reproduction harness"
@@ -104,7 +171,34 @@ def main(argv=None) -> int:
     sub.add_parser("list", help="list available experiments")
     run = sub.add_parser("run", help="run experiments by name (or 'all')")
     run.add_argument("names", nargs="+", help="experiment names or 'all'")
+    serve = sub.add_parser(
+        "serve", help="run a synthetic arrival trace through repro.serving"
+    )
+    serve.add_argument("--requests", type=int, default=16,
+                       help="number of requests in the trace")
+    serve.add_argument("--rate", type=float, default=200.0,
+                       help="Poisson arrival rate (req per simulated second)")
+    serve.add_argument("--mode", choices=("dense", "spatten", "both"),
+                       default="both", help="attention path(s) to serve with")
+    serve.add_argument("--pool-kib", type=int, default=768,
+                       help="KV memory-pool budget in KiB")
+    serve.add_argument("--page-tokens", type=int, default=16,
+                       help="KV columns per pool page")
+    serve.add_argument("--prompt-len", type=int, default=48,
+                       help="prompt length in tokens")
+    serve.add_argument("--max-new", type=int, nargs=2, default=(8, 24),
+                       metavar=("LO", "HI"), help="decode-budget range")
+    serve.add_argument("--token-keep", type=float, default=0.35,
+                       help="final-layer token keep fraction (spatten mode)")
+    serve.add_argument("--priorities", type=int, default=1,
+                       help="number of scheduling priority classes")
+    serve.add_argument("--layers", type=int, default=6,
+                       help="transformer depth of the serving model")
+    serve.add_argument("--seed", type=int, default=0, help="trace/model seed")
     args = parser.parse_args(argv)
+
+    if args.command == "serve":
+        return serve_command(args)
 
     if args.command == "list":
         for name in EXPERIMENTS:

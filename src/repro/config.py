@@ -71,6 +71,14 @@ class ModelConfig:
         """Per-head feature dimension (``D`` in the paper's Algorithm 1)."""
         return self.d_model // self.n_heads
 
+    @property
+    def kv_bytes_per_token(self) -> int:
+        """Storage bytes of one KV-cache column: K and V across all heads
+        at the DRAM width.  The single source of truth shared by
+        :class:`~repro.nn.kv_cache.LayerKVCache` accounting, the trace
+        KV-byte metrics, and the serving memory pool's page size."""
+        return 2 * self.n_heads * self.head_dim * self.bytes_per_element
+
     def with_overrides(self, **kwargs) -> "ModelConfig":
         """Return a copy with the given fields replaced."""
         return dataclasses.replace(self, **kwargs)

@@ -85,7 +85,12 @@ class SpAttenExecutor(AttentionExecutor):
         self._alive_heads = np.arange(cfg.n_heads, dtype=np.int64)
         self._alive_tokens = None
         self._cache = (
-            KVCache(cfg.n_layers, cfg.n_heads, cfg.head_dim) if cfg.causal else None
+            KVCache(
+                cfg.n_layers, cfg.n_heads, cfg.head_dim,
+                bytes_per_element=cfg.bytes_per_element,
+            )
+            if cfg.causal
+            else None
         )
         self.trace = None
         self._token_counts = None
@@ -110,6 +115,28 @@ class SpAttenExecutor(AttentionExecutor):
         self.trace = AttentionTrace(
             cfg, sentence_length, 0, quant=self.quant, pruning=self.pruning
         )
+
+    # ------------------------------------------------------------------
+    # Serving introspection (KV bookkeeping for the memory pool)
+    # ------------------------------------------------------------------
+    def kv_lengths(self) -> List[int]:
+        """Per-layer live KV column counts after cascade eviction."""
+        return self._cache.lengths() if self._cache is not None else []
+
+    @property
+    def n_live_heads(self) -> int:
+        """Heads surviving cascade head pruning so far."""
+        return len(self._alive_heads) if self._alive_heads is not None else 0
+
+    @property
+    def evicted_kv_tokens(self) -> int:
+        """Cumulative KV columns evicted by cascade token pruning."""
+        return self._cache.total_evicted_tokens if self._cache is not None else 0
+
+    @property
+    def kv_nbytes(self) -> int:
+        """Live KV-cache footprint in storage bytes (dtype-aware)."""
+        return self._cache.nbytes if self._cache is not None else 0
 
     # ------------------------------------------------------------------
     # Quantized / progressive attention probabilities

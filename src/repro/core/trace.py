@@ -112,6 +112,35 @@ class AttentionTrace:
         )
         return weighted / rows
 
+    # ------------------------------------------------------------------
+    # KV-cache memory accounting (dtype-aware, matching KVCache.nbytes)
+    # ------------------------------------------------------------------
+    def kv_bytes_of_step(self, step: LayerStep) -> int:
+        """Live KV bytes held during one step: K and V columns of the
+        surviving keys across the live heads, at the model's storage
+        width (``ModelConfig.bytes_per_element``, fp16 baseline)."""
+        per_head = self.model.kv_bytes_per_token // self.model.n_heads
+        return per_head * step.n_keys * step.n_heads
+
+    @property
+    def kv_bytes_per_step(self) -> List[int]:
+        """Per-step live KV footprints in bytes."""
+        return [self.kv_bytes_of_step(s) for s in self.steps]
+
+    @property
+    def peak_kv_bytes(self) -> int:
+        """Largest per-step live KV footprint."""
+        return max(self.kv_bytes_per_step, default=0)
+
+    @property
+    def cumulative_kv_bytes(self) -> int:
+        """KV bytes summed over every attention execution — the trace-level
+        proxy for KV DRAM traffic that cascade pruning reduces.  The
+        serving memory pool sizes its pages with the same per-token byte
+        arithmetic (:attr:`~repro.config.ModelConfig.kv_bytes_per_token`,
+        matching :attr:`~repro.nn.kv_cache.KVCache.nbytes`)."""
+        return sum(self.kv_bytes_per_step)
+
 
 def _value_keep_count(pruning: Optional[PruningConfig], n_keys: int) -> int:
     if pruning is None or pruning.value_keep >= 1.0:

@@ -6,6 +6,12 @@ pruning additionally *removes* cached entries: "once a token is pruned,
 the QKV of it will never be used in all the following attention heads and
 layers".  The cache therefore tracks, for every cached column, the
 original sentence position it came from.
+
+Memory accounting is dtype-aware: ``bytes_per_element`` describes the
+*storage* width of a cache entry in DRAM (fp16 baseline, matching
+``ModelConfig.bytes_per_element``), independent of the float64 arrays
+the reproduction computes with.  The serving memory pool
+(:mod:`repro.serving.memory_pool`) budgets pages in exactly these bytes.
 """
 
 from __future__ import annotations
@@ -20,12 +26,17 @@ __all__ = ["LayerKVCache", "KVCache"]
 class LayerKVCache:
     """KV cache of a single layer: per-head tensors plus position labels."""
 
-    def __init__(self, n_heads: int, head_dim: int):
+    def __init__(self, n_heads: int, head_dim: int, bytes_per_element: int = 2):
+        if bytes_per_element <= 0:
+            raise ValueError("bytes_per_element must be positive")
         self.n_heads = n_heads
         self.head_dim = head_dim
+        self.bytes_per_element = bytes_per_element
         self.keys = np.zeros((n_heads, 0, head_dim))
         self.values = np.zeros((n_heads, 0, head_dim))
         self.token_ids = np.zeros(0, dtype=np.int64)
+        #: Cumulative count of columns evicted through :meth:`keep`.
+        self.evicted_tokens = 0
 
     def __len__(self) -> int:
         return self.keys.shape[1]
@@ -49,11 +60,19 @@ class LayerKVCache:
 
         ``column_indices`` index the *current* cache layout and must be
         sorted so the original token order is preserved (the top-k engine
-        preserves input order; Section IV-B).
+        preserves input order; Section IV-B).  An empty index set empties
+        the cache; out-of-range indices raise ``ValueError``.
         """
-        column_indices = np.asarray(column_indices)
-        if len(column_indices) and not np.all(np.diff(column_indices) > 0):
-            raise ValueError("column_indices must be strictly increasing")
+        column_indices = np.asarray(column_indices, dtype=np.int64).reshape(-1)
+        if len(column_indices):
+            if not np.all(np.diff(column_indices) > 0):
+                raise ValueError("column_indices must be strictly increasing")
+            if column_indices[0] < 0 or column_indices[-1] >= len(self):
+                raise ValueError(
+                    f"column index out of range: cache has {len(self)} columns, "
+                    f"got indices in [{column_indices[0]}, {column_indices[-1]}]"
+                )
+        self.evicted_tokens += len(self) - len(column_indices)
         self.keys = self.keys[:, column_indices, :]
         self.values = self.values[:, column_indices, :]
         self.token_ids = self.token_ids[column_indices]
@@ -62,17 +81,29 @@ class LayerKVCache:
         return self.keys, self.values
 
     @property
+    def nbytes(self) -> int:
+        """Cache footprint in bytes at the configured storage width."""
+        return int(self.keys.size + self.values.size) * self.bytes_per_element
+
+    @property
     def n_bytes(self) -> int:
-        """Cache footprint in bytes at fp16 storage."""
-        return int(self.keys.size + self.values.size) * 2
+        """Backward-compatible alias for :attr:`nbytes`."""
+        return self.nbytes
 
 
 class KVCache:
     """All-layer cache container used by the generation loop."""
 
-    def __init__(self, n_layers: int, n_heads: int, head_dim: int):
+    def __init__(
+        self,
+        n_layers: int,
+        n_heads: int,
+        head_dim: int,
+        bytes_per_element: int = 2,
+    ):
         self.layers: List[LayerKVCache] = [
-            LayerKVCache(n_heads, head_dim) for _ in range(n_layers)
+            LayerKVCache(n_heads, head_dim, bytes_per_element)
+            for _ in range(n_layers)
         ]
 
     def __getitem__(self, layer_idx: int) -> LayerKVCache:
@@ -86,5 +117,20 @@ class KVCache:
         return sum(len(layer) for layer in self.layers)
 
     @property
+    def total_evicted_tokens(self) -> int:
+        """Columns reclaimed by cascade pruning, summed over layers."""
+        return sum(layer.evicted_tokens for layer in self.layers)
+
+    def lengths(self) -> List[int]:
+        """Per-layer live column counts (the serving pool syncs on these)."""
+        return [len(layer) for layer in self.layers]
+
+    @property
+    def nbytes(self) -> int:
+        """Total cache footprint in bytes at the storage width."""
+        return sum(layer.nbytes for layer in self.layers)
+
+    @property
     def n_bytes(self) -> int:
-        return sum(layer.n_bytes for layer in self.layers)
+        """Backward-compatible alias for :attr:`nbytes`."""
+        return self.nbytes

@@ -108,11 +108,30 @@ class AttentionExecutor:
     """Strategy interface for running attention inside the model.
 
     Implementations own all sequence-level state (KV caches, cumulative
-    importance scores) between :meth:`begin_sequence` calls.
+    importance scores) between :meth:`begin_sequence` calls.  The
+    serving engine additionally introspects executors through
+    :meth:`kv_lengths`, :attr:`n_live_heads`, and
+    :attr:`evicted_kv_tokens`; the defaults below describe a cacheless,
+    unpruned executor, so custom implementations only override what
+    they track.
     """
 
     def begin_sequence(self, model: "TransformerModel") -> None:
         raise NotImplementedError
+
+    def kv_lengths(self) -> List[int]:
+        """Per-layer live KV column counts (serving pool bookkeeping)."""
+        return []
+
+    @property
+    def n_live_heads(self) -> int:
+        """Heads still computing (serving cost model)."""
+        return 0
+
+    @property
+    def evicted_kv_tokens(self) -> int:
+        """Cumulative KV columns evicted by pruning (serving stats)."""
+        return 0
 
     def run_layer(
         self,
@@ -141,13 +160,27 @@ class DenseExecutor(AttentionExecutor):
 
     def __init__(self) -> None:
         self._cache: Optional[KVCache] = None
+        self._n_heads = 0
 
     def begin_sequence(self, model: "TransformerModel") -> None:
         cfg = model.config
+        self._n_heads = cfg.n_heads
         if cfg.causal:
-            self._cache = KVCache(cfg.n_layers, cfg.n_heads, cfg.head_dim)
+            self._cache = KVCache(
+                cfg.n_layers, cfg.n_heads, cfg.head_dim,
+                bytes_per_element=cfg.bytes_per_element,
+            )
         else:
             self._cache = None
+
+    def kv_lengths(self) -> List[int]:
+        """Per-layer live KV column counts (serving pool bookkeeping)."""
+        return self._cache.lengths() if self._cache is not None else []
+
+    @property
+    def n_live_heads(self) -> int:
+        """Heads still computing (dense attention never prunes any)."""
+        return self._n_heads
 
     def run_layer(
         self,
@@ -311,6 +344,80 @@ class TransformerModel:
         """Language-model head over hidden rows."""
         return hidden @ self.params.lm_projection()
 
+    def prefill(
+        self,
+        prompt_ids: Sequence[int],
+        executor: Optional[AttentionExecutor] = None,
+    ) -> np.ndarray:
+        """Summarize a prompt and return the next-token logits.
+
+        This is the first half of :meth:`generate`, split out so the
+        serving engine (:mod:`repro.serving`) can admit a request —
+        populating the executor's KV cache — without committing to a
+        fixed number of decode steps up front.
+        """
+        if not self.config.causal:
+            raise ValueError("prefill() requires a causal (GPT-style) model")
+        executor = executor or DenseExecutor()
+        executor.begin_sequence(self)
+        x = self.embed(prompt_ids)
+        positions = np.arange(len(prompt_ids))
+        for layer_idx in range(self.config.n_layers):
+            x, positions, _ = self._run_block(
+                layer_idx, x, positions, executor, stage="summarize"
+            )
+        return self.lm_logits(x[-1:])[0]
+
+    def decode_step_batch(
+        self,
+        token_ids: Sequence[int],
+        positions: Sequence[int],
+        executors: Sequence[AttentionExecutor],
+    ) -> np.ndarray:
+        """One decode step across a batch of independent sequences.
+
+        Continuous batching runs many sequences' decode steps together:
+        the embedding gather, the residual/LayerNorm arithmetic, the FFN
+        matmuls, and the LM head all execute as single batch-level
+        operations over ``[B, d_model]``, while the attention core runs
+        per sequence (each sequence owns a ragged, independently pruned
+        KV cache via its executor).  Returns ``[B, vocab]`` logits.
+
+        Each executor must already hold a prefilled sequence (see
+        :meth:`prefill`); sequence ``i`` decodes ``token_ids[i]`` at
+        absolute position ``positions[i]``.
+        """
+        if not self.config.causal:
+            raise ValueError("decode_step_batch() requires a causal model")
+        token_ids = np.asarray(token_ids, dtype=np.int64)
+        positions = np.asarray(positions, dtype=np.int64)
+        if not (len(token_ids) == len(positions) == len(executors)):
+            raise ValueError("token_ids, positions, executors must align")
+        if len(token_ids) == 0:
+            raise ValueError("decode_step_batch needs at least one sequence")
+        if np.any(token_ids < 0) or np.any(token_ids >= self.config.vocab_size):
+            raise ValueError("token id out of vocabulary range")
+        if np.any(positions >= self.config.max_seq_len):
+            raise ValueError(
+                f"position exceeds max_seq_len={self.config.max_seq_len}"
+            )
+        x = (
+            self.params.token_embedding[token_ids]
+            + self.params.pos_embedding[positions]
+        )
+        for layer_idx in range(self.config.n_layers):
+            bp = self.block(layer_idx)
+            outputs = [
+                executor.run_layer(
+                    layer_idx, self, x[i : i + 1], positions[i : i + 1], "decode"
+                ).output
+                for i, executor in enumerate(executors)
+            ]
+            attn_out = np.concatenate(outputs, axis=0)
+            x = layer_norm(x + attn_out, bp.ln1_gamma, bp.ln1_beta)
+            x = layer_norm(x + self._ffn(layer_idx, x), bp.ln2_gamma, bp.ln2_beta)
+        return self.lm_logits(x)
+
     def generate(
         self,
         prompt_ids: Sequence[int],
@@ -339,20 +446,12 @@ class TransformerModel:
         if sampler is None:
             sampler = lambda logits: int(np.argmax(logits))
         executor = executor or DenseExecutor()
-        executor.begin_sequence(self)
 
         # Summarization stage over the prompt.
-        x = self.embed(prompt_ids)
-        positions = np.arange(len(prompt_ids))
-        for layer_idx in range(self.config.n_layers):
-            x, positions, _ = self._run_block(
-                layer_idx, x, positions, executor, stage="summarize"
-            )
-        last_hidden = x[-1:]
+        logits = self.prefill(prompt_ids, executor)
 
         result = GenerationResult(token_ids=[], logits=[])
         next_position = len(prompt_ids)
-        logits = self.lm_logits(last_hidden)[0]
         for _ in range(n_new_tokens):
             next_id = sampler(logits)
             result.token_ids.append(next_id)
@@ -386,12 +485,4 @@ class TransformerModel:
         """
         if not self.config.causal:
             raise ValueError("requires a causal model")
-        executor = executor or DenseExecutor()
-        executor.begin_sequence(self)
-        x = self.embed(prompt_ids)
-        positions = np.arange(len(prompt_ids))
-        for layer_idx in range(self.config.n_layers):
-            x, positions, _ = self._run_block(
-                layer_idx, x, positions, executor, stage="summarize"
-            )
-        return softmax(self.lm_logits(x[-1:]))[0]
+        return softmax(self.prefill(prompt_ids, executor))

@@ -1,0 +1,260 @@
+"""Continuous-batching serving engine over a pruning-aware KV pool.
+
+Each engine iteration mirrors a production serving loop:
+
+1. **ingest** — requests whose simulated arrival time has passed move
+   into the priority queue;
+2. **admit / backfill** — while the head-of-queue request's worst-case
+   KV reservation fits the memory pool, admit it: reserve pages, run
+   its prefill (advancing the simulated clock), and sample its first
+   token.  Admission is head-of-line within priority order, so a large
+   request cannot be starved by smaller late arrivals;
+3. **batched decode** — one decode step runs across *all* live
+   sequences at once (:meth:`repro.nn.transformer.TransformerModel.
+   decode_step_batch`): batch-level embedding/FFN/LM-head matmuls with
+   per-sequence ragged attention;
+4. **retire** — sequences that hit their decode budget release their
+   pages immediately, and the freed space backfills from the queue on
+   the next iteration.
+
+After every step the pool is synced against each executor's real
+per-layer cache lengths, so columns evicted by cascade token pruning
+drain whole pages back to the free list mid-flight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..config import PruningConfig, QuantConfig
+from ..core.pipeline import SpAttenExecutor
+from ..nn.transformer import AttentionExecutor, DenseExecutor, TransformerModel
+from .memory_pool import KVMemoryPool, PoolExhausted
+from .request import Request, RequestQueue, RequestRecord, RequestStatus
+from .stats import CostModel, ServingStats, SimulatedClock
+
+__all__ = ["LiveSequence", "ServingEngine", "greedy_sampler"]
+
+
+def greedy_sampler(logits: np.ndarray) -> int:
+    return int(np.argmax(logits))
+
+
+@dataclass
+class LiveSequence:
+    """A request currently resident in the decode batch."""
+
+    record: RequestRecord
+    executor: AttentionExecutor
+    next_token: int
+    next_position: int
+
+    @property
+    def request(self) -> Request:
+        return self.record.request
+
+    @property
+    def seq_id(self) -> int:
+        return self.request.request_id
+
+
+class ServingEngine:
+    """Continuous-batching scheduler + executor over a simulated clock.
+
+    Args:
+        model: causal transformer shared by every request.
+        pool: the KV memory pool enforcing the global byte budget.
+        pruning: SpAtten cascade schedule, or ``None`` for the dense
+            path.  Also drives the pool's schedule-aware reservations.
+        quant: optional progressive quantization for pruned serving.
+        cost_model: simulated-clock step costs.
+        sampler: logits -> token id (greedy by default, which keeps
+            batched serving bit-comparable with ``model.generate``).
+        executor_factory: override the per-request executor (tests).
+    """
+
+    def __init__(
+        self,
+        model: TransformerModel,
+        pool: KVMemoryPool,
+        pruning: Optional[PruningConfig] = None,
+        quant: Optional[QuantConfig] = None,
+        cost_model: Optional[CostModel] = None,
+        sampler: Optional[Callable[[np.ndarray], int]] = None,
+        executor_factory: Optional[Callable[[], AttentionExecutor]] = None,
+    ):
+        if not model.config.causal:
+            raise ValueError("serving requires a causal (GPT-style) model")
+        self.model = model
+        self.pool = pool
+        self.pruning = pruning
+        self.quant = quant
+        self.cost = cost_model or CostModel()
+        self.sampler = sampler or greedy_sampler
+        if executor_factory is not None:
+            self._executor_factory = executor_factory
+        elif pruning is not None or quant is not None:
+            self._executor_factory = lambda: SpAttenExecutor(pruning, quant)
+        else:
+            self._executor_factory = DenseExecutor
+        self.queue = RequestQueue()
+        self.live: List[LiveSequence] = []
+
+    @property
+    def mode(self) -> str:
+        return "dense" if self.pruning is None else "spatten"
+
+    # ------------------------------------------------------------------
+    # Scheduling phases
+    # ------------------------------------------------------------------
+    def _ingest(self, pending: List[Request], now: float) -> None:
+        while pending and pending[0].arrival_time <= now:
+            self.queue.push(pending.pop(0))
+
+    def _admit_ready(
+        self,
+        clock: SimulatedClock,
+        records: Dict[int, RequestRecord],
+    ) -> None:
+        """Backfill the live batch from the queue while the pool fits."""
+        while self.queue:
+            request = self.queue.peek()
+            if not self.pool.can_admit(
+                request.prompt_len, request.max_new_tokens, self.pruning
+            ):
+                break  # head-of-line blocking: keep admission order fair
+            self.queue.pop()
+            self._admit(request, clock, records[request.request_id])
+
+    def _admit(
+        self,
+        request: Request,
+        clock: SimulatedClock,
+        record: RequestRecord,
+    ) -> None:
+        self.pool.admit(
+            request.request_id, request.prompt_len, request.max_new_tokens,
+            self.pruning,
+        )
+        record.status = RequestStatus.RUNNING
+        record.admit_time = clock.now
+        executor = self._executor_factory()
+        logits = self.model.prefill(request.prompt_ids, executor)
+        clock.advance(self.cost.prefill_time(self.model.config, request.prompt_len))
+        self._sync_pool(request.request_id, executor)
+        first = self.sampler(logits)
+        record.token_ids.append(first)
+        record.first_token_time = clock.now
+        seq = LiveSequence(
+            record=record,
+            executor=executor,
+            next_token=first,
+            next_position=request.prompt_len,
+        )
+        if record.n_generated >= request.max_new_tokens:
+            self._retire(seq, clock)
+        else:
+            self.live.append(seq)
+
+    def _decode_step(self, clock: SimulatedClock) -> float:
+        """One batched decode step over the live set; returns duration."""
+        token_ids = [seq.next_token for seq in self.live]
+        positions = [seq.next_position for seq in self.live]
+        executors = [seq.executor for seq in self.live]
+        logits = self.model.decode_step_batch(token_ids, positions, executors)
+
+        batch_flops = sum(
+            self.cost.decode_seq_flops(
+                self.model.config, ex.kv_lengths(), ex.n_live_heads
+            )
+            for ex in executors
+        )
+        dt = self.cost.step_time(batch_flops, len(self.live))
+        clock.advance(dt)
+
+        still_live: List[LiveSequence] = []
+        for row, seq in enumerate(self.live):
+            self._sync_pool(seq.seq_id, seq.executor)
+            token = self.sampler(logits[row])
+            seq.record.token_ids.append(token)
+            seq.record.token_latencies.append(dt)
+            if seq.record.n_generated >= seq.request.max_new_tokens:
+                self._retire(seq, clock)
+            else:
+                seq.next_token = token
+                seq.next_position += 1
+                still_live.append(seq)
+        self.live = still_live
+        return dt
+
+    def _sync_pool(self, seq_id: int, executor: AttentionExecutor) -> None:
+        lengths = executor.kv_lengths()
+        if lengths:  # executors without a KV cache have nothing to page
+            self.pool.sync(seq_id, lengths)
+
+    def _retire(self, seq: LiveSequence, clock: SimulatedClock) -> None:
+        seq.record.status = RequestStatus.FINISHED
+        seq.record.finish_time = clock.now
+        self.pool.note_reclaimed_tokens(seq.executor.evicted_kv_tokens)
+        self.pool.release(seq.seq_id)
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+    def run(self, requests: Sequence[Request]) -> ServingStats:
+        """Serve a whole arrival trace to completion; returns the stats."""
+        ids = [r.request_id for r in requests]
+        if len(set(ids)) != len(ids):
+            raise ValueError("request_ids must be unique")
+        max_seq_len = self.model.config.max_seq_len
+        for request in requests:
+            if request.total_len > max_seq_len:
+                raise ValueError(
+                    f"request {request.request_id} spans {request.total_len} "
+                    f"tokens (prompt + max_new), model max_seq_len is "
+                    f"{max_seq_len}"
+                )
+            need = self.pool.reservation_pages(
+                request.prompt_len, request.max_new_tokens, self.pruning
+            )
+            if need > self.pool.n_pages:
+                raise PoolExhausted(
+                    f"request {request.request_id} needs {need} pages, pool "
+                    f"holds {self.pool.n_pages}: it can never be admitted"
+                )
+        records = {r.request_id: RequestRecord(r) for r in requests}
+        pending = sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
+        clock = SimulatedClock()
+        batch_sizes: List[int] = []
+        occupancy: List[float] = []
+
+        while pending or self.queue or self.live:
+            self._ingest(pending, clock.now)
+            self._admit_ready(clock, records)
+            if not self.live:
+                if pending:
+                    # Idle: jump straight to the next arrival.
+                    clock.advance_to(pending[0].arrival_time)
+                    continue
+                if self.queue:  # pragma: no cover - run() pre-validation
+                    raise PoolExhausted("queued request can never be admitted")
+                break
+            batch_sizes.append(len(self.live))
+            self._decode_step(clock)
+            occupancy.append(self.pool.occupancy)
+
+        return ServingStats.from_run(
+            mode=self.mode,
+            records=[records[i] for i in sorted(records)],
+            makespan_s=clock.now,
+            batch_sizes=batch_sizes,
+            occupancy_samples=occupancy,
+            pool_pages=self.pool.n_pages,
+            pool_page_tokens=self.pool.page_tokens,
+            occupancy_peak=self.pool.peak_allocated_pages / self.pool.n_pages,
+            reclaimed_pages=self.pool.reclaimed_pages,
+            reclaimed_tokens=self.pool.reclaimed_tokens,
+        )

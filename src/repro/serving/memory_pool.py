@@ -1,0 +1,239 @@
+"""Paged, pruning-aware KV-cache memory pool with admission control.
+
+The pool divides a global byte budget into fixed-size pages.  One page
+holds the K and V vectors of ``page_tokens`` cache columns of one layer
+(all heads), at the model's storage width — the same dtype-aware byte
+arithmetic as :attr:`repro.nn.kv_cache.LayerKVCache.nbytes`.
+
+Two accounting planes:
+
+* **reservations** gate admission.  A request reserves, per layer, the
+  worst-case number of pages its KV cache can ever hold.  For a dense
+  sequence that is ``prompt + max_new_tokens`` columns in every layer;
+  for a SpAtten sequence the bound is *schedule-aware*: cascade token
+  pruning caps layer ``l``'s cache at the per-layer keep target
+  (:mod:`repro.core.schedule`), so deep layers reserve only a fraction
+  of the dense footprint.  This is what lets pruned serving admit more
+  concurrent sequences into the same budget.
+* **allocations** track the pages actually backing live cache columns.
+  Each engine step syncs them against the executor's real per-layer
+  lengths; when cascade pruning evicts columns, whole pages drain back
+  to the free list and are counted as *reclaimed*.
+
+Admission control blocks (the request waits in the queue) whenever the
+reservation would overflow the budget, so the pool can never be forced
+to drop live KV state mid-decode.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..config import ModelConfig, PruningConfig
+from ..core import schedule as sched
+
+__all__ = ["PoolExhausted", "KVMemoryPool", "pruned_kv_bounds"]
+
+
+class PoolExhausted(RuntimeError):
+    """Raised when an allocation cannot fit the configured budget."""
+
+
+def pruned_kv_bounds(
+    pruning: Optional[PruningConfig],
+    n_layers: int,
+    prompt_len: int,
+    max_new_tokens: int,
+) -> List[int]:
+    """Per-layer worst-case KV column counts for one sequence.
+
+    Without pruning every layer can hold the full ``prompt + max_new``
+    columns.  With cascade token pruning, layer ``l`` holds at most
+    ``token_keep_counts[l]`` columns during summarization and at most
+    ``decode_token_target(l, prompt + max_new)`` during generation —
+    both replayed from the exact schedule the executor runs, so the
+    bound is tight, not heuristic.
+    """
+    total = prompt_len + max_new_tokens
+    if pruning is None:
+        return [total] * n_layers
+    counts = sched.token_keep_counts(pruning, n_layers, prompt_len)
+    fracs = sched.token_keep_fractions(pruning, n_layers, prompt_len)
+    return [
+        max(
+            int(counts[layer]),
+            sched.decode_token_target(pruning, float(fracs[layer]), total),
+        )
+        for layer in range(n_layers)
+    ]
+
+
+@dataclass
+class _SequenceAccount:
+    reserved_pages: int
+    allocated_per_layer: List[int] = field(default_factory=list)
+
+    @property
+    def allocated_pages(self) -> int:
+        return sum(self.allocated_per_layer)
+
+
+class KVMemoryPool:
+    """Fixed-budget page allocator for per-sequence, per-layer KV state.
+
+    Args:
+        model: geometry (layer/head/dim and storage width) the pages
+            are sized for.
+        budget_bytes: global KV memory budget shared by all sequences.
+        page_tokens: cache columns per page (per layer, all heads).
+    """
+
+    def __init__(
+        self,
+        model: ModelConfig,
+        budget_bytes: int,
+        page_tokens: int = 16,
+    ):
+        if page_tokens < 1:
+            raise ValueError("page_tokens must be >= 1")
+        self.model = model
+        self.page_tokens = page_tokens
+        # One column stores K and V across all heads at the model's
+        # storage width — identical arithmetic to LayerKVCache.nbytes.
+        self.bytes_per_token = model.kv_bytes_per_token
+        self.page_bytes = self.bytes_per_token * page_tokens
+        self.n_pages = int(budget_bytes) // self.page_bytes
+        if self.n_pages < 1:
+            raise ValueError(
+                f"budget_bytes={budget_bytes} holds no page "
+                f"(page_bytes={self.page_bytes})"
+            )
+        self._accounts: Dict[int, _SequenceAccount] = {}
+        # Cumulative statistics.
+        self.reclaimed_pages = 0
+        self.reclaimed_tokens = 0
+        self.peak_allocated_pages = 0
+
+    # ------------------------------------------------------------------
+    # Page arithmetic
+    # ------------------------------------------------------------------
+    def pages_for_tokens(self, n_tokens: int) -> int:
+        return math.ceil(n_tokens / self.page_tokens)
+
+    def reservation_pages(
+        self,
+        prompt_len: int,
+        max_new_tokens: int,
+        pruning: Optional[PruningConfig] = None,
+    ) -> int:
+        """Worst-case pages one request needs over its whole lifetime."""
+        bounds = pruned_kv_bounds(
+            pruning, self.model.n_layers, prompt_len, max_new_tokens
+        )
+        return sum(self.pages_for_tokens(b) for b in bounds)
+
+    # ------------------------------------------------------------------
+    # Occupancy views
+    # ------------------------------------------------------------------
+    @property
+    def reserved_pages(self) -> int:
+        return sum(acc.reserved_pages for acc in self._accounts.values())
+
+    @property
+    def allocated_pages(self) -> int:
+        return sum(acc.allocated_pages for acc in self._accounts.values())
+
+    @property
+    def free_reservation_pages(self) -> int:
+        return self.n_pages - self.reserved_pages
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of the budget backing live cache columns right now."""
+        return self.allocated_pages / self.n_pages
+
+    @property
+    def n_sequences(self) -> int:
+        return len(self._accounts)
+
+    # ------------------------------------------------------------------
+    # Admission / lifecycle
+    # ------------------------------------------------------------------
+    def can_admit(
+        self,
+        prompt_len: int,
+        max_new_tokens: int,
+        pruning: Optional[PruningConfig] = None,
+    ) -> bool:
+        need = self.reservation_pages(prompt_len, max_new_tokens, pruning)
+        return need <= self.free_reservation_pages
+
+    def admit(
+        self,
+        seq_id: int,
+        prompt_len: int,
+        max_new_tokens: int,
+        pruning: Optional[PruningConfig] = None,
+    ) -> int:
+        """Reserve worst-case pages for a sequence; returns the count.
+
+        Raises :class:`PoolExhausted` if the reservation does not fit —
+        callers use :meth:`can_admit` first and keep the request queued.
+        """
+        if seq_id in self._accounts:
+            raise ValueError(f"sequence {seq_id} already admitted")
+        need = self.reservation_pages(prompt_len, max_new_tokens, pruning)
+        if need > self.n_pages:
+            raise PoolExhausted(
+                f"request needs {need} pages but the pool only has "
+                f"{self.n_pages}; raise the budget or lower max_new_tokens"
+            )
+        if need > self.free_reservation_pages:
+            raise PoolExhausted(
+                f"request needs {need} pages, only "
+                f"{self.free_reservation_pages} unreserved"
+            )
+        self._accounts[seq_id] = _SequenceAccount(
+            reserved_pages=need,
+            allocated_per_layer=[0] * self.model.n_layers,
+        )
+        return need
+
+    def sync(self, seq_id: int, kv_lengths: List[int]) -> int:
+        """Match a sequence's pages to its executor's real cache lengths.
+
+        Growth allocates pages; shrinkage (cascade token pruning
+        evicting columns) returns whole pages to the pool and counts
+        toward :attr:`reclaimed_pages`.  Returns pages freed this call.
+        """
+        account = self._accounts[seq_id]
+        if len(kv_lengths) != self.model.n_layers:
+            raise ValueError("kv_lengths must cover every layer")
+        freed = 0
+        for layer, length in enumerate(kv_lengths):
+            pages = self.pages_for_tokens(length)
+            delta = pages - account.allocated_per_layer[layer]
+            if delta < 0:
+                freed -= delta
+            account.allocated_per_layer[layer] = pages
+        if freed:
+            self.reclaimed_pages += freed
+        if self.allocated_pages > self.n_pages:
+            raise PoolExhausted(
+                f"allocations ({self.allocated_pages} pages) overflow the "
+                f"pool ({self.n_pages}); reservation accounting is broken"
+            )
+        self.peak_allocated_pages = max(
+            self.peak_allocated_pages, self.allocated_pages
+        )
+        return freed
+
+    def note_reclaimed_tokens(self, n_tokens: int) -> None:
+        """Record columns evicted by pruning (for the serving report)."""
+        self.reclaimed_tokens += int(n_tokens)
+
+    def release(self, seq_id: int) -> None:
+        """Drop a finished sequence's reservation and allocations."""
+        self._accounts.pop(seq_id)

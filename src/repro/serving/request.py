@@ -1,0 +1,126 @@
+"""Requests, per-request lifecycle records, and the arrival queue.
+
+A :class:`Request` is a prompt plus a generation budget, stamped with a
+simulated arrival time and a priority.  The :class:`RequestQueue` orders
+waiting requests by ``(priority, arrival_time, request_id)`` — lower
+priority values are served first, ties break FIFO — and only surfaces
+requests whose arrival time has passed the simulated clock.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["RequestStatus", "Request", "RequestRecord", "RequestQueue"]
+
+
+class RequestStatus(Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    FINISHED = "finished"
+
+
+@dataclass
+class Request:
+    """One generation request entering the serving system.
+
+    Attributes:
+        request_id: unique id (also the tiebreaker for queue ordering).
+        prompt_ids: prompt token ids.
+        max_new_tokens: decode budget (>= 1).
+        arrival_time: simulated-clock arrival timestamp in seconds.
+        priority: scheduling class; *lower* values are admitted first.
+    """
+
+    request_id: int
+    prompt_ids: np.ndarray
+    max_new_tokens: int
+    arrival_time: float = 0.0
+    priority: int = 0
+
+    def __post_init__(self) -> None:
+        self.prompt_ids = np.asarray(self.prompt_ids, dtype=np.int64)
+        if self.prompt_ids.ndim != 1 or len(self.prompt_ids) == 0:
+            raise ValueError("prompt_ids must be a non-empty 1-D sequence")
+        if self.max_new_tokens < 1:
+            raise ValueError("max_new_tokens must be >= 1")
+        if self.arrival_time < 0:
+            raise ValueError("arrival_time must be non-negative")
+
+    @property
+    def prompt_len(self) -> int:
+        return len(self.prompt_ids)
+
+    @property
+    def total_len(self) -> int:
+        """Worst-case sequence length (prompt + full decode budget)."""
+        return self.prompt_len + self.max_new_tokens
+
+
+@dataclass
+class RequestRecord:
+    """Lifecycle timestamps and output of one served request."""
+
+    request: Request
+    status: RequestStatus = RequestStatus.QUEUED
+    admit_time: Optional[float] = None
+    first_token_time: Optional[float] = None
+    finish_time: Optional[float] = None
+    token_ids: List[int] = field(default_factory=list)
+    #: Simulated duration of the engine step that committed each token.
+    token_latencies: List[float] = field(default_factory=list)
+
+    @property
+    def queue_wait(self) -> float:
+        """Seconds spent waiting for admission (pool + batch pressure)."""
+        if self.admit_time is None:
+            raise ValueError("request was never admitted")
+        return self.admit_time - self.request.arrival_time
+
+    @property
+    def time_to_first_token(self) -> float:
+        if self.first_token_time is None:
+            raise ValueError("request produced no tokens")
+        return self.first_token_time - self.request.arrival_time
+
+    @property
+    def n_generated(self) -> int:
+        return len(self.token_ids)
+
+
+class RequestQueue:
+    """Priority + FIFO queue over not-yet-admitted requests."""
+
+    def __init__(self) -> None:
+        self._heap: List[tuple] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(self, request: Request) -> None:
+        heapq.heappush(
+            self._heap,
+            (request.priority, request.arrival_time, request.request_id, request),
+        )
+
+    def peek(self) -> Request:
+        if not self._heap:
+            raise IndexError("queue is empty")
+        return self._heap[0][3]
+
+    def pop(self) -> Request:
+        if not self._heap:
+            raise IndexError("queue is empty")
+        return heapq.heappop(self._heap)[3]
+
+    def as_ordered_list(self) -> Sequence[Request]:
+        """Waiting requests in admission order (non-destructive)."""
+        return [entry[3] for entry in sorted(self._heap)]

@@ -1,0 +1,204 @@
+"""Serving cost model, simulated clock, and the ServingStats report.
+
+The engine runs against a *simulated* clock: every prefill and every
+batched decode step advances time by a modeled duration, so queueing
+and latency statistics are deterministic and hardware-independent (the
+same philosophy as the repo's analytic traces).  The cost model charges
+
+* a fixed per-step overhead (kernel launch / scheduling) — this is the
+  term continuous batching amortises across the live batch;
+* a small per-sequence bookkeeping overhead;
+* the arithmetic work at a modeled FLOP rate.  Attention work scales
+  with each sequence's *live* KV columns and heads, so cascade pruning
+  directly shortens pruned decode steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..config import ModelConfig
+from ..eval.reporting import Table
+from .request import RequestRecord
+
+__all__ = ["SimulatedClock", "CostModel", "ServingStats"]
+
+
+class SimulatedClock:
+    """Monotone simulated time in seconds."""
+
+    def __init__(self, start: float = 0.0):
+        self.now = float(start)
+
+    def advance(self, dt: float) -> float:
+        if dt < 0:
+            raise ValueError("cannot advance the clock backwards")
+        self.now += dt
+        return self.now
+
+    def advance_to(self, t: float) -> float:
+        self.now = max(self.now, float(t))
+        return self.now
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Step-time model for the simulated serving clock.
+
+    Attributes:
+        flops_per_second: modeled sustained arithmetic throughput.
+        step_overhead_s: fixed cost per engine step, amortised over the
+            whole live batch (the continuous-batching win).
+        seq_overhead_s: per-live-sequence bookkeeping cost per step.
+    """
+
+    flops_per_second: float = 50e9
+    step_overhead_s: float = 2e-4
+    seq_overhead_s: float = 1e-5
+
+    def decode_seq_flops(
+        self,
+        model: ModelConfig,
+        kv_lengths: Sequence[int],
+        n_live_heads: int,
+    ) -> float:
+        """FLOPs to decode one token of one sequence.
+
+        Projections scale with live heads (pruned heads project
+        nothing), attention with live KV columns, and the FFN with the
+        full width (token pruning saves FFN work only for *evicted*
+        positions, which never reach decode).
+        """
+        d = model.head_dim
+        head_frac = n_live_heads / model.n_heads
+        proj = 2 * model.d_model * model.d_model * (3 * head_frac + 1)
+        ffn = 4 * model.d_model * model.d_ff
+        flops = 0.0
+        for length in kv_lengths:
+            attn = 4 * n_live_heads * length * d
+            flops += proj + ffn + attn
+        return flops
+
+    def prefill_flops(self, model: ModelConfig, prompt_len: int) -> float:
+        """FLOPs to summarize a prompt (upper bound: no pruning)."""
+        per_layer = (
+            prompt_len * (8 * model.d_model * model.d_model
+                          + 4 * model.d_model * model.d_ff)
+            + 4 * model.n_heads * prompt_len * prompt_len * model.head_dim
+        )
+        return per_layer * model.n_layers
+
+    def prefill_time(self, model: ModelConfig, prompt_len: int) -> float:
+        return (
+            self.step_overhead_s
+            + self.prefill_flops(model, prompt_len) / self.flops_per_second
+        )
+
+    def step_time(self, batch_flops: float, batch_size: int) -> float:
+        return (
+            self.step_overhead_s
+            + self.seq_overhead_s * batch_size
+            + batch_flops / self.flops_per_second
+        )
+
+
+def _percentile(samples: Sequence[float], q: float) -> float:
+    if not samples:
+        return 0.0
+    return float(np.percentile(np.asarray(samples, dtype=np.float64), q))
+
+
+@dataclass
+class ServingStats:
+    """Aggregate report of one serving run (simulated-clock units)."""
+
+    mode: str
+    n_requests: int
+    n_tokens: int
+    makespan_s: float
+    throughput_tps: float
+    queue_wait_p50: float
+    queue_wait_p95: float
+    ttft_p50: float
+    ttft_p95: float
+    decode_latency_p50: float
+    decode_latency_p95: float
+    mean_batch_size: float
+    pool_pages: int
+    pool_page_tokens: int
+    occupancy_mean: float
+    occupancy_peak: float
+    reclaimed_pages: int
+    reclaimed_tokens: int
+    records: List[RequestRecord] = field(default_factory=list)
+
+    @staticmethod
+    def from_run(
+        mode: str,
+        records: List[RequestRecord],
+        makespan_s: float,
+        batch_sizes: List[int],
+        occupancy_samples: List[float],
+        pool_pages: int,
+        pool_page_tokens: int,
+        occupancy_peak: float,
+        reclaimed_pages: int,
+        reclaimed_tokens: int,
+    ) -> "ServingStats":
+        queue_waits = [r.queue_wait for r in records]
+        ttfts = [r.time_to_first_token for r in records]
+        decode_lat = [lat for r in records for lat in r.token_latencies]
+        n_tokens = sum(r.n_generated for r in records)
+        return ServingStats(
+            mode=mode,
+            n_requests=len(records),
+            n_tokens=n_tokens,
+            makespan_s=makespan_s,
+            throughput_tps=n_tokens / makespan_s if makespan_s > 0 else 0.0,
+            queue_wait_p50=_percentile(queue_waits, 50),
+            queue_wait_p95=_percentile(queue_waits, 95),
+            ttft_p50=_percentile(ttfts, 50),
+            ttft_p95=_percentile(ttfts, 95),
+            decode_latency_p50=_percentile(decode_lat, 50),
+            decode_latency_p95=_percentile(decode_lat, 95),
+            mean_batch_size=float(np.mean(batch_sizes)) if batch_sizes else 0.0,
+            pool_pages=pool_pages,
+            pool_page_tokens=pool_page_tokens,
+            occupancy_mean=(
+                float(np.mean(occupancy_samples)) if occupancy_samples else 0.0
+            ),
+            occupancy_peak=occupancy_peak,
+            reclaimed_pages=reclaimed_pages,
+            reclaimed_tokens=reclaimed_tokens,
+            records=records,
+        )
+
+    def table(self) -> Table:
+        t = Table(
+            title=f"serving report — {self.mode}",
+            headers=["metric", "value"],
+        )
+        ms = 1e3
+        t.add_row("requests served", str(self.n_requests))
+        t.add_row("tokens generated", str(self.n_tokens))
+        t.add_row("makespan (s)", f"{self.makespan_s:.3f}")
+        t.add_row("throughput (tok/s)", f"{self.throughput_tps:.1f}")
+        t.add_row("queue wait p50/p95 (ms)",
+                  f"{self.queue_wait_p50 * ms:.1f} / {self.queue_wait_p95 * ms:.1f}")
+        t.add_row("time-to-first-token p50/p95 (ms)",
+                  f"{self.ttft_p50 * ms:.1f} / {self.ttft_p95 * ms:.1f}")
+        t.add_row("decode latency p50/p95 (ms/tok)",
+                  f"{self.decode_latency_p50 * ms:.2f} / "
+                  f"{self.decode_latency_p95 * ms:.2f}")
+        t.add_row("mean live batch", f"{self.mean_batch_size:.2f}")
+        t.add_row("pool pages (x tokens/page)",
+                  f"{self.pool_pages} x {self.pool_page_tokens}")
+        t.add_row("pool occupancy mean/peak",
+                  f"{self.occupancy_mean:.1%} / {self.occupancy_peak:.1%}")
+        t.add_row("pages reclaimed by pruning", str(self.reclaimed_pages))
+        t.add_row("KV columns evicted by pruning", str(self.reclaimed_tokens))
+        t.add_note("simulated clock; see repro.serving.stats.CostModel")
+        return t

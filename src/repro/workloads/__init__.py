@@ -23,6 +23,7 @@ from .tasks import (
     make_lm_corpus,
     make_regression_dataset,
 )
+from .traffic import poisson_arrival_times, synthetic_request_trace
 from .vocab import CONTENT_EXEMPLARS, FUNCTION_WORDS, Vocabulary, build_vocabulary
 
 __all__ = [
@@ -42,6 +43,8 @@ __all__ = [
     "make_classification_dataset",
     "make_lm_corpus",
     "make_regression_dataset",
+    "poisson_arrival_times",
+    "synthetic_request_trace",
     "CONTENT_EXEMPLARS",
     "FUNCTION_WORDS",
     "Vocabulary",

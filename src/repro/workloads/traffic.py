@@ -1,0 +1,71 @@
+"""Synthetic arrival traces for the serving engine.
+
+Requests arrive as a Poisson process (exponential inter-arrival times at
+a configurable rate), with prompts cut from the topic-segmented LM
+corpus and per-request decode budgets and priorities drawn from small
+ranges — the serving analogue of the task generators in
+:mod:`repro.workloads.tasks`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..serving.request import Request
+from .tasks import lm_prompts
+
+__all__ = ["poisson_arrival_times", "synthetic_request_trace"]
+
+
+def poisson_arrival_times(
+    n_requests: int, rate_per_s: float, seed: int = 0
+) -> np.ndarray:
+    """Arrival timestamps of a Poisson process with the given rate."""
+    if n_requests < 1:
+        raise ValueError("n_requests must be >= 1")
+    if rate_per_s <= 0:
+        raise ValueError("rate_per_s must be positive")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate_per_s, size=n_requests)
+    return np.cumsum(gaps)
+
+
+def synthetic_request_trace(
+    corpus: np.ndarray,
+    n_requests: int,
+    rate_per_s: float,
+    prompt_len: int = 48,
+    max_new_tokens: Tuple[int, int] = (8, 24),
+    n_priorities: int = 1,
+    seed: int = 0,
+) -> List[Request]:
+    """A full arrival trace: prompts, budgets, priorities, timestamps.
+
+    Args:
+        corpus: LM token stream (:func:`repro.workloads.make_lm_corpus`).
+        n_requests: trace length.
+        rate_per_s: Poisson arrival rate (requests per simulated second).
+        prompt_len: tokens per prompt (windows of the corpus).
+        max_new_tokens: inclusive ``(low, high)`` decode-budget range.
+        n_priorities: priorities drawn uniformly from ``[0, n)``.
+        seed: RNG seed (prompts, budgets, priorities, and arrivals all
+            derive from it, so traces are reproducible).
+    """
+    low, high = max_new_tokens
+    if not 1 <= low <= high:
+        raise ValueError("max_new_tokens range must satisfy 1 <= low <= high")
+    rng = np.random.default_rng(seed)
+    arrivals = poisson_arrival_times(n_requests, rate_per_s, seed=seed + 1)
+    prompts = lm_prompts(corpus, prompt_len, n_requests, seed=seed + 2)
+    return [
+        Request(
+            request_id=idx,
+            prompt_ids=prompts[idx],
+            max_new_tokens=int(rng.integers(low, high + 1)),
+            arrival_time=float(arrivals[idx]),
+            priority=int(rng.integers(0, max(1, n_priorities))),
+        )
+        for idx in range(n_requests)
+    ]

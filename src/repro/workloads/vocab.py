@@ -18,6 +18,7 @@ to "film perfect").
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -122,7 +123,9 @@ class Vocabulary:
         if word in self._index:
             return self._index[word]
         content = self.content_ids
-        return int(content[hash(word) % len(content)])
+        # crc32, not hash(): Python salts str hashing per process, which
+        # made benchmark tables differ between identical runs.
+        return int(content[zlib.crc32(word.encode("utf-8")) % len(content)])
 
     def encode(self, text: str, add_cls: bool = False) -> np.ndarray:
         """Whitespace/punctuation-light tokenisation to ids."""

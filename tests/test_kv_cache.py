@@ -58,6 +58,58 @@ class TestLayerKVCache:
         )
         # 2 tensors x 2 heads x 3 tokens x 4 dims x 2 bytes
         assert layer_cache.n_bytes == 2 * 2 * 3 * 4 * 2
+        assert layer_cache.nbytes == layer_cache.n_bytes
+
+    def test_nbytes_is_dtype_aware(self, rng):
+        cache = LayerKVCache(n_heads=2, head_dim=4, bytes_per_element=4)
+        cache.append(
+            rng.normal(size=(2, 3, 4)), rng.normal(size=(2, 3, 4)), np.arange(3)
+        )
+        assert cache.nbytes == 2 * 2 * 3 * 4 * 4
+        with pytest.raises(ValueError):
+            LayerKVCache(n_heads=2, head_dim=4, bytes_per_element=0)
+
+    def test_keep_empty_empties_the_cache(self, layer_cache, rng):
+        layer_cache.append(
+            rng.normal(size=(2, 3, 4)), rng.normal(size=(2, 3, 4)), np.arange(3)
+        )
+        layer_cache.keep(np.array([], dtype=np.int64))
+        assert len(layer_cache) == 0
+        assert layer_cache.nbytes == 0
+        assert layer_cache.evicted_tokens == 3
+
+    def test_keep_rejects_out_of_range(self, layer_cache, rng):
+        layer_cache.append(
+            rng.normal(size=(2, 3, 4)), rng.normal(size=(2, 3, 4)), np.arange(3)
+        )
+        with pytest.raises(ValueError):
+            layer_cache.keep(np.array([1, 3]))  # beyond the last column
+        with pytest.raises(ValueError):
+            layer_cache.keep(np.array([-1, 1]))
+        # Failed keeps must not disturb the cache.
+        assert len(layer_cache) == 3
+        assert layer_cache.evicted_tokens == 0
+
+    def test_keep_tracks_cumulative_evictions(self, layer_cache, rng):
+        layer_cache.append(
+            rng.normal(size=(2, 5, 4)), rng.normal(size=(2, 5, 4)), np.arange(5)
+        )
+        layer_cache.keep(np.array([0, 2, 4]))
+        layer_cache.keep(np.array([1]))
+        assert layer_cache.evicted_tokens == 2 + 2
+        assert np.array_equal(layer_cache.token_ids, [2])
+
+    def test_append_empty_token_ids_mismatch(self, layer_cache, rng):
+        with pytest.raises(ValueError):
+            layer_cache.append(
+                rng.normal(size=(2, 2, 4)), rng.normal(size=(2, 2, 4)),
+                np.array([], dtype=np.int64),
+            )
+
+    def test_append_wrong_head_dim(self, layer_cache, rng):
+        bad = rng.normal(size=(2, 3, 5))
+        with pytest.raises(ValueError):
+            layer_cache.append(bad, bad, np.arange(3))
 
 
 class TestKVCache:
@@ -79,3 +131,26 @@ class TestKVCache:
                 np.array([0]),
             )
         assert cache.n_bytes == 2 * (2 * 2 * 1 * 4 * 2)
+        assert cache.nbytes == cache.n_bytes
+
+    def test_bytes_per_element_propagates_to_layers(self, rng):
+        cache = KVCache(n_layers=2, n_heads=2, head_dim=4, bytes_per_element=4)
+        cache[1].append(
+            rng.normal(size=(2, 3, 4)), rng.normal(size=(2, 3, 4)), np.arange(3)
+        )
+        assert cache.nbytes == 2 * 2 * 3 * 4 * 4
+
+    def test_lengths_and_evictions_across_layers(self, rng):
+        cache = KVCache(n_layers=3, n_heads=2, head_dim=4)
+        for layer in range(3):
+            cache[layer].append(
+                rng.normal(size=(2, 4, 4)), rng.normal(size=(2, 4, 4)),
+                np.arange(4),
+            )
+        cache[1].keep(np.array([0, 3]))
+        cache[2].keep(np.array([], dtype=np.int64))
+        assert cache.lengths() == [4, 2, 0]
+        assert cache.total_cached_tokens == 6
+        assert cache.total_evicted_tokens == 2 + 4
+        # Eviction in one layer never disturbs the others.
+        assert np.array_equal(cache[0].token_ids, np.arange(4))

@@ -1,0 +1,378 @@
+"""Tests for the continuous-batching serving subsystem (repro.serving)."""
+
+import numpy as np
+import pytest
+
+from repro.config import GPT2_SMALL, PruningConfig, QuantConfig
+from repro.core import SpAttenExecutor
+from repro.core import schedule as sched
+from repro.core.trace import dense_trace, spatten_trace
+from repro.nn.kv_cache import LayerKVCache
+from repro.serving import (
+    CostModel,
+    KVMemoryPool,
+    PoolExhausted,
+    Request,
+    RequestQueue,
+    ServingEngine,
+    SimulatedClock,
+    pruned_kv_bounds,
+)
+from repro.workloads import (
+    accuracy_scale_config,
+    build_task_model,
+    build_vocabulary,
+    lm_prompts,
+    make_lm_corpus,
+    synthetic_request_trace,
+)
+
+PROMPT_LEN = 24
+PRUNING = PruningConfig(token_keep_final=0.4, head_keep_final=0.75, value_keep=0.9)
+
+
+@pytest.fixture(scope="module")
+def serving_setup():
+    vocab = build_vocabulary(size=512, n_classes=4, seed=0)
+    config = accuracy_scale_config(
+        GPT2_SMALL, len(vocab), n_layers=4, d_model=64, n_heads=4,
+        max_seq_len=160,
+    )
+    model, _ = build_task_model(config, vocab, "lm", seed=0)
+    corpus = make_lm_corpus(vocab, n_tokens=1024, seed=2)
+    return config, model, corpus
+
+
+def make_pool(config, pages=64, page_tokens=8):
+    pool = KVMemoryPool(
+        config,
+        budget_bytes=pages * page_tokens * 2 * config.n_heads
+        * config.head_dim * config.bytes_per_element,
+        page_tokens=page_tokens,
+    )
+    assert pool.n_pages == pages
+    return pool
+
+
+class TestRequestAndQueue:
+    def test_request_validation(self):
+        with pytest.raises(ValueError):
+            Request(0, [], max_new_tokens=1)
+        with pytest.raises(ValueError):
+            Request(0, [1, 2], max_new_tokens=0)
+        with pytest.raises(ValueError):
+            Request(0, [1, 2], max_new_tokens=1, arrival_time=-1.0)
+
+    def test_queue_orders_by_priority_then_arrival(self):
+        queue = RequestQueue()
+        queue.push(Request(0, [1], 1, arrival_time=0.0, priority=5))
+        queue.push(Request(1, [1], 1, arrival_time=1.0, priority=0))
+        queue.push(Request(2, [1], 1, arrival_time=0.5, priority=0))
+        order = [r.request_id for r in queue.as_ordered_list()]
+        assert order == [2, 1, 0]
+        assert queue.pop().request_id == 2
+        assert queue.peek().request_id == 1
+        assert len(queue) == 2
+
+    def test_empty_queue_raises(self):
+        queue = RequestQueue()
+        with pytest.raises(IndexError):
+            queue.peek()
+        with pytest.raises(IndexError):
+            queue.pop()
+
+
+class TestKVBounds:
+    def test_dense_bounds_are_full_length(self):
+        assert pruned_kv_bounds(None, 3, 10, 5) == [15, 15, 15]
+
+    def test_pruned_bounds_replay_the_schedule(self):
+        n_layers, prompt, max_new = 6, 40, 10
+        bounds = pruned_kv_bounds(PRUNING, n_layers, prompt, max_new)
+        counts = sched.token_keep_counts(PRUNING, n_layers, prompt)
+        fracs = sched.token_keep_fractions(PRUNING, n_layers, prompt)
+        for layer in range(n_layers):
+            expected = max(
+                int(counts[layer]),
+                sched.decode_token_target(
+                    PRUNING, float(fracs[layer]), prompt + max_new
+                ),
+            )
+            assert bounds[layer] == expected
+        assert all(b <= prompt + max_new for b in bounds)
+        assert bounds[-1] < prompt + max_new  # deep layers genuinely shrink
+
+    def test_executor_cache_never_exceeds_bounds(self, serving_setup):
+        config, model, corpus = serving_setup
+        prompt = lm_prompts(corpus, PROMPT_LEN, 1, seed=9)[0]
+        max_new = 8
+        bounds = pruned_kv_bounds(
+            PRUNING, config.n_layers, PROMPT_LEN, max_new
+        )
+        executor = SpAttenExecutor(PRUNING)
+        logits = model.prefill(prompt, executor)
+        assert all(
+            length <= bound
+            for length, bound in zip(executor.kv_lengths(), bounds)
+        )
+        token = int(np.argmax(logits))
+        position = PROMPT_LEN
+        for _ in range(max_new - 1):
+            logits = model.decode_step_batch([token], [position], [executor])
+            assert all(
+                length <= bound
+                for length, bound in zip(executor.kv_lengths(), bounds)
+            )
+            token = int(np.argmax(logits[0]))
+            position += 1
+
+
+class TestKVMemoryPool:
+    def test_page_bytes_match_layer_cache_accounting(self, serving_setup):
+        config, _, _ = serving_setup
+        pool = make_pool(config)
+        cache = LayerKVCache(
+            config.n_heads, config.head_dim,
+            bytes_per_element=config.bytes_per_element,
+        )
+        k = np.zeros((config.n_heads, pool.page_tokens, config.head_dim))
+        cache.append(k, k, np.arange(pool.page_tokens))
+        assert cache.nbytes == pool.page_bytes
+
+    def test_budget_too_small_rejected(self, serving_setup):
+        config, _, _ = serving_setup
+        with pytest.raises(ValueError):
+            KVMemoryPool(config, budget_bytes=1, page_tokens=8)
+
+    def test_admission_accounting(self, serving_setup):
+        config, _, _ = serving_setup
+        pool = make_pool(config, pages=20, page_tokens=8)
+        need = pool.reservation_pages(PROMPT_LEN, 8, None)
+        assert need == config.n_layers * 4  # ceil(32 / 8) pages per layer
+        assert pool.can_admit(PROMPT_LEN, 8, None)
+        pool.admit(0, PROMPT_LEN, 8, None)
+        assert pool.reserved_pages == need
+        assert not pool.can_admit(PROMPT_LEN, 8, None)
+        with pytest.raises(PoolExhausted):
+            pool.admit(1, PROMPT_LEN, 8, None)
+        with pytest.raises(ValueError):
+            pool.admit(0, PROMPT_LEN, 8, None)  # duplicate id
+        pool.release(0)
+        assert pool.reserved_pages == 0
+        assert pool.can_admit(PROMPT_LEN, 8, None)
+
+    def test_pruned_reservation_is_smaller(self, serving_setup):
+        config, _, _ = serving_setup
+        pool = make_pool(config)
+        dense = pool.reservation_pages(PROMPT_LEN, 8, None)
+        pruned = pool.reservation_pages(PROMPT_LEN, 8, PRUNING)
+        assert pruned < dense
+
+    def test_sync_allocates_and_reclaims(self, serving_setup):
+        config, _, _ = serving_setup
+        pool = make_pool(config, pages=32, page_tokens=8)
+        pool.admit(0, PROMPT_LEN, 8, None)
+        grown = pool.sync(0, [24, 24, 24, 24])
+        assert grown == 0
+        assert pool.allocated_pages == 4 * 3
+        freed = pool.sync(0, [24, 8, 8, 8])
+        assert freed == 3 * 2  # three layers dropped from 3 pages to 1
+        assert pool.reclaimed_pages == 6
+        assert pool.occupancy == pytest.approx((3 + 3) / 32)
+        with pytest.raises(ValueError):
+            pool.sync(0, [24, 24])  # must cover every layer
+
+
+class TestBatchedDecodeEquivalence:
+    @pytest.mark.parametrize(
+        "pruning,quant",
+        [
+            (None, None),
+            (PRUNING, None),
+            (PRUNING, QuantConfig(msb_bits=6, lsb_bits=4, progressive=True)),
+        ],
+        ids=["dense", "pruned", "pruned+quant"],
+    )
+    def test_matches_single_sequence_generate(
+        self, serving_setup, pruning, quant
+    ):
+        config, model, corpus = serving_setup
+        prompts = lm_prompts(corpus, PROMPT_LEN, 3, seed=11)
+        max_new = 6
+        sequential = []
+        for prompt in prompts:
+            executor = (
+                SpAttenExecutor(pruning, quant) if pruning or quant else None
+            )
+            sequential.append(
+                model.generate(prompt, max_new, executor=executor).token_ids
+            )
+        requests = [
+            Request(i, prompt, max_new, arrival_time=0.0)
+            for i, prompt in enumerate(prompts)
+        ]
+        pool = make_pool(config, pages=256, page_tokens=8)
+        engine = ServingEngine(model, pool, pruning=pruning, quant=quant)
+        stats = engine.run(requests)
+        batched = [record.token_ids for record in stats.records]
+        assert batched == sequential
+        # The three requests genuinely shared decode steps.
+        assert stats.mean_batch_size == pytest.approx(3.0)
+
+    def test_decode_step_batch_validates_inputs(self, serving_setup):
+        _, model, corpus = serving_setup
+        with pytest.raises(ValueError):
+            model.decode_step_batch([1, 2], [0], [None])
+        with pytest.raises(ValueError):
+            model.decode_step_batch([], [], [])
+
+
+class TestServingEngine:
+    def run_trace(self, serving_setup, pruning, pages=40, rate=500.0,
+                  n_requests=8):
+        config, model, corpus = serving_setup
+        requests = synthetic_request_trace(
+            corpus, n_requests=n_requests, rate_per_s=rate,
+            prompt_len=PROMPT_LEN, max_new_tokens=(4, 8), seed=3,
+        )
+        pool = make_pool(config, pages=pages, page_tokens=8)
+        engine = ServingEngine(model, pool, pruning=pruning)
+        return engine.run(requests), requests
+
+    def test_end_to_end_dense(self, serving_setup):
+        stats, requests = self.run_trace(serving_setup, pruning=None)
+        assert stats.n_requests == len(requests)
+        assert stats.n_tokens == sum(
+            len(r.token_ids) for r in stats.records
+        )
+        for record, request in zip(stats.records, requests):
+            assert record.n_generated == request.max_new_tokens
+            assert record.admit_time >= request.arrival_time
+            assert record.finish_time >= record.first_token_time
+        assert stats.throughput_tps > 0
+        assert stats.queue_wait_p95 >= stats.queue_wait_p50 >= 0
+        assert stats.decode_latency_p95 >= stats.decode_latency_p50 > 0
+        assert 0 < stats.occupancy_peak <= 1.0
+        assert stats.reclaimed_pages == 0
+        assert stats.reclaimed_tokens == 0
+
+    def test_pruned_serving_reclaims_pages(self, serving_setup):
+        stats, _ = self.run_trace(serving_setup, pruning=PRUNING)
+        assert stats.reclaimed_tokens > 0
+        assert stats.reclaimed_pages > 0
+        assert stats.occupancy_peak < 1.0
+
+    def test_admission_blocks_when_pool_exhausted(self, serving_setup):
+        config, model, corpus = serving_setup
+        prompts = lm_prompts(corpus, PROMPT_LEN, 2, seed=13)
+        requests = [
+            Request(i, prompt, 8, arrival_time=0.0)
+            for i, prompt in enumerate(prompts)
+        ]
+        # Exactly one dense reservation fits: ceil(32/8)=4 pages x 4 layers.
+        pool = make_pool(config, pages=16, page_tokens=8)
+        engine = ServingEngine(model, pool)
+        stats = engine.run(requests)
+        first, second = stats.records
+        assert first.queue_wait == pytest.approx(0.0)
+        assert second.queue_wait > 0
+        assert second.admit_time >= first.finish_time
+        assert stats.mean_batch_size == pytest.approx(1.0)
+
+    def test_priority_overrides_arrival_order(self, serving_setup):
+        config, model, corpus = serving_setup
+        prompts = lm_prompts(corpus, PROMPT_LEN, 2, seed=17)
+        requests = [
+            Request(0, prompts[0], 6, arrival_time=0.0, priority=5),
+            Request(1, prompts[1], 6, arrival_time=0.0, priority=0),
+        ]
+        pool = make_pool(config, pages=16, page_tokens=8)  # one at a time
+        stats = ServingEngine(model, pool).run(requests)
+        low, high = stats.records
+        assert high.admit_time < low.admit_time
+
+    def test_request_longer_than_context_rejected_up_front(self, serving_setup):
+        config, model, corpus = serving_setup
+        prompt = lm_prompts(corpus, PROMPT_LEN, 1, seed=29)[0]
+        pool = make_pool(config, pages=512, page_tokens=8)
+        engine = ServingEngine(model, pool)
+        too_long = config.max_seq_len - PROMPT_LEN + 1
+        with pytest.raises(ValueError, match="max_seq_len"):
+            engine.run([Request(0, prompt, too_long, arrival_time=0.0)])
+
+    def test_infeasible_request_rejected_up_front(self, serving_setup):
+        config, model, corpus = serving_setup
+        prompt = lm_prompts(corpus, PROMPT_LEN, 1, seed=19)[0]
+        pool = make_pool(config, pages=8, page_tokens=8)
+        engine = ServingEngine(model, pool)
+        with pytest.raises(PoolExhausted):
+            engine.run([Request(0, prompt, 64, arrival_time=0.0)])
+
+    def test_duplicate_request_ids_rejected(self, serving_setup):
+        config, model, corpus = serving_setup
+        prompt = lm_prompts(corpus, PROMPT_LEN, 1, seed=23)[0]
+        pool = make_pool(config)
+        with pytest.raises(ValueError):
+            ServingEngine(model, pool).run(
+                [Request(0, prompt, 2), Request(0, prompt, 2)]
+            )
+
+
+class TestCostModelAndClock:
+    def test_clock_is_monotone(self):
+        clock = SimulatedClock()
+        clock.advance(1.0)
+        clock.advance_to(0.5)
+        assert clock.now == 1.0
+        with pytest.raises(ValueError):
+            clock.advance(-0.1)
+
+    def test_pruning_reduces_decode_flops(self, serving_setup):
+        config, _, _ = serving_setup
+        cost = CostModel()
+        dense = cost.decode_seq_flops(config, [64] * config.n_layers,
+                                      config.n_heads)
+        pruned = cost.decode_seq_flops(config, [24] * config.n_layers,
+                                       config.n_heads - 1)
+        assert pruned < dense
+
+    def test_step_overhead_amortises_across_batch(self):
+        cost = CostModel()
+        one = cost.step_time(1e6, 1)
+        eight = cost.step_time(8e6, 8)
+        assert eight < 8 * one  # batching amortises the fixed overhead
+
+
+class TestTraceKVBytes:
+    def test_dense_trace_bytes(self, tiny_decoder_config):
+        cfg = tiny_decoder_config
+        trace = dense_trace(cfg, seq_len=10, n_generate=2)
+        per_token = 2 * cfg.n_heads * cfg.head_dim * cfg.bytes_per_element
+        first = trace.steps[0]
+        assert trace.kv_bytes_of_step(first) == 10 * per_token
+        assert trace.peak_kv_bytes == 12 * per_token
+        assert trace.cumulative_kv_bytes == sum(trace.kv_bytes_per_step)
+
+    def test_pruned_trace_holds_fewer_kv_bytes(self, tiny_decoder_config):
+        cfg = tiny_decoder_config
+        dense = dense_trace(cfg, seq_len=32, n_generate=8)
+        pruned = spatten_trace(
+            cfg, PRUNING, None, seq_len=32, n_generate=8
+        )
+        assert pruned.cumulative_kv_bytes < dense.cumulative_kv_bytes
+        assert pruned.peak_kv_bytes <= dense.peak_kv_bytes
+
+
+@pytest.mark.smoke
+def test_serving_smoke(serving_setup):
+    """Fast end-to-end smoke: pruned serving beats dense at a tight budget."""
+    config, model, corpus = serving_setup
+    requests = synthetic_request_trace(
+        corpus, n_requests=6, rate_per_s=1000.0, prompt_len=PROMPT_LEN,
+        max_new_tokens=(4, 6), seed=5,
+    )
+    results = {}
+    for mode, pruning in (("dense", None), ("spatten", PRUNING)):
+        pool = make_pool(config, pages=20, page_tokens=8)
+        results[mode] = ServingEngine(model, pool, pruning=pruning).run(requests)
+    assert results["spatten"].throughput_tps > results["dense"].throughput_tps
