@@ -11,7 +11,10 @@ Each experiment prints the same rows the paper's table or figure
 reports, with the paper's numbers quoted in the table notes.  The
 ``serve`` subcommand runs a synthetic Poisson arrival trace through the
 continuous-batching engine (:mod:`repro.serving`) and prints its
-:class:`~repro.serving.ServingStats` report.
+:class:`~repro.serving.ServingStats` report.  Its defaults match the
+flag defaults below: 16 requests arriving at 200 req/s (simulated),
+served with chunked prefill (32-token chunks; pass ``--prefill-chunk
+0`` for the stalling monolithic prefill).
 """
 
 from __future__ import annotations
@@ -146,13 +149,16 @@ def _serve(args) -> int:
         if args.mode == "both"
         else [(args.mode, pruning if args.mode == "spatten" else None)]
     )
+    prefill_chunk = args.prefill_chunk if args.prefill_chunk != 0 else None
     throughputs = {}
     for mode, mode_pruning in modes:
         pool = KVMemoryPool(
             config, budget_bytes=args.pool_kib * 1024,
             page_tokens=args.page_tokens,
         )
-        engine = ServingEngine(model, pool, pruning=mode_pruning)
+        engine = ServingEngine(
+            model, pool, pruning=mode_pruning, prefill_chunk=prefill_chunk
+        )
         stats = engine.run(requests)
         throughputs[mode] = stats.throughput_tps
         print()
@@ -178,6 +184,10 @@ def main(argv=None) -> int:
                        help="number of requests in the trace")
     serve.add_argument("--rate", type=float, default=200.0,
                        help="Poisson arrival rate (req per simulated second)")
+    serve.add_argument("--prefill-chunk", type=int, default=32,
+                       help="prompt tokens committed per mixed step; 0 runs "
+                            "the whole prefill monolithically at admission "
+                            "(stalls the live decode batch)")
     serve.add_argument("--mode", choices=("dense", "spatten", "both"),
                        default="both", help="attention path(s) to serve with")
     serve.add_argument("--pool-kib", type=int, default=768,

@@ -116,6 +116,20 @@ class SpAttenExecutor(AttentionExecutor):
             cfg, sentence_length, 0, quant=self.quant, pruning=self.pruning
         )
 
+    @property
+    def supports_incremental_prefill(self) -> bool:
+        """Cascade pruning decides over the whole sentence at once.
+
+        Entry token pruning at layer ``l`` ranks *every* prompt token's
+        accumulated importance, so summarization cannot commit a prefix
+        chunk without changing the pruning decisions.  Chunked serving
+        therefore defers SpAtten summarization to the final chunk
+        (:meth:`repro.nn.transformer.TransformerModel.
+        prefill_chunk_batch`), keeping results bit-identical to the
+        monolithic pass.
+        """
+        return False
+
     # ------------------------------------------------------------------
     # Serving introspection (KV bookkeeping for the memory pool)
     # ------------------------------------------------------------------

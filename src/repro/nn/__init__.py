@@ -39,6 +39,7 @@ from .transformer import (
     GenerationResult,
     LayerExecution,
     ModelParams,
+    PrefillState,
     TransformerModel,
 )
 from .weights import (
@@ -80,6 +81,7 @@ __all__ = [
     "GenerationResult",
     "LayerExecution",
     "ModelParams",
+    "PrefillState",
     "TransformerModel",
     "CONST_DIM",
     "POSITION_DIMS",

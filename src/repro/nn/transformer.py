@@ -36,6 +36,7 @@ __all__ = [
     "DenseExecutor",
     "EncodeResult",
     "GenerationResult",
+    "PrefillState",
     "TransformerModel",
 ]
 
@@ -119,6 +120,32 @@ class AttentionExecutor:
     def begin_sequence(self, model: "TransformerModel") -> None:
         raise NotImplementedError
 
+    def begin_prefill(self, prompt_len: int) -> None:
+        """Hint that summarization will arrive in chunks of a known total.
+
+        Called by :meth:`TransformerModel.prefill_begin` before the
+        first chunk.  Incremental executors use the total to keep
+        chunked numerics bit-identical to the monolithic pass (see
+        :meth:`DenseExecutor.begin_prefill`); the default ignores it.
+        """
+
+    @property
+    def supports_incremental_prefill(self) -> bool:
+        """Whether summarization may run chunk-by-chunk, bit-identically.
+
+        Incremental executors accept successive ``run_layer(...,
+        "summarize")`` calls whose rows extend the same sequence: each
+        chunk appends its K/V columns to the per-layer caches and
+        attends causally against everything cached so far, so the
+        chunked pass commits exactly the same arithmetic as a
+        monolithic one.  Executors whose summarization is a
+        whole-sentence decision — cascade token pruning needs every
+        token's accumulated importance before it prunes — return
+        ``False``, and :meth:`TransformerModel.prefill_chunk_batch`
+        defers their execution to the final chunk instead.
+        """
+        return True
+
     def kv_lengths(self) -> List[int]:
         """Per-layer live KV column counts (serving pool bookkeeping)."""
         return []
@@ -161,10 +188,12 @@ class DenseExecutor(AttentionExecutor):
     def __init__(self) -> None:
         self._cache: Optional[KVCache] = None
         self._n_heads = 0
+        self._prefill_total = 0
 
     def begin_sequence(self, model: "TransformerModel") -> None:
         cfg = model.config
         self._n_heads = cfg.n_heads
+        self._prefill_total = 0
         if cfg.causal:
             self._cache = KVCache(
                 cfg.n_layers, cfg.n_heads, cfg.head_dim,
@@ -172,6 +201,18 @@ class DenseExecutor(AttentionExecutor):
             )
         else:
             self._cache = None
+
+    def begin_prefill(self, prompt_len: int) -> None:
+        """Record the full prompt width for chunked summarization.
+
+        While a prompt arrives in chunks, each layer's K/V are padded
+        out to the final prompt width before attention (the causal mask
+        excludes the padded columns).  The softmax denominator then
+        sums over exactly the same columns — in the same pairwise
+        grouping — as the monolithic pass, which is what makes chunked
+        prefill bit-identical rather than merely close.
+        """
+        self._prefill_total = int(prompt_len)
 
     def kv_lengths(self) -> List[int]:
         """Per-layer live KV column counts (serving pool bookkeeping)."""
@@ -204,10 +245,26 @@ class DenseExecutor(AttentionExecutor):
         layer_cache.append(k_new, v_new, positions)
         q = attn.project_q(x)
         if stage == "summarize":
+            kv = layer_cache.as_tuple()
+            n_cached = len(layer_cache)
+            if n_cached < self._prefill_total:
+                # Mid-chunked-prefill: pad K/V to the final prompt
+                # width (the causal mask excludes the extra columns) so
+                # the softmax normalizes over the same columns as the
+                # monolithic pass — see begin_prefill.
+                keys, values = kv
+                pad = np.zeros(
+                    (keys.shape[0], self._prefill_total - n_cached,
+                     keys.shape[2])
+                )
+                kv = (
+                    np.concatenate([keys, pad], axis=1),
+                    np.concatenate([values, pad], axis=1),
+                )
             out, record = attn.forward(
-                x, causal=True, kv=layer_cache.as_tuple(),
-                query_offset=int(positions[0]),
+                x, causal=True, kv=kv, query_offset=int(positions[0]),
             )
+            record.probs = record.probs[:, :, :n_cached]
         else:
             out, record = attn.forward(x, causal=False, kv=layer_cache.as_tuple())
         record.key_token_ids = layer_cache.token_ids.copy()
@@ -251,6 +308,53 @@ class GenerationResult:
     @property
     def n_generated(self) -> int:
         return len(self.token_ids)
+
+
+@dataclass
+class PrefillState:
+    """Resumable progress of one prompt's chunked prefill.
+
+    Produced by :meth:`TransformerModel.prefill_begin` and advanced by
+    :meth:`TransformerModel.prefill_chunk` /
+    :meth:`TransformerModel.prefill_chunk_batch`.  ``n_committed``
+    counts prompt tokens whose chunk has been scheduled; once every
+    token has committed, ``logits`` holds the next-token logits — bit
+    identical to what a monolithic :meth:`TransformerModel.prefill`
+    call would have returned for the same executor type.
+    """
+
+    executor: AttentionExecutor
+    prompt_ids: np.ndarray
+    n_committed: int = 0
+    logits: Optional[np.ndarray] = None
+
+    @property
+    def prompt_len(self) -> int:
+        return len(self.prompt_ids)
+
+    @property
+    def n_remaining(self) -> int:
+        return self.prompt_len - self.n_committed
+
+    @property
+    def done(self) -> bool:
+        return self.n_committed >= self.prompt_len
+
+    def next_span(self, max_tokens: int) -> tuple:
+        """Token span ``[start, end)`` the next chunk would commit.
+
+        Spans always cover at least two rows, and a would-be trailing
+        single-token chunk is absorbed into its predecessor (unless the
+        whole prompt is one token): a ``[1, d_model]`` matmul takes a
+        different BLAS kernel (GEMV) than the multi-row GEMM the
+        monolithic pass uses, which would break bit-identity.  The
+        serving cost model charges chunks over exactly these spans.
+        """
+        start = self.n_committed
+        end = min(start + max(2, max_tokens), self.prompt_len)
+        if self.prompt_len - end == 1:
+            end = self.prompt_len
+        return start, end
 
 
 class TransformerModel:
@@ -354,12 +458,20 @@ class TransformerModel:
         This is the first half of :meth:`generate`, split out so the
         serving engine (:mod:`repro.serving`) can admit a request —
         populating the executor's KV cache — without committing to a
-        fixed number of decode steps up front.
+        fixed number of decode steps up front.  For latency-friendly
+        scheduling under load, the prompt can instead be committed in
+        chunks: see :meth:`prefill_begin` / :meth:`prefill_chunk`.
         """
         if not self.config.causal:
             raise ValueError("prefill() requires a causal (GPT-style) model")
         executor = executor or DenseExecutor()
         executor.begin_sequence(self)
+        return self._summarize_rows(prompt_ids, executor)
+
+    def _summarize_rows(
+        self, prompt_ids: Sequence[int], executor: AttentionExecutor
+    ) -> np.ndarray:
+        """Monolithic summarization pass; returns next-token logits."""
         x = self.embed(prompt_ids)
         positions = np.arange(len(prompt_ids))
         for layer_idx in range(self.config.n_layers):
@@ -367,6 +479,129 @@ class TransformerModel:
                 layer_idx, x, positions, executor, stage="summarize"
             )
         return self.lm_logits(x[-1:])[0]
+
+    def prefill_begin(
+        self,
+        prompt_ids: Sequence[int],
+        executor: Optional[AttentionExecutor] = None,
+    ) -> PrefillState:
+        """Open a resumable prefill over ``prompt_ids``.
+
+        The returned :class:`PrefillState` is advanced with
+        :meth:`prefill_chunk` (or, across many requests at once,
+        :meth:`prefill_chunk_batch`) until ``state.done``; the final
+        chunk yields logits bit-identical to a monolithic
+        :meth:`prefill`.  Splitting a prompt this way lets the serving
+        engine interleave prompt summarization with live decode steps
+        instead of stalling the whole batch for the prompt's duration.
+        """
+        if not self.config.causal:
+            raise ValueError("prefill_begin() requires a causal model")
+        prompt_ids = np.asarray(prompt_ids, dtype=np.int64)
+        if prompt_ids.ndim != 1 or len(prompt_ids) == 0:
+            raise ValueError("prompt_ids must be a non-empty 1-D sequence")
+        executor = executor or DenseExecutor()
+        executor.begin_sequence(self)
+        executor.begin_prefill(len(prompt_ids))
+        return PrefillState(executor=executor, prompt_ids=prompt_ids)
+
+    def prefill_chunk(
+        self, state: PrefillState, max_tokens: int
+    ) -> Optional[np.ndarray]:
+        """Commit up to ``max_tokens`` more prompt tokens of one prefill.
+
+        Returns the next-token logits when this chunk completes the
+        prompt, else ``None``.
+        """
+        return self.prefill_chunk_batch([state], max_tokens)[0]
+
+    def prefill_chunk_batch(
+        self, states: Sequence[PrefillState], max_tokens: int
+    ) -> List[Optional[np.ndarray]]:
+        """One prefill chunk for each of several in-flight prompts.
+
+        Like :meth:`decode_step_batch`, the chunk rows of every
+        incremental executor run as one batch: residual/LayerNorm
+        arithmetic and the FFN matmuls execute over the concatenated
+        ``[sum_chunk_lens, d_model]`` rows while attention runs per
+        sequence against each sequence's own KV cache.  Row-wise
+        batching keeps every sequence's arithmetic bit-identical to a
+        solo :meth:`prefill`.
+
+        Executors that cannot summarize incrementally (cascade token
+        pruning decides over the whole sentence — see
+        :attr:`AttentionExecutor.supports_incremental_prefill`) only
+        advance their committed-token counter per chunk; their full
+        summarization executes when the final chunk commits, which
+        preserves bit-exactness while the serving cost model still
+        charges the work chunk by chunk.
+
+        Returns one entry per state: the next-token logits for states
+        whose prompt completed this call, else ``None``.
+        """
+        if max_tokens < 1:
+            raise ValueError("max_tokens must be >= 1")
+        for state in states:
+            if state.done:
+                raise ValueError("prefill already complete for this state")
+        results: List[Optional[np.ndarray]] = [None] * len(states)
+        incremental = [
+            i for i, s in enumerate(states)
+            if s.executor.supports_incremental_prefill
+        ]
+        deferred = [
+            i for i, s in enumerate(states)
+            if not s.executor.supports_incremental_prefill
+        ]
+
+        if incremental:
+            rows: dict = {}
+            row_positions: dict = {}
+            for i in incremental:
+                s = states[i]
+                start, end = s.next_span(max_tokens)
+                rows[i] = self.embed(s.prompt_ids[start:end],
+                                     position_offset=start)
+                row_positions[i] = np.arange(start, end)
+            for layer_idx in range(self.config.n_layers):
+                bp = self.block(layer_idx)
+                outputs = []
+                for i in incremental:
+                    execution = states[i].executor.run_layer(
+                        layer_idx, self, rows[i], row_positions[i],
+                        "summarize",
+                    )
+                    kept = execution.kept_query_rows
+                    rows[i] = rows[i][kept]
+                    row_positions[i] = row_positions[i][kept]
+                    outputs.append(execution.output)
+                x = np.concatenate([rows[i] for i in incremental], axis=0)
+                attn_out = np.concatenate(outputs, axis=0)
+                x = layer_norm(x + attn_out, bp.ln1_gamma, bp.ln1_beta)
+                x = layer_norm(
+                    x + self._ffn(layer_idx, x), bp.ln2_gamma, bp.ln2_beta
+                )
+                offset = 0
+                for i in incremental:
+                    n = len(rows[i])
+                    rows[i] = x[offset:offset + n]
+                    offset += n
+            for i in incremental:
+                s = states[i]
+                s.n_committed = s.next_span(max_tokens)[1]
+                if s.done:
+                    s.logits = self.lm_logits(rows[i][-1:])[0]
+                    results[i] = s.logits
+
+        for i in deferred:
+            s = states[i]
+            s.n_committed = s.next_span(max_tokens)[1]
+            if s.done:
+                # Whole-sentence execution on the final chunk; the
+                # executor was already begun by prefill_begin().
+                s.logits = self._summarize_rows(s.prompt_ids, s.executor)
+                results[i] = s.logits
+        return results
 
     def decode_step_batch(
         self,

@@ -16,23 +16,37 @@ Layers of the subsystem
   :class:`RequestRecord`, and the priority/FIFO :class:`RequestQueue`.
 * :mod:`~repro.serving.memory_pool` — :class:`KVMemoryPool`: fixed-size
   pages per layer, schedule-aware worst-case reservations for admission
-  control, and page reclamation as cascade pruning evicts columns.
-* :mod:`~repro.serving.engine` — :class:`ServingEngine`: each iteration
-  ingests arrivals, backfills the live batch from the queue while the
-  pool fits, runs one *batched* decode step across every live sequence
-  (:meth:`repro.nn.transformer.TransformerModel.decode_step_batch`),
-  and retires finished sequences so their pages free immediately.
+  control, chunk-by-chunk page growth while a prompt prefills, and page
+  reclamation as cascade pruning evicts columns.
+* :mod:`~repro.serving.engine` — :class:`ServingEngine`: a three-phase
+  mixed-step scheduler.  Each iteration ingests arrivals, **reserves**
+  pool pages for every queue-head request that fits (no prompt work
+  yet), then runs one **mixed step**: a prefill chunk
+  (``prefill_chunk`` tokens, batched across every admitted-but-not-live
+  sequence via :meth:`repro.nn.transformer.TransformerModel.
+  prefill_chunk_batch`) together with one batched decode step over all
+  live sequences (:meth:`~repro.nn.transformer.TransformerModel.
+  decode_step_batch`).  A sequence is **promoted** to the decode set
+  when its final chunk commits; finished sequences retire and their
+  pages free immediately.  Chunking removes the head-of-line prefill
+  stall — a long prompt no longer freezes the live decode batch — while
+  committing bit-identical token streams to the monolithic path (which
+  remains available as ``prefill_chunk=None`` for comparison).
 * :mod:`~repro.serving.stats` — the simulated clock, the step-time
-  :class:`CostModel`, and the :class:`ServingStats` report (throughput,
-  p50/p95 queue wait and decode latency, pool occupancy, reclamation).
+  :class:`CostModel` (schedule-aware prefill FLOPs, per-chunk charges,
+  and the single-overhead mixed step), and the :class:`ServingStats`
+  report (throughput, p50/p95 queue wait, TTFT and inter-token decode
+  latency, pool occupancy, reclamation).
 
 Quick start
 -----------
 
-Run a synthetic arrival trace from the command line::
+Run a synthetic arrival trace from the command line (defaults: 16
+requests at 200 req/s, chunked prefill of 32 tokens; ``--prefill-chunk
+0`` restores the stalling monolithic behaviour)::
 
-    PYTHONPATH=src python -m repro.cli serve --requests 16 --rate 4 \\
-        --pool-kib 192 --mode both
+    PYTHONPATH=src python -m repro.cli serve --requests 16 --rate 200 \\
+        --pool-kib 768 --mode both
 
 or drive the engine directly::
 
@@ -50,26 +64,41 @@ or drive the engine directly::
     corpus = make_lm_corpus(vocab, n_tokens=2048, seed=2)
     requests = synthetic_request_trace(corpus, n_requests=8, rate_per_s=4.0)
 
-    pool = KVMemoryPool(config, budget_bytes=192 * 1024)
+    pool = KVMemoryPool(config, budget_bytes=768 * 1024)
     engine = ServingEngine(model, pool,
-                           pruning=PruningConfig(token_keep_final=0.4))
+                           pruning=PruningConfig(token_keep_final=0.4),
+                           prefill_chunk=16)
     print(engine.run(requests).table())
 
 The benchmark ``benchmarks/bench_serving_throughput.py`` compares dense
-and SpAtten-pruned serving across arrival rates at a matched budget.
+and SpAtten-pruned serving across arrival rates at a matched budget,
+and sweeps chunked against monolithic prefill to quantify the TTFT and
+decode-latency-p95 win under load.
 """
 
-from .engine import LiveSequence, ServingEngine, greedy_sampler
-from .memory_pool import KVMemoryPool, PoolExhausted, pruned_kv_bounds
+from .engine import (
+    LiveSequence,
+    PrefillingSequence,
+    ServingEngine,
+    greedy_sampler,
+)
+from .memory_pool import (
+    KVMemoryPool,
+    PoolExhausted,
+    prefill_kv_lengths,
+    pruned_kv_bounds,
+)
 from .request import Request, RequestQueue, RequestRecord, RequestStatus
 from .stats import CostModel, ServingStats, SimulatedClock
 
 __all__ = [
     "LiveSequence",
+    "PrefillingSequence",
     "ServingEngine",
     "greedy_sampler",
     "KVMemoryPool",
     "PoolExhausted",
+    "prefill_kv_lengths",
     "pruned_kv_bounds",
     "Request",
     "RequestQueue",

@@ -1,21 +1,39 @@
 """Continuous-batching serving engine over a pruning-aware KV pool.
 
-Each engine iteration mirrors a production serving loop:
+Each engine iteration mirrors a production serving loop with a
+three-phase scheduler:
 
 1. **ingest** — requests whose simulated arrival time has passed move
    into the priority queue;
-2. **admit / backfill** — while the head-of-queue request's worst-case
-   KV reservation fits the memory pool, admit it: reserve pages, run
-   its prefill (advancing the simulated clock), and sample its first
-   token.  Admission is head-of-line within priority order, so a large
-   request cannot be starved by smaller late arrivals;
-3. **batched decode** — one decode step runs across *all* live
-   sequences at once (:meth:`repro.nn.transformer.TransformerModel.
-   decode_step_batch`): batch-level embedding/FFN/LM-head matmuls with
-   per-sequence ragged attention;
+2. **reserve** — while the head-of-queue request's worst-case KV
+   reservation fits the memory pool, admit it: reserve its pages and
+   open a resumable prefill (:meth:`repro.nn.transformer.
+   TransformerModel.prefill_begin`).  Admission is head-of-line within
+   priority order, so a large request cannot be starved by smaller
+   late arrivals;
+3. **mixed step** — one engine step batches a prefill chunk
+   (``prefill_chunk`` tokens) for *every* admitted-but-not-yet-live
+   sequence together with one batched decode step across all live
+   sequences.  The simulated clock advances once per mixed step
+   (:meth:`repro.serving.stats.CostModel.mixed_step_time`), so a long
+   prompt no longer freezes the live decode batch for its whole
+   duration — the head-of-line prefill stall this scheduler exists to
+   fix.  A sequence is **promoted** to the decode set (sampling its
+   first token) only when its final chunk commits; pool pages grow
+   chunk by chunk as the prompt's KV columns materialize.
 4. **retire** — sequences that hit their decode budget release their
    pages immediately, and the freed space backfills from the queue on
    the next iteration.
+
+With ``prefill_chunk=None`` the engine falls back to monolithic
+admission-time prefill (the PR-1 behaviour, kept for comparison — the
+TTFT/decode-latency benchmark in
+``benchmarks/bench_serving_throughput.py`` quantifies the stall).
+
+Chunked prefill is bit-exact: the chunked pass commits exactly the
+same logits, caches, and therefore token streams as the monolithic
+path, in both dense and SpAtten modes (see
+:meth:`~repro.nn.transformer.TransformerModel.prefill_chunk_batch`).
 
 After every step the pool is synced against each executor's real
 per-layer cache lengths, so columns evicted by cascade token pruning
@@ -24,19 +42,31 @@ drain whole pages back to the free list mid-flight.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Deque, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..config import PruningConfig, QuantConfig
 from ..core.pipeline import SpAttenExecutor
-from ..nn.transformer import AttentionExecutor, DenseExecutor, TransformerModel
-from .memory_pool import KVMemoryPool, PoolExhausted
+from ..nn.transformer import (
+    AttentionExecutor,
+    DenseExecutor,
+    PrefillState,
+    TransformerModel,
+)
+from .memory_pool import KVMemoryPool, PoolExhausted, prefill_kv_lengths
 from .request import Request, RequestQueue, RequestRecord, RequestStatus
 from .stats import CostModel, ServingStats, SimulatedClock
 
-__all__ = ["LiveSequence", "ServingEngine", "greedy_sampler"]
+__all__ = [
+    "LiveSequence",
+    "PrefillingSequence",
+    "ScheduledSequence",
+    "ServingEngine",
+    "greedy_sampler",
+]
 
 
 def greedy_sampler(logits: np.ndarray) -> int:
@@ -44,13 +74,10 @@ def greedy_sampler(logits: np.ndarray) -> int:
 
 
 @dataclass
-class LiveSequence:
-    """A request currently resident in the decode batch."""
+class ScheduledSequence:
+    """Base for sequences the scheduler tracks by their request record."""
 
     record: RequestRecord
-    executor: AttentionExecutor
-    next_token: int
-    next_position: int
 
     @property
     def request(self) -> Request:
@@ -61,6 +88,26 @@ class LiveSequence:
         return self.request.request_id
 
 
+@dataclass
+class LiveSequence(ScheduledSequence):
+    """A request currently resident in the decode batch."""
+
+    executor: AttentionExecutor
+    next_token: int
+    next_position: int
+    #: Simulated time the sequence last committed a token (drives the
+    #: inter-token decode-latency metric, which therefore *includes*
+    #: any stall between this sequence's consecutive tokens).
+    last_commit_time: float = 0.0
+
+
+@dataclass
+class PrefillingSequence(ScheduledSequence):
+    """An admitted request whose prompt is still committing in chunks."""
+
+    state: PrefillState
+
+
 class ServingEngine:
     """Continuous-batching scheduler + executor over a simulated clock.
 
@@ -68,11 +115,17 @@ class ServingEngine:
         model: causal transformer shared by every request.
         pool: the KV memory pool enforcing the global byte budget.
         pruning: SpAtten cascade schedule, or ``None`` for the dense
-            path.  Also drives the pool's schedule-aware reservations.
+            path.  Also drives the pool's schedule-aware reservations
+            and the cost model's schedule-aware prefill charge.
         quant: optional progressive quantization for pruned serving.
         cost_model: simulated-clock step costs.
         sampler: logits -> token id (greedy by default, which keeps
             batched serving bit-comparable with ``model.generate``).
+        prefill_chunk: prompt tokens committed per mixed step.  With a
+            chunk size, prefill is batched across requests and
+            interleaved with decode; ``None`` (default) runs the whole
+            prompt monolithically at admission, stalling the live
+            batch (kept for comparison benchmarks).
         executor_factory: override the per-request executor (tests).
     """
 
@@ -84,16 +137,22 @@ class ServingEngine:
         quant: Optional[QuantConfig] = None,
         cost_model: Optional[CostModel] = None,
         sampler: Optional[Callable[[np.ndarray], int]] = None,
+        prefill_chunk: Optional[int] = None,
         executor_factory: Optional[Callable[[], AttentionExecutor]] = None,
     ):
         if not model.config.causal:
             raise ValueError("serving requires a causal (GPT-style) model")
+        if prefill_chunk is not None and prefill_chunk < 1:
+            raise ValueError(
+                "prefill_chunk must be >= 1, or None for monolithic prefill"
+            )
         self.model = model
         self.pool = pool
         self.pruning = pruning
         self.quant = quant
         self.cost = cost_model or CostModel()
         self.sampler = sampler or greedy_sampler
+        self.prefill_chunk = prefill_chunk
         if executor_factory is not None:
             self._executor_factory = executor_factory
         elif pruning is not None or quant is not None:
@@ -102,6 +161,7 @@ class ServingEngine:
             self._executor_factory = DenseExecutor
         self.queue = RequestQueue()
         self.live: List[LiveSequence] = []
+        self.prefilling: List[PrefillingSequence] = []
 
     @property
     def mode(self) -> str:
@@ -110,9 +170,9 @@ class ServingEngine:
     # ------------------------------------------------------------------
     # Scheduling phases
     # ------------------------------------------------------------------
-    def _ingest(self, pending: List[Request], now: float) -> None:
+    def _ingest(self, pending: Deque[Request], now: float) -> None:
         while pending and pending[0].arrival_time <= now:
-            self.queue.push(pending.pop(0))
+            self.queue.push(pending.popleft())
 
     def _admit_ready(
         self,
@@ -127,7 +187,32 @@ class ServingEngine:
             ):
                 break  # head-of-line blocking: keep admission order fair
             self.queue.pop()
-            self._admit(request, clock, records[request.request_id])
+            if self.prefill_chunk is None:
+                self._admit(request, clock, records[request.request_id])
+            else:
+                self._reserve(request, clock, records[request.request_id])
+
+    def _reserve(
+        self,
+        request: Request,
+        clock: SimulatedClock,
+        record: RequestRecord,
+    ) -> None:
+        """Phase 1 of chunked admission: reserve pages, open the prefill.
+
+        No prompt work runs here — the prompt commits chunk by chunk
+        inside subsequent mixed steps, so reservation itself costs no
+        simulated time and never stalls the live batch.
+        """
+        self.pool.admit(
+            request.request_id, request.prompt_len, request.max_new_tokens,
+            self.pruning,
+        )
+        record.status = RequestStatus.RUNNING
+        record.admit_time = clock.now
+        executor = self._executor_factory()
+        state = self.model.prefill_begin(request.prompt_ids, executor)
+        self.prefilling.append(PrefillingSequence(record=record, state=state))
 
     def _admit(
         self,
@@ -135,6 +220,11 @@ class ServingEngine:
         clock: SimulatedClock,
         record: RequestRecord,
     ) -> None:
+        """Monolithic admission: run the whole prefill on the spot.
+
+        This is the head-of-line stall the chunked scheduler removes —
+        every live sequence waits out the full prompt duration.
+        """
         self.pool.admit(
             request.request_id, request.prompt_len, request.max_new_tokens,
             self.pruning,
@@ -143,7 +233,11 @@ class ServingEngine:
         record.admit_time = clock.now
         executor = self._executor_factory()
         logits = self.model.prefill(request.prompt_ids, executor)
-        clock.advance(self.cost.prefill_time(self.model.config, request.prompt_len))
+        clock.advance(
+            self.cost.prefill_time(
+                self.model.config, request.prompt_len, self.pruning
+            )
+        )
         self._sync_pool(request.request_id, executor)
         first = self.sampler(logits)
         record.token_ids.append(first)
@@ -153,6 +247,7 @@ class ServingEngine:
             executor=executor,
             next_token=first,
             next_position=request.prompt_len,
+            last_commit_time=clock.now,
         )
         if record.n_generated >= request.max_new_tokens:
             self._retire(seq, clock)
@@ -161,39 +256,146 @@ class ServingEngine:
 
     def _decode_step(self, clock: SimulatedClock) -> float:
         """One batched decode step over the live set; returns duration."""
-        token_ids = [seq.next_token for seq in self.live]
-        positions = [seq.next_position for seq in self.live]
-        executors = [seq.executor for seq in self.live]
-        logits = self.model.decode_step_batch(token_ids, positions, executors)
-
-        batch_flops = sum(
-            self.cost.decode_seq_flops(
-                self.model.config, ex.kv_lengths(), ex.n_live_heads
-            )
-            for ex in executors
+        batch = list(self.live)
+        logits = self.model.decode_step_batch(
+            [seq.next_token for seq in batch],
+            [seq.next_position for seq in batch],
+            [seq.executor for seq in batch],
         )
-        dt = self.cost.step_time(batch_flops, len(self.live))
+        dt = self.cost.step_time(self._decode_flops(batch), len(batch))
+        clock.advance(dt)
+        self.live = self._commit_decode(batch, logits, clock)
+        return dt
+
+    def _mixed_step(self, clock: SimulatedClock) -> float:
+        """One mixed step: a prefill chunk per admitted-but-not-live
+        sequence plus one batched decode step over the live set, all
+        charged as a single engine step."""
+        cfg = self.model.config
+        prefills = list(self.prefilling)
+        spans = [
+            (seq,) + seq.state.next_span(self.prefill_chunk)
+            for seq in prefills
+        ]
+        prefill_flops = sum(
+            self.cost.prefill_chunk_flops(
+                cfg, seq.state.prompt_len, start, end, self.pruning
+            )
+            for seq, start, end in spans
+        )
+        decode_batch = list(self.live)
+        decode_logits = (
+            self.model.decode_step_batch(
+                [seq.next_token for seq in decode_batch],
+                [seq.next_position for seq in decode_batch],
+                [seq.executor for seq in decode_batch],
+            )
+            if decode_batch
+            else None
+        )
+        chunk_logits = (
+            self.model.prefill_chunk_batch(
+                [seq.state for seq in prefills], self.prefill_chunk
+            )
+            if prefills
+            else []
+        )
+        dt = self.cost.mixed_step_time(
+            prefill_flops, self._decode_flops(decode_batch),
+            len(prefills), len(decode_batch),
+        )
         clock.advance(dt)
 
+        # Commit prefill progress; promote sequences whose last chunk
+        # just landed.  Promotions join the *next* step's decode batch.
+        promoted: List[LiveSequence] = []
+        still_prefilling: List[PrefillingSequence] = []
+        for (seq, _, _), logits in zip(spans, chunk_logits):
+            self._sync_prefill_pool(seq)
+            if not seq.state.done:
+                still_prefilling.append(seq)
+                continue
+            first = self.sampler(logits)
+            seq.record.token_ids.append(first)
+            seq.record.first_token_time = clock.now
+            live = LiveSequence(
+                record=seq.record,
+                executor=seq.state.executor,
+                next_token=first,
+                next_position=seq.state.prompt_len,
+                last_commit_time=clock.now,
+            )
+            if seq.record.n_generated >= seq.request.max_new_tokens:
+                self._retire(live, clock)
+            else:
+                promoted.append(live)
+        self.prefilling = still_prefilling
+
+        still_live = (
+            self._commit_decode(decode_batch, decode_logits, clock)
+            if decode_batch
+            else []
+        )
+        self.live = still_live + promoted
+        return dt
+
+    def _decode_flops(self, batch: Sequence[LiveSequence]) -> float:
+        return sum(
+            self.cost.decode_seq_flops(
+                self.model.config, seq.executor.kv_lengths(),
+                seq.executor.n_live_heads,
+            )
+            for seq in batch
+        )
+
+    def _commit_decode(
+        self,
+        batch: Sequence[LiveSequence],
+        logits: np.ndarray,
+        clock: SimulatedClock,
+    ) -> List[LiveSequence]:
+        """Sample and record each live sequence's token; retire finishers."""
         still_live: List[LiveSequence] = []
-        for row, seq in enumerate(self.live):
+        for row, seq in enumerate(batch):
             self._sync_pool(seq.seq_id, seq.executor)
             token = self.sampler(logits[row])
             seq.record.token_ids.append(token)
-            seq.record.token_latencies.append(dt)
+            seq.record.token_latencies.append(
+                clock.now - seq.last_commit_time
+            )
+            seq.last_commit_time = clock.now
             if seq.record.n_generated >= seq.request.max_new_tokens:
                 self._retire(seq, clock)
             else:
                 seq.next_token = token
                 seq.next_position += 1
                 still_live.append(seq)
-        self.live = still_live
-        return dt
+        return still_live
 
     def _sync_pool(self, seq_id: int, executor: AttentionExecutor) -> None:
         lengths = executor.kv_lengths()
         if lengths:  # executors without a KV cache have nothing to page
             self.pool.sync(seq_id, lengths)
+
+    def _sync_prefill_pool(self, seq: PrefillingSequence) -> None:
+        """Grow the sequence's pool pages to match its committed chunks.
+
+        Incremental executors report real per-layer cache lengths.
+        Deferred executors (cascade pruning runs whole-sentence on the
+        final chunk) are modeled via :func:`prefill_kv_lengths` until
+        their real lengths exist — the two coincide at the final chunk.
+        """
+        state = seq.state
+        if state.executor.supports_incremental_prefill or state.done:
+            self._sync_pool(seq.seq_id, state.executor)
+        else:
+            self.pool.sync(
+                seq.seq_id,
+                prefill_kv_lengths(
+                    self.pruning, self.model.config.n_layers,
+                    state.prompt_len, state.n_committed,
+                ),
+            )
 
     def _retire(self, seq: LiveSequence, clock: SimulatedClock) -> None:
         seq.record.status = RequestStatus.FINISHED
@@ -226,15 +428,17 @@ class ServingEngine:
                     f"holds {self.pool.n_pages}: it can never be admitted"
                 )
         records = {r.request_id: RequestRecord(r) for r in requests}
-        pending = sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
+        pending: Deque[Request] = deque(
+            sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
+        )
         clock = SimulatedClock()
         batch_sizes: List[int] = []
         occupancy: List[float] = []
 
-        while pending or self.queue or self.live:
+        while pending or self.queue or self.prefilling or self.live:
             self._ingest(pending, clock.now)
             self._admit_ready(clock, records)
-            if not self.live:
+            if not self.live and not self.prefilling:
                 if pending:
                     # Idle: jump straight to the next arrival.
                     clock.advance_to(pending[0].arrival_time)
@@ -242,8 +446,12 @@ class ServingEngine:
                 if self.queue:  # pragma: no cover - run() pre-validation
                     raise PoolExhausted("queued request can never be admitted")
                 break
-            batch_sizes.append(len(self.live))
-            self._decode_step(clock)
+            if self.prefill_chunk is None:
+                batch_sizes.append(len(self.live))
+                self._decode_step(clock)
+            else:
+                batch_sizes.append(len(self.live) + len(self.prefilling))
+                self._mixed_step(clock)
             occupancy.append(self.pool.occupancy)
 
         return ServingStats.from_run(

@@ -34,7 +34,12 @@ from typing import Dict, List, Optional
 from ..config import ModelConfig, PruningConfig
 from ..core import schedule as sched
 
-__all__ = ["PoolExhausted", "KVMemoryPool", "pruned_kv_bounds"]
+__all__ = [
+    "PoolExhausted",
+    "KVMemoryPool",
+    "pruned_kv_bounds",
+    "prefill_kv_lengths",
+]
 
 
 class PoolExhausted(RuntimeError):
@@ -68,6 +73,30 @@ def pruned_kv_bounds(
         )
         for layer in range(n_layers)
     ]
+
+
+def prefill_kv_lengths(
+    pruning: Optional[PruningConfig],
+    n_layers: int,
+    prompt_len: int,
+    n_committed: int,
+) -> List[int]:
+    """Modeled per-layer KV columns after committing a prompt prefix.
+
+    Under chunked prefill the engine grows a sequence's pool pages
+    chunk by chunk instead of all at once at admission.  Incremental
+    (dense) executors report real cache lengths — the committed prefix
+    in every layer.  Executors that defer execution to the final chunk
+    (cascade token pruning is a whole-sentence decision) are modeled
+    the same way, capped at each layer's summarize keep target from
+    :mod:`repro.core.schedule`; at the final chunk the model and the
+    executor's real post-pruning lengths coincide exactly.
+    """
+    n_committed = min(int(n_committed), prompt_len)
+    if pruning is None:
+        return [n_committed] * n_layers
+    counts = sched.token_keep_counts(pruning, n_layers, prompt_len)
+    return [min(n_committed, int(c)) for c in counts]
 
 
 @dataclass
@@ -208,7 +237,7 @@ class KVMemoryPool:
         evicting columns) returns whole pages to the pool and counts
         toward :attr:`reclaimed_pages`.  Returns pages freed this call.
         """
-        account = self._accounts[seq_id]
+        account = self._account(seq_id)
         if len(kv_lengths) != self.model.n_layers:
             raise ValueError("kv_lengths must cover every layer")
         freed = 0
@@ -236,4 +265,14 @@ class KVMemoryPool:
 
     def release(self, seq_id: int) -> None:
         """Drop a finished sequence's reservation and allocations."""
+        self._account(seq_id)
         self._accounts.pop(seq_id)
+
+    def _account(self, seq_id: int) -> _SequenceAccount:
+        account = self._accounts.get(seq_id)
+        if account is None:
+            raise ValueError(
+                f"unknown sequence {seq_id}: never admitted or already "
+                f"released"
+            )
+        return account

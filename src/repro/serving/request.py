@@ -72,7 +72,12 @@ class RequestRecord:
     first_token_time: Optional[float] = None
     finish_time: Optional[float] = None
     token_ids: List[int] = field(default_factory=list)
-    #: Simulated duration of the engine step that committed each token.
+    #: Simulated inter-token gap of each decode token: clock delta from
+    #: the previous committed token of *this* request to this one.  The
+    #: gap includes any stall the scheduler imposed between the two
+    #: steps (e.g. another request's monolithic prefill), which is what
+    #: makes decode-latency percentiles sensitive to head-of-line
+    #: blocking.  The first token's latency is ``time_to_first_token``.
     token_latencies: List[float] = field(default_factory=list)
 
     @property

@@ -20,7 +20,8 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from ..config import ModelConfig
+from ..config import ModelConfig, PruningConfig
+from ..core import schedule as sched
 from ..eval.reporting import Table
 from .request import RequestRecord
 
@@ -82,19 +83,80 @@ class CostModel:
             flops += proj + ffn + attn
         return flops
 
-    def prefill_flops(self, model: ModelConfig, prompt_len: int) -> float:
-        """FLOPs to summarize a prompt (upper bound: no pruning)."""
-        per_layer = (
-            prompt_len * (8 * model.d_model * model.d_model
-                          + 4 * model.d_model * model.d_ff)
-            + 4 * model.n_heads * prompt_len * prompt_len * model.head_dim
-        )
-        return per_layer * model.n_layers
+    def prefill_flops(
+        self,
+        model: ModelConfig,
+        prompt_len: int,
+        pruning: Optional[PruningConfig] = None,
+    ) -> float:
+        """FLOPs to summarize a whole prompt.
 
-    def prefill_time(self, model: ModelConfig, prompt_len: int) -> float:
+        Without ``pruning`` this is the dense upper bound.  With a
+        cascade schedule it is *schedule-aware*: layer ``l`` charges
+        only its surviving tokens and heads, replayed from the same
+        keep targets (:mod:`repro.core.schedule`) the executor runs —
+        so pruned prefill is genuinely cheaper on the serving clock.
+        """
+        return self.prefill_chunk_flops(model, prompt_len, 0, prompt_len,
+                                        pruning)
+
+    def prefill_chunk_flops(
+        self,
+        model: ModelConfig,
+        prompt_len: int,
+        chunk_start: int,
+        chunk_end: int,
+        pruning: Optional[PruningConfig] = None,
+    ) -> float:
+        """FLOPs to commit prompt tokens ``[chunk_start, chunk_end)``.
+
+        A chunk's queries attend only to the prefix cached so far
+        (``chunk_end`` columns), so chunked prefill charges the causal
+        ``chunk x prefix`` rectangle instead of the monolithic
+        ``prompt x prompt`` square — summing chunks therefore costs
+        *less* total attention arithmetic than one monolithic pass,
+        exactly the Sarathi-style chunked-prefill win.  With a pruning
+        schedule, layer ``l`` additionally scales queries and keys by
+        its token keep fraction and charges only live heads.
+        """
+        if not 0 <= chunk_start < chunk_end <= prompt_len:
+            raise ValueError(
+                f"invalid chunk [{chunk_start}, {chunk_end}) for prompt of "
+                f"{prompt_len} tokens"
+            )
+        d, d_ff, n_heads = model.d_model, model.d_ff, model.n_heads
+        if pruning is None:
+            token_fracs = [1.0] * model.n_layers
+            head_counts = [n_heads] * model.n_layers
+        else:
+            counts = sched.token_keep_counts(
+                pruning, model.n_layers, prompt_len
+            )
+            token_fracs = [int(c) / prompt_len for c in counts]
+            head_counts = [
+                int(h) for h in
+                sched.head_keep_counts(pruning, model.n_layers, n_heads)
+            ]
+        flops = 0.0
+        for frac, heads in zip(token_fracs, head_counts):
+            queries = frac * (chunk_end - chunk_start)
+            keys = frac * chunk_end
+            proj = 2 * d * d * (3 * heads / n_heads + 1)
+            ffn = 4 * d * d_ff
+            attn = 4 * heads * queries * keys * model.head_dim
+            flops += queries * (proj + ffn) + attn
+        return flops
+
+    def prefill_time(
+        self,
+        model: ModelConfig,
+        prompt_len: int,
+        pruning: Optional[PruningConfig] = None,
+    ) -> float:
         return (
             self.step_overhead_s
-            + self.prefill_flops(model, prompt_len) / self.flops_per_second
+            + self.prefill_flops(model, prompt_len, pruning)
+            / self.flops_per_second
         )
 
     def step_time(self, batch_flops: float, batch_size: int) -> float:
@@ -102,6 +164,26 @@ class CostModel:
             self.step_overhead_s
             + self.seq_overhead_s * batch_size
             + batch_flops / self.flops_per_second
+        )
+
+    def mixed_step_time(
+        self,
+        prefill_flops: float,
+        decode_flops: float,
+        n_prefill_seqs: int,
+        n_decode_seqs: int,
+    ) -> float:
+        """Duration of one mixed step: prefill chunks + batched decode.
+
+        A single fixed step overhead covers the whole mixed batch —
+        this is what lets chunked prefill hide prompt summarization
+        behind decode steps instead of stalling them.  Degenerates to
+        :meth:`step_time` for a decode-only step.
+        """
+        return (
+            self.step_overhead_s
+            + self.seq_overhead_s * (n_prefill_seqs + n_decode_seqs)
+            + (prefill_flops + decode_flops) / self.flops_per_second
         )
 
 
@@ -133,6 +215,9 @@ class ServingStats:
     occupancy_peak: float
     reclaimed_pages: int
     reclaimed_tokens: int
+    #: Records that never reached admission (partial / truncated runs).
+    #: They are skipped — not crashed on — when aggregating latencies.
+    n_unadmitted: int = 0
     records: List[RequestRecord] = field(default_factory=list)
 
     @staticmethod
@@ -148,8 +233,16 @@ class ServingStats:
         reclaimed_pages: int,
         reclaimed_tokens: int,
     ) -> "ServingStats":
-        queue_waits = [r.queue_wait for r in records]
-        ttfts = [r.time_to_first_token for r in records]
+        # A record that never reached admission (a partial run cut short
+        # by an error or an interrupted trace) has no queue_wait/TTFT;
+        # skip it from the latency aggregates and count it instead of
+        # crashing the whole report.
+        admitted = [r for r in records if r.admit_time is not None]
+        queue_waits = [r.queue_wait for r in admitted]
+        ttfts = [
+            r.time_to_first_token for r in admitted
+            if r.first_token_time is not None
+        ]
         decode_lat = [lat for r in records for lat in r.token_latencies]
         n_tokens = sum(r.n_generated for r in records)
         return ServingStats(
@@ -173,6 +266,7 @@ class ServingStats:
             occupancy_peak=occupancy_peak,
             reclaimed_pages=reclaimed_pages,
             reclaimed_tokens=reclaimed_tokens,
+            n_unadmitted=len(records) - len(admitted),
             records=records,
         )
 
@@ -183,6 +277,9 @@ class ServingStats:
         )
         ms = 1e3
         t.add_row("requests served", str(self.n_requests))
+        if self.n_unadmitted:
+            t.add_row("requests never admitted (partial run)",
+                      str(self.n_unadmitted))
         t.add_row("tokens generated", str(self.n_tokens))
         t.add_row("makespan (s)", f"{self.makespan_s:.3f}")
         t.add_row("throughput (tok/s)", f"{self.throughput_tps:.1f}")

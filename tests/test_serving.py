@@ -14,8 +14,11 @@ from repro.serving import (
     PoolExhausted,
     Request,
     RequestQueue,
+    RequestRecord,
     ServingEngine,
+    ServingStats,
     SimulatedClock,
+    prefill_kv_lengths,
     pruned_kv_bounds,
 )
 from repro.workloads import (
@@ -182,6 +185,37 @@ class TestKVMemoryPool:
         with pytest.raises(ValueError):
             pool.sync(0, [24, 24])  # must cover every layer
 
+    def test_unknown_sequence_raises_clear_value_error(self, serving_setup):
+        config, _, _ = serving_setup
+        pool = make_pool(config)
+        with pytest.raises(ValueError, match="unknown sequence 7"):
+            pool.sync(7, [0] * config.n_layers)
+        with pytest.raises(ValueError, match="unknown sequence 9"):
+            pool.release(9)
+        pool.admit(1, PROMPT_LEN, 4, None)
+        pool.release(1)
+        with pytest.raises(ValueError, match="unknown sequence 1"):
+            pool.release(1)  # double release
+        with pytest.raises(ValueError, match="unknown sequence 1"):
+            pool.sync(1, [0] * config.n_layers)
+
+
+class TestPrefillKVLengths:
+    def test_dense_tracks_committed_prefix(self):
+        assert prefill_kv_lengths(None, 3, 24, 0) == [0, 0, 0]
+        assert prefill_kv_lengths(None, 3, 24, 9) == [9, 9, 9]
+        assert prefill_kv_lengths(None, 3, 24, 99) == [24, 24, 24]
+
+    def test_pruned_caps_at_summarize_keep_targets(self):
+        n_layers, prompt = 6, 40
+        counts = sched.token_keep_counts(PRUNING, n_layers, prompt)
+        mid = prefill_kv_lengths(PRUNING, n_layers, prompt, 16)
+        assert mid == [min(16, int(c)) for c in counts]
+        # At full commit, the model matches the executor's real
+        # post-summarize cache lengths exactly (= the keep counts).
+        full = prefill_kv_lengths(PRUNING, n_layers, prompt, prompt)
+        assert full == [int(c) for c in counts]
+
 
 class TestBatchedDecodeEquivalence:
     @pytest.mark.parametrize(
@@ -318,6 +352,169 @@ class TestServingEngine:
             )
 
 
+class TestChunkedServing:
+    """The three-phase mixed-step scheduler (prefill_chunk != None)."""
+
+    @pytest.mark.parametrize(
+        "pruning,quant",
+        [
+            (None, None),
+            (PRUNING, None),
+            (PRUNING, QuantConfig(msb_bits=6, lsb_bits=4, progressive=True)),
+        ],
+        ids=["dense", "pruned", "pruned+quant"],
+    )
+    @pytest.mark.parametrize("chunk", [2, 8, 64])
+    def test_token_streams_bit_identical_to_monolithic(
+        self, serving_setup, pruning, quant, chunk
+    ):
+        config, model, corpus = serving_setup
+        requests = synthetic_request_trace(
+            corpus, n_requests=6, rate_per_s=400.0, prompt_len=PROMPT_LEN,
+            max_new_tokens=(3, 6), seed=37,
+        )
+        streams = {}
+        for label, prefill_chunk in (("mono", None), ("chunked", chunk)):
+            pool = make_pool(config, pages=256, page_tokens=8)
+            engine = ServingEngine(
+                model, pool, pruning=pruning, quant=quant,
+                prefill_chunk=prefill_chunk,
+            )
+            stats = engine.run(requests)
+            streams[label] = [r.token_ids for r in stats.records]
+            assert all(
+                r.n_generated == r.request.max_new_tokens
+                for r in stats.records
+            )
+        assert streams["chunked"] == streams["mono"]
+
+    def test_priority_order_admission_under_pool_contention(
+        self, serving_setup
+    ):
+        config, model, corpus = serving_setup
+        prompts = lm_prompts(corpus, PROMPT_LEN, 3, seed=41)
+        requests = [
+            Request(0, prompts[0], 4, arrival_time=0.0, priority=2),
+            Request(1, prompts[1], 4, arrival_time=0.0, priority=1),
+            Request(2, prompts[2], 4, arrival_time=0.0, priority=0),
+        ]
+        # Exactly one dense reservation fits at a time.
+        pool = make_pool(config, pages=16, page_tokens=8)
+        stats = ServingEngine(model, pool, prefill_chunk=8).run(requests)
+        by_id = {r.request.request_id: r for r in stats.records}
+        # Admission strictly follows priority, not request id / push order.
+        assert (
+            by_id[2].admit_time < by_id[1].admit_time < by_id[0].admit_time
+        )
+        # Later admissions wait for the pool, i.e. the predecessor retired.
+        assert by_id[1].admit_time >= by_id[2].finish_time
+        assert by_id[0].admit_time >= by_id[1].finish_time
+
+    def test_pool_pages_grow_chunk_by_chunk_dense(self, serving_setup):
+        config, model, corpus = serving_setup
+        prompt = lm_prompts(corpus, PROMPT_LEN, 1, seed=43)[0]
+        request = Request(0, prompt, 4, arrival_time=0.0)
+        pool = make_pool(config, pages=64, page_tokens=8)
+        engine = ServingEngine(model, pool, prefill_chunk=8)
+        clock = SimulatedClock()
+        engine._reserve(request, clock, RequestRecord(request))
+        assert pool.allocated_pages == 0  # reservation allocates nothing
+        for committed in (8, 16, 24):  # PROMPT_LEN == 24
+            engine._mixed_step(clock)
+            want = config.n_layers * -(-committed // pool.page_tokens)
+            assert pool.allocated_pages == want
+        assert not engine.prefilling
+        assert len(engine.live) == 1  # promoted on the final chunk
+        assert engine.live[0].record.first_token_time == clock.now
+
+    def test_pool_pages_grow_chunk_by_chunk_spatten(self, serving_setup):
+        config, model, corpus = serving_setup
+        prompt = lm_prompts(corpus, PROMPT_LEN, 1, seed=47)[0]
+        request = Request(0, prompt, 4, arrival_time=0.0)
+        pool = make_pool(config, pages=64, page_tokens=8)
+        engine = ServingEngine(model, pool, pruning=PRUNING, prefill_chunk=8)
+        clock = SimulatedClock()
+        engine._reserve(request, clock, RequestRecord(request))
+        assert pool.allocated_pages == 0
+        for committed in (8, 16, 24):
+            engine._mixed_step(clock)
+            lengths = prefill_kv_lengths(
+                PRUNING, config.n_layers, PROMPT_LEN, committed
+            )
+            want = sum(pool.pages_for_tokens(n) for n in lengths)
+            assert pool.allocated_pages == want
+        # The modeled growth converged onto the executor's real pruned
+        # cache lengths — nothing was spuriously "reclaimed" mid-prefill.
+        assert pool.reclaimed_pages == 0
+        assert len(engine.live) == 1
+
+    def test_prefill_never_stalls_live_decode(self, serving_setup):
+        """The head-of-line fix, observed directly on inter-token gaps.
+
+        Request 1 arrives while request 0 decodes.  Monolithically its
+        whole prompt lands inside one clock advance, so request 0's
+        next inter-token gap swallows the full prefill; chunked, every
+        gap stays bounded by a mixed step that carries at most one
+        chunk of the new prompt.
+        """
+        config, model, corpus = serving_setup
+        prompts = lm_prompts(corpus, PROMPT_LEN, 2, seed=53)
+        worst = {}
+        for label, chunk in (("mono", None), ("chunked", 4)):
+            requests = [
+                Request(0, prompts[0], 12, arrival_time=0.0),
+                Request(1, prompts[1], 4, arrival_time=1e-4),
+            ]
+            pool = make_pool(config, pages=64, page_tokens=8)
+            stats = ServingEngine(model, pool, prefill_chunk=chunk).run(
+                requests
+            )
+            worst[label] = max(stats.records[0].token_latencies)
+        prefill_s = CostModel().prefill_time(config, PROMPT_LEN)
+        assert worst["mono"] > prefill_s  # the stall is visible...
+        assert worst["chunked"] < worst["mono"]  # ...and chunking removes it
+
+    def test_invalid_prefill_chunk_rejected(self, serving_setup):
+        config, model, _ = serving_setup
+        pool = make_pool(config)
+        with pytest.raises(ValueError, match="prefill_chunk"):
+            ServingEngine(model, pool, prefill_chunk=0)
+
+
+class TestStatsPartialRuns:
+    def test_from_run_skips_and_counts_unadmitted_records(self):
+        served = RequestRecord(Request(0, [1, 2], 2, arrival_time=0.1))
+        served.admit_time = 0.5
+        served.first_token_time = 0.7
+        served.token_ids = [3, 4]
+        served.token_latencies = [0.1]
+        stranded = RequestRecord(Request(1, [1, 2], 2, arrival_time=0.2))
+        stats = ServingStats.from_run(
+            mode="dense", records=[served, stranded], makespan_s=1.0,
+            batch_sizes=[1], occupancy_samples=[0.5], pool_pages=4,
+            pool_page_tokens=8, occupancy_peak=0.5, reclaimed_pages=0,
+            reclaimed_tokens=0,
+        )
+        assert stats.n_unadmitted == 1
+        assert stats.n_requests == 2
+        assert stats.queue_wait_p50 == pytest.approx(0.4)
+        assert stats.ttft_p95 == pytest.approx(0.6)
+        assert "never admitted" in str(stats.table())
+
+    def test_fully_served_runs_report_no_unadmitted(self):
+        record = RequestRecord(Request(0, [1], 1, arrival_time=0.0))
+        record.admit_time = 0.0
+        record.first_token_time = 0.1
+        record.token_ids = [5]
+        stats = ServingStats.from_run(
+            mode="dense", records=[record], makespan_s=0.2, batch_sizes=[1],
+            occupancy_samples=[0.1], pool_pages=4, pool_page_tokens=8,
+            occupancy_peak=0.1, reclaimed_pages=0, reclaimed_tokens=0,
+        )
+        assert stats.n_unadmitted == 0
+        assert "never admitted" not in str(stats.table())
+
+
 class TestCostModelAndClock:
     def test_clock_is_monotone(self):
         clock = SimulatedClock()
@@ -341,6 +538,52 @@ class TestCostModelAndClock:
         one = cost.step_time(1e6, 1)
         eight = cost.step_time(8e6, 8)
         assert eight < 8 * one  # batching amortises the fixed overhead
+
+    def test_prefill_flops_are_schedule_aware(self, serving_setup):
+        config, _, _ = serving_setup
+        cost = CostModel()
+        dense = cost.prefill_flops(config, 48)
+        pruned = cost.prefill_flops(config, 48, PRUNING)
+        assert pruned < dense
+        assert cost.prefill_time(config, 48, PRUNING) < cost.prefill_time(
+            config, 48
+        )
+
+    def test_chunk_flops_sum_below_monolithic_square(self, serving_setup):
+        """Chunks charge causal chunk x prefix rectangles, not L x L."""
+        config, _, _ = serving_setup
+        cost = CostModel()
+        for pruning in (None, PRUNING):
+            whole = cost.prefill_flops(config, 48, pruning)
+            chunked = sum(
+                cost.prefill_chunk_flops(config, 48, s, s + 16, pruning)
+                for s in (0, 16, 32)
+            )
+            assert chunked < whole
+            # A single full-width chunk is exactly the monolithic charge.
+            assert cost.prefill_chunk_flops(
+                config, 48, 0, 48, pruning
+            ) == pytest.approx(whole)
+
+    def test_chunk_flops_validate_span(self, serving_setup):
+        config, _, _ = serving_setup
+        cost = CostModel()
+        for start, end in ((-1, 8), (8, 8), (40, 56)):
+            with pytest.raises(ValueError):
+                cost.prefill_chunk_flops(config, 48, start, end)
+
+    def test_mixed_step_degenerates_to_decode_step(self):
+        cost = CostModel()
+        assert cost.mixed_step_time(0.0, 5e6, 0, 4) == pytest.approx(
+            cost.step_time(5e6, 4)
+        )
+        # Prefill chunks riding along only add their arithmetic + per-seq
+        # bookkeeping — no second fixed step overhead.
+        mixed = cost.mixed_step_time(2e6, 5e6, 2, 4)
+        assert mixed == pytest.approx(
+            cost.step_time(5e6, 4) + 2e6 / cost.flops_per_second
+            + 2 * cost.seq_overhead_s
+        )
 
 
 class TestTraceKVBytes:

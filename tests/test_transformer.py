@@ -133,3 +133,96 @@ class TestDenseExecutorEquivalence:
         gen = tiny_decoder.generate(sample_tokens, 3, collect_records=True)
         n_keys = [records[0].n_keys for records in gen.step_records]
         assert n_keys == [len(sample_tokens) + 1 + i for i in range(3)]
+
+
+class TestChunkedPrefill:
+    """Resumable prefill (prefill_begin / prefill_chunk) bit-equivalence."""
+
+    @pytest.mark.parametrize("chunk", [1, 2, 3, 8, 64])
+    def test_dense_chunked_logits_bit_identical(
+        self, tiny_decoder, sample_tokens, chunk
+    ):
+        mono_executor = DenseExecutor()
+        mono = tiny_decoder.prefill(sample_tokens, mono_executor)
+        executor = DenseExecutor()
+        state = tiny_decoder.prefill_begin(sample_tokens, executor)
+        logits = None
+        while not state.done:
+            logits = tiny_decoder.prefill_chunk(state, chunk)
+        assert np.array_equal(logits, mono)
+        assert np.array_equal(state.logits, mono)
+        # The KV caches are byte-for-byte the monolithic ones too.
+        for layer in range(tiny_decoder.config.n_layers):
+            assert np.array_equal(
+                executor._cache[layer].keys, mono_executor._cache[layer].keys
+            )
+            assert np.array_equal(
+                executor._cache[layer].values,
+                mono_executor._cache[layer].values,
+            )
+
+    def test_single_token_prompt(self, tiny_decoder):
+        mono = tiny_decoder.prefill([5], DenseExecutor())
+        state = tiny_decoder.prefill_begin([5], DenseExecutor())
+        assert np.array_equal(tiny_decoder.prefill_chunk(state, 4), mono)
+
+    def test_batch_mixes_prompt_lengths(self, tiny_decoder, rng):
+        prompts = [
+            rng.integers(0, 64, size=n).tolist() for n in (5, 11, 20)
+        ]
+        states = [tiny_decoder.prefill_begin(p) for p in prompts]
+        done = {}
+        remaining = list(states)
+        while remaining:
+            for state, logits in zip(
+                remaining, tiny_decoder.prefill_chunk_batch(remaining, 4)
+            ):
+                if logits is not None:
+                    done[id(state)] = logits
+            remaining = [s for s in remaining if not s.done]
+        for prompt, state in zip(prompts, states):
+            mono = tiny_decoder.prefill(prompt, DenseExecutor())
+            assert np.array_equal(done[id(state)], mono)
+
+    def test_chunked_then_decode_matches_generate(
+        self, tiny_decoder, sample_tokens
+    ):
+        reference = tiny_decoder.generate(sample_tokens, 5).token_ids
+        state = tiny_decoder.prefill_begin(sample_tokens)
+        logits = None
+        while not state.done:
+            logits = tiny_decoder.prefill_chunk(state, 7)
+        tokens = [int(np.argmax(logits))]
+        position = len(sample_tokens)
+        for _ in range(4):
+            step = tiny_decoder.decode_step_batch(
+                [tokens[-1]], [position], [state.executor]
+            )
+            tokens.append(int(np.argmax(step[0])))
+            position += 1
+        assert tokens == reference
+
+    def test_spans_never_leave_single_row_chunks(self, tiny_decoder):
+        state = tiny_decoder.prefill_begin(list(range(9)))
+        spans = []
+        while not state.done:
+            start, end = state.next_span(4)
+            spans.append((start, end))
+            tiny_decoder.prefill_chunk(state, 4)
+        assert spans == [(0, 4), (4, 9)]  # 1-token orphan absorbed
+        # And a chunk size of 1 is silently widened to 2 rows.
+        state = tiny_decoder.prefill_begin(list(range(4)))
+        assert state.next_span(1) == (0, 2)
+
+    def test_validation(self, tiny_encoder, tiny_decoder, sample_tokens):
+        with pytest.raises(ValueError, match="causal"):
+            tiny_encoder.prefill_begin(sample_tokens)
+        with pytest.raises(ValueError):
+            tiny_decoder.prefill_begin([])
+        state = tiny_decoder.prefill_begin(sample_tokens)
+        with pytest.raises(ValueError, match="max_tokens"):
+            tiny_decoder.prefill_chunk(state, 0)
+        while not state.done:
+            tiny_decoder.prefill_chunk(state, 64)
+        with pytest.raises(ValueError, match="complete"):
+            tiny_decoder.prefill_chunk(state, 4)
