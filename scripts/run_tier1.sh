@@ -8,4 +8,6 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 python -m pytest -x -q "$@"
 python -m pytest -q -m smoke tests/test_serving.py \
-    benchmarks/bench_serving_throughput.py
+    tests/test_packed_decode.py \
+    benchmarks/bench_serving_throughput.py \
+    benchmarks/bench_decode_step.py

@@ -157,7 +157,8 @@ def _serve(args) -> int:
             page_tokens=args.page_tokens,
         )
         engine = ServingEngine(
-            model, pool, pruning=mode_pruning, prefill_chunk=prefill_chunk
+            model, pool, pruning=mode_pruning, prefill_chunk=prefill_chunk,
+            attention_backend=args.attention_backend,
         )
         stats = engine.run(requests)
         throughputs[mode] = stats.throughput_tps
@@ -190,6 +191,13 @@ def main(argv=None) -> int:
                             "(stalls the live decode batch)")
     serve.add_argument("--mode", choices=("dense", "spatten", "both"),
                        default="both", help="attention path(s) to serve with")
+    serve.add_argument("--attention-backend", choices=("packed", "looped"),
+                       default="packed",
+                       help="decode attention backend: 'packed' batches "
+                            "projections and the dense attention core "
+                            "across the live batch (default); 'looped' "
+                            "keeps the per-sequence oracle (bit-identical "
+                            "tokens, slower wall clock)")
     serve.add_argument("--pool-kib", type=int, default=768,
                        help="KV memory-pool budget in KiB")
     serve.add_argument("--page-tokens", type=int, default=16,

@@ -26,7 +26,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from ..config import ModelConfig, PruningConfig, QuantConfig
-from ..nn.attention import AttentionRecord, expand_pruned_heads
+from ..nn.attention import AttentionRecord, expand_pruned_heads, merge_heads
 from ..nn.functional import softmax
 from ..nn.kv_cache import KVCache
 from ..nn.transformer import AttentionExecutor, LayerExecution, TransformerModel
@@ -51,15 +51,20 @@ class SpAttenExecutor(AttentionExecutor):
             pure-reference path.
         quant: progressive-quantization settings, or ``None`` for fp
             numerics.
+        kv_page_tokens: KV-cache growth quantum in columns; the serving
+            engine passes its memory pool's page size so buffer growth
+            and pool-page accounting share one unit.
     """
 
     def __init__(
         self,
         pruning: Optional[PruningConfig] = None,
         quant: Optional[QuantConfig] = None,
+        kv_page_tokens: int = 16,
     ):
         self.pruning = pruning or PruningConfig()
         self.quant = quant
+        self._kv_page_tokens = kv_page_tokens
         # Per-sequence state (populated by begin_sequence).
         self._model_config: Optional[ModelConfig] = None
         self.token_acc: Optional[TokenImportanceAccumulator] = None
@@ -88,6 +93,7 @@ class SpAttenExecutor(AttentionExecutor):
             KVCache(
                 cfg.n_layers, cfg.n_heads, cfg.head_dim,
                 bytes_per_element=cfg.bytes_per_element,
+                page_tokens=self._kv_page_tokens,
             )
             if cfg.causal
             else None
@@ -217,7 +223,13 @@ class SpAttenExecutor(AttentionExecutor):
         x: np.ndarray,
         positions: np.ndarray,
         stage: str,
+        projected=None,
     ) -> LayerExecution:
+        if projected is not None:
+            raise ValueError(
+                "SpAttenExecutor projects live heads itself; precomputed "
+                "projections are only consumed via decode_attend_packed"
+            )
         if stage == "summarize":
             return self._run_summarize(layer_idx, model, x, positions)
         if stage == "decode":
@@ -255,6 +267,31 @@ class SpAttenExecutor(AttentionExecutor):
         stage: str,
     ) -> Tuple[np.ndarray, AttentionRecord]:
         """Local V pruning, importance accumulation, output projection."""
+        merged, record = self._finish_layer_merged(
+            model, layer_idx, probs, v_live, key_ids, query_ids,
+            lsb_fraction, stage,
+        )
+        output = model.attention(layer_idx).project_merged(merged)
+        return output, record
+
+    def _finish_layer_merged(
+        self,
+        model: TransformerModel,
+        layer_idx: int,
+        probs: np.ndarray,
+        v_live: np.ndarray,
+        key_ids: np.ndarray,
+        query_ids: np.ndarray,
+        lsb_fraction: float,
+        stage: str,
+    ) -> Tuple[np.ndarray, AttentionRecord]:
+        """Everything in :meth:`_finish_layer` except the output FC.
+
+        Returns the merged full-width head features ``[L, h*D]`` so the
+        packed decode backend can batch the output projection across
+        sequences (:mod:`repro.nn.batched_attention`); the looped path
+        applies the same FC per sequence, which is bit-identical.
+        """
         kept_per_head = local_value_keep_indices(probs, self.pruning.value_keep)
         head_out, kept_counts = apply_local_value_pruning(
             probs, v_live, kept_per_head
@@ -264,7 +301,7 @@ class SpAttenExecutor(AttentionExecutor):
 
         cfg = self._model_config
         full = expand_pruned_heads(head_out, self._alive_heads, cfg.n_heads)
-        output = model.attention(layer_idx).output_projection(full)
+        merged = merge_heads(full)
         record = AttentionRecord(
             probs=probs,
             head_outputs=head_out,
@@ -285,7 +322,7 @@ class SpAttenExecutor(AttentionExecutor):
                 lsb_fraction=lsb_fraction,
             )
         )
-        return output, record
+        return merged, record
 
     def _run_summarize(
         self,
@@ -340,18 +377,18 @@ class SpAttenExecutor(AttentionExecutor):
         )
         return LayerExecution(output, record, kept_rows)
 
-    def _run_decode(
-        self,
-        layer_idx: int,
-        model: TransformerModel,
-        x: np.ndarray,
-        positions: np.ndarray,
-    ) -> LayerExecution:
-        cfg = self._model_config
+    def _decode_control(self, layer_idx: int, positions: np.ndarray) -> None:
+        """Pre-projection decode control: pruning decisions + eviction.
+
+        Everything in a decode layer that precedes the Q/K/V projection:
+        admitting the new token to the live set (layer 0), cascade token
+        pruning over the global live set, cascade head pruning, and
+        evicting pruned columns from this layer's KV cache.  Shared
+        verbatim by the looped and packed decode paths, so both commit
+        exactly the same pruning decisions.
+        """
         if self._original_length is None:
             raise RuntimeError("decode before summarize; call encode/generate")
-        if len(x) != 1:
-            raise ValueError("decode processes exactly one token")
 
         if layer_idx == 0:
             # A new token enters the live set.
@@ -382,7 +419,24 @@ class SpAttenExecutor(AttentionExecutor):
         if len(keep_cols) < len(layer_cache):
             layer_cache.keep(keep_cols)
 
-        q_live, k_live, v_live = self._project_live(model, layer_idx, x)
+    def _decode_attend_merged(
+        self,
+        layer_idx: int,
+        model: TransformerModel,
+        q_live: np.ndarray,
+        k_live: np.ndarray,
+        v_live: np.ndarray,
+        positions: np.ndarray,
+    ) -> Tuple[np.ndarray, AttentionRecord]:
+        """Post-projection decode core; returns merged ``[1, h*D]``.
+
+        Appends the (full-width, dead-head-zeroed) K/V column, runs the
+        quantization-aware attention probabilities over the live heads,
+        and finishes with local value pruning and importance
+        accumulation — everything except the output FC.
+        """
+        cfg = self._model_config
+        layer_cache = self._cache[layer_idx]
         k_full = np.zeros((cfg.n_heads, 1, cfg.head_dim))
         v_full = np.zeros_like(k_full)
         k_full[self._alive_heads] = k_live
@@ -394,8 +448,64 @@ class SpAttenExecutor(AttentionExecutor):
         v_use = layer_cache.values[self._alive_heads]
         probs, lsb_fraction = self._attention_probs(q_live, k_use, mask=None)
         v_used = self._quantize_values(v_use)
-        output, record = self._finish_layer(
+        return self._finish_layer_merged(
             model, layer_idx, probs, v_used, key_ids, positions,
             lsb_fraction, "decode",
         )
+
+    def _run_decode(
+        self,
+        layer_idx: int,
+        model: TransformerModel,
+        x: np.ndarray,
+        positions: np.ndarray,
+    ) -> LayerExecution:
+        if len(x) != 1:
+            raise ValueError("decode processes exactly one token")
+        self._decode_control(layer_idx, positions)
+        q_live, k_live, v_live = self._project_live(model, layer_idx, x)
+        merged, record = self._decode_attend_merged(
+            layer_idx, model, q_live, k_live, v_live, positions
+        )
+        output = model.attention(layer_idx).project_merged(merged)
         return LayerExecution(output, record, np.arange(1))
+
+    # ------------------------------------------------------------------
+    # Packed decode protocol (repro.nn.batched_attention)
+    # ------------------------------------------------------------------
+    @property
+    def packed_decode_style(self) -> str:
+        """The backend supplies projections; SpAtten runs its own core.
+
+        Cascade pruning decisions, per-sequence surviving-head gathers,
+        progressive quantization (whose scales are data-dependent), and
+        trace accounting are inherently per-sequence, so only the
+        projections and the output FC are batched for this executor.
+        """
+        return "custom" if self._cache is not None else "none"
+
+    def decode_attend_packed(
+        self,
+        layer_idx: int,
+        model: TransformerModel,
+        q_full: np.ndarray,
+        k_full: np.ndarray,
+        v_full: np.ndarray,
+        positions: np.ndarray,
+    ) -> np.ndarray:
+        """Per-sequence decode core on backend-projected full-width rows.
+
+        Gathers the surviving-head slices from the full-width
+        projections — bit-identical to :meth:`_project_live`'s
+        project-then-gather, since per-head projections are independent
+        output columns — and runs exactly the looped control + attend
+        path, returning the merged pre-projection features ``[1, h*D]``.
+        """
+        self._decode_control(layer_idx, positions)
+        q_live = q_full[self._alive_heads]
+        k_live = k_full[self._alive_heads]
+        v_live = v_full[self._alive_heads]
+        merged, _ = self._decode_attend_merged(
+            layer_idx, model, q_live, k_live, v_live, positions
+        )
+        return merged

@@ -10,6 +10,7 @@ Public surface:
 """
 
 from .beam import BeamHypothesis, beam_search
+from .batched_attention import ATTENTION_BACKENDS, PackedDecodeBackend
 from .attention import (
     AttentionRecord,
     AttentionWeights,
@@ -56,6 +57,8 @@ from .weights import (
 __all__ = [
     "BeamHypothesis",
     "beam_search",
+    "ATTENTION_BACKENDS",
+    "PackedDecodeBackend",
     "AttentionRecord",
     "AttentionWeights",
     "MultiHeadAttention",

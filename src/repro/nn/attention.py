@@ -165,7 +165,10 @@ def scaled_dot_attention(
     """
     head_dim = q.shape[-1]
     scores = q @ k.transpose(0, 2, 1) / np.sqrt(head_dim)
-    if mask is not None:
+    if mask is not None and not mask.all():
+        # An all-True mask excludes nothing; skipping it avoids an
+        # [h, L0, L1]-sized np.where copy (values are unchanged either
+        # way, so the fast path is bit-identical).
         scores = np.where(mask[None, :, :], scores, -1e30)
     probs = softmax(scores, axis=-1)
     return probs @ v, probs
@@ -205,7 +208,15 @@ class MultiHeadAttention:
         pruning); callers must expand back to the full width first — see
         :func:`expand_pruned_heads`.
         """
-        merged = merge_heads(head_outputs)
+        return self.project_merged(merge_heads(head_outputs))
+
+    def project_merged(self, merged: np.ndarray) -> np.ndarray:
+        """Output FC over already-merged head features ``[L, h*D]``.
+
+        Split out of :meth:`output_projection` so the packed decode
+        backend (:mod:`repro.nn.batched_attention`) can collect merged
+        rows across a batch and run this FC as one batched matmul.
+        """
         return merged @ self.weights.wo + self.weights.bo
 
     def forward(
@@ -214,6 +225,7 @@ class MultiHeadAttention:
         causal: bool = False,
         kv: Optional[Tuple[np.ndarray, np.ndarray]] = None,
         query_offset: int = 0,
+        q: Optional[np.ndarray] = None,
     ) -> Tuple[np.ndarray, AttentionRecord]:
         """Full dense forward.
 
@@ -225,11 +237,16 @@ class MultiHeadAttention:
                 (generation stage: the concatenated KV cache).
             query_offset: absolute position of ``x[0]`` for causal
                 masking in the generation stage.
+            q: pre-computed queries ``[h, L0, D]`` (the packed backend
+                projects a whole batch's rows in one matmul and hands
+                each sequence its slice); projected from ``x`` when
+                omitted.
 
         Returns:
             ``(attention_out [L0, d_model], AttentionRecord)``.
         """
-        q = self.project_q(x)
+        if q is None:
+            q = self.project_q(x)
         if kv is None:
             k, v = self.project_kv(x)
         else:

@@ -1,0 +1,317 @@
+"""Packed batched attention backend for the serving decode hot path.
+
+The looped decode path issues ``B × n_layers`` separate single-row
+``run_layer`` calls per mixed step — dozens of tiny NumPy ops per
+sequence per layer, which leaves the interpreter, not BLAS, as the
+bottleneck (PAPER.md §IV's accelerator wins precisely because it feeds
+wide batched Q·K·V units).  :class:`PackedDecodeBackend` restructures
+one decode step so that everything that *can* run as a single
+batch-level BLAS call does:
+
+* **fused Q/K/V projection** — one ``[B, 1, d] @ [d, 3d]`` matmul per
+  layer replaces ``3B`` single-row GEMMs;
+* **central dense attention core** — scores, the length-masked softmax,
+  and A·V run over zero-copy views of each sequence's preallocated KV
+  buffers (:class:`~repro.nn.kv_cache.LayerKVCache`), with the
+  elementwise softmax stages (max, shift, exp, normalize) batched
+  across sequences in a reusable padded scratch tensor;
+* **fused output FC** — one ``[B, 1, h·D] @ [d, d]`` matmul replaces
+  ``B`` per-sequence projections;
+* **fused chunk projection** — during chunked prefill, the Q/K/V
+  projections of every in-flight prompt's chunk run as one GEMM over
+  the concatenated rows.
+
+Bit-identity contract
+---------------------
+
+The packed path must produce logits **bit-identical** to the looped
+oracle (``tests/test_packed_decode.py`` enforces this property across
+executors, ragged lengths, pruned-head sets, and mid-generation
+evictions).  That constraint dictates the design, because BLAS
+reductions are not grouping-invariant:
+
+* multi-slice ``np.matmul`` (the gufunc) computes each 2-D slice with
+  the same kernel as a standalone single-row matmul, so batching the
+  projections is exact — but a *2-D* ``[B, d] @ [d, d]`` GEMM is not
+  (single-row products take a GEMV-shaped path whose accumulation
+  differs in the last ulp);
+* fusing Q/K/V into one ``[d, 3d]`` weight is exact (output columns are
+  independent), and concatenating chunk rows is exact for blocks of
+  ≥ 2 rows (row blocks of a GEMM are independent) — single-row chunks
+  are projected solo;
+* zero-padding the *reduction* axis is **not** exact on OpenBLAS (the
+  k-loop blocking changes with length), so scores and A·V run per
+  sequence at exact lengths over zero-copy cache views, never over a
+  padded pack;
+* ``max`` is order-exact, and exp/shift/normalize are elementwise, so
+  those softmax stages batch across the padded scratch; the softmax
+  *denominator* (a length-sensitive pairwise sum) reduces per sequence
+  over exact-length views.
+
+Executors opt in through
+:attr:`~repro.nn.transformer.AttentionExecutor.packed_decode_style`:
+dense caches run the central core above; SpAtten executors run their
+own per-sequence core (cascade pruning decisions, progressive
+quantization, trace accounting) on backend-supplied projections, with
+per-sequence surviving-head sets honored by gathering live-head slices
+from the full-width rows; anything else falls back to ``run_layer``
+with unchanged semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .attention import split_heads
+from .transformer import AttentionExecutor, TransformerModel
+
+__all__ = ["PackedDecodeBackend", "ATTENTION_BACKENDS"]
+
+#: Selectable attention backends for the serving decode path.
+ATTENTION_BACKENDS = ("looped", "packed")
+
+#: Sentinel score for padding columns; matches the masking convention of
+#: :func:`repro.nn.attention.scaled_dot_attention` and underflows to an
+#: exact 0.0 after the softmax's exp.
+_MASKED = -1e30
+
+
+class PackedDecodeBackend:
+    """Batched attention executor state shared across decode steps.
+
+    One backend instance serves one model; the serving engine creates it
+    once and passes it to every
+    :meth:`~repro.nn.transformer.TransformerModel.decode_step_batch` /
+    :meth:`~repro.nn.transformer.TransformerModel.prefill_chunk_batch`
+    call.  The backend holds the fused per-layer projection weights and
+    reusable scratch tensors (scores, denominators, head outputs), which
+    grow page-aligned with the live batch instead of being rebuilt every
+    step.
+    """
+
+    def __init__(self, model: TransformerModel, scratch_page_tokens: int = 64):
+        if scratch_page_tokens < 1:
+            raise ValueError("scratch_page_tokens must be >= 1")
+        self._model = model
+        self._scratch_page = scratch_page_tokens
+        cfg = model.config
+        d = cfg.d_model
+        # Fused [d, 3d] QKV weights: output column blocks of a GEMM are
+        # independent, so (x @ wqkv)[:, :d] is bit-identical to x @ wq.
+        self._wqkv: List[np.ndarray] = []
+        self._bqkv: List[np.ndarray] = []
+        for layer_idx in range(cfg.n_layers):
+            w = model.attention(layer_idx).weights
+            self._wqkv.append(np.concatenate([w.wq, w.wk, w.wv], axis=1))
+            self._bqkv.append(np.concatenate([w.bq, w.bk, w.bv]))
+        # Reusable scratch, grown on demand.
+        self._scores = np.zeros((0, cfg.n_heads, 1, 0))
+        self._denom = np.zeros((0, cfg.n_heads, 1, 1))
+        self._head_out = np.zeros((0, cfg.n_heads, 1, cfg.head_dim))
+        self._merged = np.zeros((0, 1, d))
+
+    # ------------------------------------------------------------------
+    # Scratch management
+    # ------------------------------------------------------------------
+    def _scores_scratch(self, n: int, max_len: int) -> np.ndarray:
+        h = self._model.config.n_heads
+        if self._scores.shape[0] < n or self._scores.shape[3] < max_len:
+            pages = -(-max_len // self._scratch_page)
+            cap = max(pages * self._scratch_page, self._scores.shape[3])
+            self._scores = np.zeros((max(n, self._scores.shape[0]), h, 1, cap))
+        return self._scores[:n, :, :, :max_len]
+
+    def _batch_scratch(self, n: int) -> Tuple[np.ndarray, np.ndarray]:
+        cfg = self._model.config
+        if self._denom.shape[0] < n:
+            self._denom = np.zeros((n, cfg.n_heads, 1, 1))
+            self._head_out = np.zeros((n, cfg.n_heads, 1, cfg.head_dim))
+        return self._denom[:n], self._head_out[:n]
+
+    def _merged_scratch(self, batch: int) -> np.ndarray:
+        d = self._model.config.d_model
+        if self._merged.shape[0] < batch:
+            self._merged = np.zeros((batch, 1, d))
+        return self._merged[:batch]
+
+    # ------------------------------------------------------------------
+    # Decode
+    # ------------------------------------------------------------------
+    def decode_layer(
+        self,
+        model: TransformerModel,
+        layer_idx: int,
+        x: np.ndarray,
+        positions: np.ndarray,
+        executors: Sequence[AttentionExecutor],
+    ) -> np.ndarray:
+        """Packed attention of one block over a decode batch.
+
+        Returns ``attn_out [B, d_model]``, bit-identical to
+        concatenating the looped per-sequence ``run_layer`` outputs.
+        """
+        if model is not self._model:
+            raise ValueError(
+                "PackedDecodeBackend is bound to a different model; create "
+                "one backend per TransformerModel"
+            )
+        cfg = model.config
+        d, n_heads, head_dim = cfg.d_model, cfg.n_heads, cfg.head_dim
+        batch = len(executors)
+
+        # Fused batched QKV projection.  The gufunc computes each [1, d]
+        # slice with the single-row kernel, so row i is bit-identical to
+        # the looped path's x[i:i+1] @ w projections.
+        qkv = np.matmul(x[:, None, :], self._wqkv[layer_idx])
+        qkv += self._bqkv[layer_idx]
+
+        merged = self._merged_scratch(batch)
+        dense_rows: List[Tuple[int, np.ndarray, object]] = []
+        fallback_rows: List[int] = []
+        for i, executor in enumerate(executors):
+            row = qkv[i]  # [1, 3d]
+            style = executor.packed_decode_style
+            if style == "none":
+                # Fallback rows ride through the batched GEMMs and are
+                # overwritten below; opt-out executors are rare enough
+                # that the wasted rows cost less than gathering the
+                # batch around them.
+                fallback_rows.append(i)
+                continue
+            q = split_heads(row[:, :d], n_heads)
+            k_new = split_heads(row[:, d : 2 * d], n_heads)
+            v_new = split_heads(row[:, 2 * d :], n_heads)
+            if style == "dense":
+                cache = executor.decode_kv_append(
+                    layer_idx, k_new, v_new, positions[i : i + 1]
+                )
+                dense_rows.append((i, q, cache))
+            elif style == "custom":
+                merged[i] = executor.decode_attend_packed(
+                    layer_idx, model, q, k_new, v_new, positions[i : i + 1]
+                )
+            else:
+                raise ValueError(
+                    f"unknown packed_decode_style {style!r} from "
+                    f"{type(executor).__name__}"
+                )
+        if dense_rows:
+            self._dense_core(dense_rows, merged, head_dim)
+
+        # Fused batched output FC over every packed sequence's merged
+        # head features (row blocks are independent, so each row equals
+        # the looped [1, h*D] @ wo product).
+        weights = model.attention(layer_idx).weights
+        out = np.matmul(merged, weights.wo)
+        out += weights.bo
+        attn_out = out[:, 0, :]
+        for i in fallback_rows:
+            attn_out[i] = executors[i].run_layer(
+                layer_idx, model, x[i : i + 1], positions[i : i + 1], "decode"
+            ).output[0]
+        return attn_out
+
+    def _dense_core(
+        self,
+        dense_rows: List[Tuple[int, np.ndarray, object]],
+        merged: np.ndarray,
+        head_dim: int,
+    ) -> None:
+        """Attention core for the cache-only (dense) sequences.
+
+        Scores and A·V run per sequence at exact lengths over zero-copy
+        cache views (BLAS reductions are not padding-invariant); the
+        elementwise softmax stages batch across the padded scratch.
+        """
+        lens = [len(cache) for (_, _, cache) in dense_rows]
+        n, max_len, min_len = len(dense_rows), max(lens), min(lens)
+        scores = self._scores_scratch(n, max_len)
+        if min_len < max_len:
+            # Mask the ragged tail once for the whole batch; each
+            # sequence's real columns are then overwritten in place by
+            # its exact-length scores below.
+            scores[:, :, :, min_len:] = _MASKED
+        for j, (_, q, cache) in enumerate(dense_rows):
+            np.matmul(
+                q, cache.keys.transpose(0, 2, 1), out=scores[j, :, :, : lens[j]]
+            )
+        scores /= np.sqrt(head_dim)
+        # max is order-exact and shift/exp/normalize are elementwise, so
+        # they batch; the denominator's pairwise sum is length-sensitive
+        # and reduces per sequence over the exact live width.
+        shift = scores.max(axis=-1, keepdims=True)
+        scores -= shift
+        np.exp(scores, out=scores)
+        denom, head_out = self._batch_scratch(n)
+        for j in range(n):
+            np.sum(
+                scores[j, :, :, : lens[j]], axis=-1, keepdims=True,
+                out=denom[j],
+            )
+        scores /= denom
+        for j, (_, _, cache) in enumerate(dense_rows):
+            np.matmul(scores[j, :, :, : lens[j]], cache.values, out=head_out[j])
+        rows = [i for (i, _, _) in dense_rows]
+        merged[rows] = head_out.transpose(0, 2, 1, 3).reshape(n, 1, -1)
+
+    # ------------------------------------------------------------------
+    # Chunked prefill
+    # ------------------------------------------------------------------
+    def project_chunk_rows(
+        self,
+        model: TransformerModel,
+        layer_idx: int,
+        rows: Dict[int, np.ndarray],
+        executors: Sequence[AttentionExecutor],
+        order: Sequence[int],
+    ) -> Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Fused Q/K/V projection of every incremental prefill chunk.
+
+        ``rows[i]`` holds sequence ``i``'s chunk hidden rows
+        ``[L_i, d]``.  Chunks of ≥ 2 rows are concatenated into one
+        GEMM (row blocks of a multi-row GEMM are bit-identical to solo
+        products); single-row chunks take a solo fused matmul because
+        the single-row kernel groups its accumulation differently.
+        Only executors whose :attr:`packed_decode_style` is ``"dense"``
+        are projected — others keep their own projection semantics.
+        """
+        if model is not self._model:
+            raise ValueError(
+                "PackedDecodeBackend is bound to a different model; create "
+                "one backend per TransformerModel"
+            )
+        eligible = [
+            i for i, executor in zip(order, executors)
+            if executor.packed_decode_style == "dense"
+        ]
+        multi = [i for i in eligible if len(rows[i]) >= 2]
+        solo = [i for i in eligible if len(rows[i]) == 1]
+        wqkv, bqkv = self._wqkv[layer_idx], self._bqkv[layer_idx]
+        projected: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        if multi:
+            proj = np.concatenate([rows[i] for i in multi], axis=0) @ wqkv
+            proj += bqkv
+            offset = 0
+            for i in multi:
+                n_rows = len(rows[i])
+                projected[i] = self._split_qkv(proj[offset : offset + n_rows])
+                offset += n_rows
+        for i in solo:
+            proj = rows[i] @ wqkv
+            proj += bqkv
+            projected[i] = self._split_qkv(proj)
+        return projected
+
+    def _split_qkv(
+        self, proj: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Split fused ``[L, 3d]`` rows into per-head q/k/v ``[h, L, D]``."""
+        cfg = self._model.config
+        d, n_heads = cfg.d_model, cfg.n_heads
+        return (
+            split_heads(proj[:, :d], n_heads),
+            split_heads(proj[:, d : 2 * d], n_heads),
+            split_heads(proj[:, 2 * d :], n_heads),
+        )

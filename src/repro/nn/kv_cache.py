@@ -7,16 +7,33 @@ the QKV of it will never be used in all the following attention heads and
 layers".  The cache therefore tracks, for every cached column, the
 original sentence position it came from.
 
+Storage model (capacity/length separation)
+------------------------------------------
+
+The cache distinguishes the *live length* (columns holding real K/V
+state) from the *capacity* (columns the backing buffers can hold).  By
+default buffers are preallocated and grown by amortized doubling at
+**page granularity** — ``page_tokens`` columns per growth quantum, the
+same unit the serving memory pool (:class:`repro.serving.KVMemoryPool`)
+budgets in — so appending a decode token is an O(1) in-place write
+instead of an O(L) ``np.concatenate`` (O(L²) copy traffic over a
+generation).  :attr:`keys` / :attr:`values` / :attr:`token_ids` expose
+zero-copy views of the live prefix, and :meth:`keep` compacts surviving
+columns in place.  ``preallocate=False`` restores the historical
+concatenate-per-append storage (kept as a benchmarking baseline for
+``benchmarks/bench_decode_step.py``).
+
 Memory accounting is dtype-aware: ``bytes_per_element`` describes the
 *storage* width of a cache entry in DRAM (fp16 baseline, matching
 ``ModelConfig.bytes_per_element``), independent of the float64 arrays
-the reproduction computes with.  The serving memory pool
-(:mod:`repro.serving.memory_pool`) budgets pages in exactly these bytes.
+the reproduction computes with.  :attr:`nbytes` counts live columns
+(what the pool pages back); :attr:`capacity_nbytes` counts the
+preallocated buffers.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 
@@ -24,25 +41,107 @@ __all__ = ["LayerKVCache", "KVCache"]
 
 
 class LayerKVCache:
-    """KV cache of a single layer: per-head tensors plus position labels."""
+    """KV cache of a single layer: per-head tensors plus position labels.
 
-    def __init__(self, n_heads: int, head_dim: int, bytes_per_element: int = 2):
+    Args:
+        n_heads: number of attention heads the buffers store.
+        head_dim: per-head feature width.
+        bytes_per_element: DRAM storage width per scalar (accounting).
+        page_tokens: growth quantum in cache columns.  Capacity is always
+            a multiple of this, mirroring the serving pool's page size
+            (the pool charges pages for *live* columns; the doubling
+            policy may preallocate capacity up to ~2× ahead of them).
+        preallocate: grow buffers by amortized doubling (default).  When
+            False, every append reallocates exactly-sized arrays via
+            ``np.concatenate`` — the pre-packed-backend behaviour.
+    """
+
+    def __init__(
+        self,
+        n_heads: int,
+        head_dim: int,
+        bytes_per_element: int = 2,
+        page_tokens: int = 16,
+        preallocate: bool = True,
+    ):
         if bytes_per_element <= 0:
             raise ValueError("bytes_per_element must be positive")
+        if page_tokens < 1:
+            raise ValueError("page_tokens must be >= 1")
         self.n_heads = n_heads
         self.head_dim = head_dim
         self.bytes_per_element = bytes_per_element
-        self.keys = np.zeros((n_heads, 0, head_dim))
-        self.values = np.zeros((n_heads, 0, head_dim))
-        self.token_ids = np.zeros(0, dtype=np.int64)
+        self.page_tokens = page_tokens
+        self.preallocate = preallocate
+        self._len = 0
+        self._keys = np.zeros((n_heads, 0, head_dim))
+        self._values = np.zeros((n_heads, 0, head_dim))
+        self._token_ids = np.zeros(0, dtype=np.int64)
+        #: Whether buffer columns past the live length may hold stale
+        #: (non-zero) data — set by :meth:`keep` compaction, consumed by
+        #: :meth:`padded_to`, which needs a zero tail.
+        self._tail_dirty = False
         #: Cumulative count of columns evicted through :meth:`keep`.
         self.evicted_tokens = 0
 
     def __len__(self) -> int:
-        return self.keys.shape[1]
+        return self._len
 
+    @property
+    def capacity(self) -> int:
+        """Columns the backing buffers can hold without reallocating."""
+        return self._keys.shape[1]
+
+    @property
+    def keys(self) -> np.ndarray:
+        """Zero-copy view ``[h, len, D]`` of the live key columns."""
+        return self._keys[:, : self._len, :]
+
+    @property
+    def values(self) -> np.ndarray:
+        """Zero-copy view ``[h, len, D]`` of the live value columns."""
+        return self._values[:, : self._len, :]
+
+    @property
+    def token_ids(self) -> np.ndarray:
+        """Zero-copy view of the live columns' original positions."""
+        return self._token_ids[: self._len]
+
+    # ------------------------------------------------------------------
+    # Capacity management
+    # ------------------------------------------------------------------
+    def _aligned(self, n_tokens: int) -> int:
+        pages = -(-int(n_tokens) // self.page_tokens)  # ceil division
+        return pages * self.page_tokens
+
+    def reserve(self, n_tokens: int) -> None:
+        """Grow capacity to hold at least ``n_tokens`` columns.
+
+        Used by prefill to size buffers for a known prompt length up
+        front, so chunked summarization never pays a mid-prefill
+        reallocation.  A no-op when capacity already suffices or in
+        concatenate-growth mode.
+        """
+        if not self.preallocate or n_tokens <= self.capacity:
+            return
+        self._grow(n_tokens)
+
+    def _grow(self, min_capacity: int) -> None:
+        new_cap = self._aligned(max(2 * self.capacity, min_capacity))
+        keys = np.zeros((self.n_heads, new_cap, self.head_dim))
+        values = np.zeros((self.n_heads, new_cap, self.head_dim))
+        token_ids = np.zeros(new_cap, dtype=np.int64)
+        keys[:, : self._len] = self._keys[:, : self._len]
+        values[:, : self._len] = self._values[:, : self._len]
+        token_ids[: self._len] = self._token_ids[: self._len]
+        self._keys, self._values, self._token_ids = keys, values, token_ids
+        self._tail_dirty = False
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
     def append(self, k: np.ndarray, v: np.ndarray, token_ids: np.ndarray) -> None:
-        """Concatenate new per-head K/V columns (``[h, L_new, D]``)."""
+        """Add new per-head K/V columns (``[h, L_new, D]``) in place."""
         if k.shape != v.shape:
             raise ValueError("K and V shapes must match")
         if k.shape[0] != self.n_heads or k.shape[2] != self.head_dim:
@@ -51,17 +150,32 @@ class LayerKVCache:
             )
         if k.shape[1] != len(token_ids):
             raise ValueError("token_ids must label every appended column")
-        self.keys = np.concatenate([self.keys, k], axis=1)
-        self.values = np.concatenate([self.values, v], axis=1)
-        self.token_ids = np.concatenate([self.token_ids, np.asarray(token_ids)])
+        n_new = k.shape[1]
+        if not self.preallocate:
+            self._keys = np.concatenate([self.keys, k], axis=1)
+            self._values = np.concatenate([self.values, v], axis=1)
+            self._token_ids = np.concatenate(
+                [self.token_ids, np.asarray(token_ids)]
+            )
+            self._len += n_new
+            return
+        if self._len + n_new > self.capacity:
+            self._grow(self._len + n_new)
+        end = self._len + n_new
+        self._keys[:, self._len : end] = k
+        self._values[:, self._len : end] = v
+        self._token_ids[self._len : end] = np.asarray(token_ids)
+        self._len = end
 
     def keep(self, column_indices: np.ndarray) -> None:
         """Retain only the given cache columns (cascade token pruning).
 
         ``column_indices`` index the *current* cache layout and must be
         sorted so the original token order is preserved (the top-k engine
-        preserves input order; Section IV-B).  An empty index set empties
-        the cache; out-of-range indices raise ``ValueError``.
+        preserves input order; Section IV-B).  Surviving columns are
+        compacted toward the front of the existing buffers — no
+        reallocation.  An empty index set empties the cache;
+        out-of-range indices raise ``ValueError``.
         """
         column_indices = np.asarray(column_indices, dtype=np.int64).reshape(-1)
         if len(column_indices):
@@ -72,23 +186,79 @@ class LayerKVCache:
                     f"column index out of range: cache has {len(self)} columns, "
                     f"got indices in [{column_indices[0]}, {column_indices[-1]}]"
                 )
-        self.evicted_tokens += len(self) - len(column_indices)
-        self.keys = self.keys[:, column_indices, :]
-        self.values = self.values[:, column_indices, :]
-        self.token_ids = self.token_ids[column_indices]
+        n_kept = len(column_indices)
+        self.evicted_tokens += self._len - n_kept
+        if not self.preallocate:
+            self._keys = self.keys[:, column_indices, :]
+            self._values = self.values[:, column_indices, :]
+            self._token_ids = self.token_ids[column_indices]
+            self._len = n_kept
+            return
+        if n_kept < self._len:
+            # Advanced indexing on the right materializes the survivors
+            # before assignment, so the overlapping copy is safe.
+            self._keys[:, :n_kept] = self._keys[:, column_indices]
+            self._values[:, :n_kept] = self._values[:, column_indices]
+            self._token_ids[:n_kept] = self._token_ids[column_indices]
+            self._len = n_kept
+            self._tail_dirty = True
 
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
     def as_tuple(self) -> Tuple[np.ndarray, np.ndarray]:
         return self.keys, self.values
 
+    def padded_to(self, total: int) -> Tuple[np.ndarray, np.ndarray]:
+        """K/V padded with zero columns out to ``total`` columns.
+
+        Chunked dense prefill attends against K/V padded to the final
+        prompt width so the softmax reduction matches the monolithic
+        pass column-for-column (see
+        :meth:`repro.nn.transformer.DenseExecutor.begin_prefill`).  With
+        preallocated buffers this is a zero-copy view — capacity is
+        grown to ``total`` and the tail is guaranteed zero; the
+        concatenate-growth mode materializes the historical padded copy.
+        """
+        if total < self._len:
+            raise ValueError(
+                f"cannot pad {self._len} live columns down to {total}"
+            )
+        if not self.preallocate:
+            pad = np.zeros((self.n_heads, total - self._len, self.head_dim))
+            return (
+                np.concatenate([self.keys, pad], axis=1),
+                np.concatenate([self.values, pad], axis=1),
+            )
+        self.reserve(total)
+        if self._tail_dirty:
+            self._keys[:, self._len :] = 0.0
+            self._values[:, self._len :] = 0.0
+            self._tail_dirty = False
+        return self._keys[:, :total, :], self._values[:, :total, :]
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
     @property
     def nbytes(self) -> int:
-        """Cache footprint in bytes at the configured storage width."""
-        return int(self.keys.size + self.values.size) * self.bytes_per_element
+        """Live-column footprint in bytes at the configured storage width."""
+        return (
+            2 * self.n_heads * self._len * self.head_dim * self.bytes_per_element
+        )
 
     @property
     def n_bytes(self) -> int:
         """Backward-compatible alias for :attr:`nbytes`."""
         return self.nbytes
+
+    @property
+    def capacity_nbytes(self) -> int:
+        """Preallocated-buffer footprint at the storage width."""
+        return (
+            2 * self.n_heads * self.capacity * self.head_dim
+            * self.bytes_per_element
+        )
 
 
 class KVCache:
@@ -100,9 +270,14 @@ class KVCache:
         n_heads: int,
         head_dim: int,
         bytes_per_element: int = 2,
+        page_tokens: int = 16,
+        preallocate: bool = True,
     ):
         self.layers: List[LayerKVCache] = [
-            LayerKVCache(n_heads, head_dim, bytes_per_element)
+            LayerKVCache(
+                n_heads, head_dim, bytes_per_element,
+                page_tokens=page_tokens, preallocate=preallocate,
+            )
             for _ in range(n_layers)
         ]
 
@@ -111,6 +286,11 @@ class KVCache:
 
     def __len__(self) -> int:
         return len(self.layers)
+
+    def reserve(self, n_tokens: int) -> None:
+        """Grow every layer's capacity to at least ``n_tokens`` columns."""
+        for layer in self.layers:
+            layer.reserve(n_tokens)
 
     @property
     def total_cached_tokens(self) -> int:
@@ -127,10 +307,15 @@ class KVCache:
 
     @property
     def nbytes(self) -> int:
-        """Total cache footprint in bytes at the storage width."""
+        """Total live-column footprint in bytes at the storage width."""
         return sum(layer.nbytes for layer in self.layers)
 
     @property
     def n_bytes(self) -> int:
         """Backward-compatible alias for :attr:`nbytes`."""
         return self.nbytes
+
+    @property
+    def capacity_nbytes(self) -> int:
+        """Total preallocated-buffer footprint at the storage width."""
+        return sum(layer.capacity_nbytes for layer in self.layers)

@@ -130,6 +130,58 @@ class AttentionExecutor:
         """
 
     @property
+    def packed_decode_style(self) -> str:
+        """How the packed decode backend may drive this executor.
+
+        * ``"none"`` — no packed support; the backend falls back to a
+          per-sequence :meth:`run_layer` call (full looped semantics).
+        * ``"dense"`` — the executor's only per-layer decode state is a
+          :class:`~repro.nn.kv_cache.LayerKVCache`; the backend appends
+          the new column via :meth:`decode_kv_append` and runs the whole
+          attention core (scores, softmax, A·V) centrally over the
+          batch.
+        * ``"custom"`` — the backend supplies full-width projections and
+          the executor runs its own per-sequence core via
+          :meth:`decode_attend_packed` (pruning decisions, progressive
+          quantization, trace accounting).
+
+        Whatever the style, the packed result must be bit-identical to
+        the looped :meth:`run_layer` path — the backend only batches
+        operations whose grouping provably does not change the floats.
+        """
+        return "none"
+
+    def decode_kv_append(
+        self,
+        layer_idx: int,
+        k_new: np.ndarray,
+        v_new: np.ndarray,
+        positions: np.ndarray,
+    ):
+        """Append one decode column (``[h, 1, D]``) for a ``"dense"``
+        executor and return the layer's :class:`LayerKVCache`."""
+        raise NotImplementedError
+
+    def decode_attend_packed(
+        self,
+        layer_idx: int,
+        model: "TransformerModel",
+        q_full: np.ndarray,
+        k_full: np.ndarray,
+        v_full: np.ndarray,
+        positions: np.ndarray,
+    ) -> np.ndarray:
+        """Per-sequence decode core for a ``"custom"`` executor.
+
+        Receives the sequence's full-width projected ``q/k/v`` rows
+        (``[h, 1, D]`` each, bit-identical to what projecting this row
+        alone would produce) and returns the *merged pre-projection*
+        attention features ``[1, n_heads * head_dim]`` — the backend
+        applies the output FC over the whole batch in one matmul.
+        """
+        raise NotImplementedError
+
+    @property
     def supports_incremental_prefill(self) -> bool:
         """Whether summarization may run chunk-by-chunk, bit-identically.
 
@@ -167,6 +219,7 @@ class AttentionExecutor:
         x: np.ndarray,
         positions: np.ndarray,
         stage: str,
+        projected=None,
     ) -> LayerExecution:
         """Execute attention of block ``layer_idx`` on hidden rows ``x``.
 
@@ -178,17 +231,37 @@ class AttentionExecutor:
             stage: ``"summarize"`` (batch over the whole remaining
                 sentence) or ``"decode"`` (single new token against the
                 KV cache).
+            projected: optional pre-computed ``(q, k, v)`` full-width
+                projections of ``x`` (``[h, L, D]`` each), produced by
+                the packed backend's batched projection.  Only handed to
+                executors whose :attr:`packed_decode_style` supports it;
+                the kwarg is omitted entirely otherwise, so legacy
+                five-argument overrides keep working.
         """
         raise NotImplementedError
 
 
 class DenseExecutor(AttentionExecutor):
-    """Reference dense attention: no pruning, no quantization."""
+    """Reference dense attention: no pruning, no quantization.
 
-    def __init__(self) -> None:
+    Args:
+        kv_page_tokens: KV-cache growth quantum in columns (aligned with
+            the serving pool's page size; see
+            :class:`~repro.nn.kv_cache.LayerKVCache`).
+        kv_preallocate: grow KV buffers by amortized doubling (default).
+            ``False`` restores concatenate-per-append storage — the
+            pre-packed-backend hot path, kept as the baseline for
+            ``benchmarks/bench_decode_step.py``.
+    """
+
+    def __init__(
+        self, kv_page_tokens: int = 16, kv_preallocate: bool = True
+    ) -> None:
         self._cache: Optional[KVCache] = None
         self._n_heads = 0
         self._prefill_total = 0
+        self._kv_page_tokens = kv_page_tokens
+        self._kv_preallocate = kv_preallocate
 
     def begin_sequence(self, model: "TransformerModel") -> None:
         cfg = model.config
@@ -198,6 +271,8 @@ class DenseExecutor(AttentionExecutor):
             self._cache = KVCache(
                 cfg.n_layers, cfg.n_heads, cfg.head_dim,
                 bytes_per_element=cfg.bytes_per_element,
+                page_tokens=self._kv_page_tokens,
+                preallocate=self._kv_preallocate,
             )
         else:
             self._cache = None
@@ -210,9 +285,13 @@ class DenseExecutor(AttentionExecutor):
         excludes the padded columns).  The softmax denominator then
         sums over exactly the same columns — in the same pairwise
         grouping — as the monolithic pass, which is what makes chunked
-        prefill bit-identical rather than merely close.
+        prefill bit-identical rather than merely close.  Capacity for
+        the whole prompt is reserved up front so chunked appends never
+        reallocate mid-prefill.
         """
         self._prefill_total = int(prompt_len)
+        if self._cache is not None:
+            self._cache.reserve(self._prefill_total)
 
     def kv_lengths(self) -> List[int]:
         """Per-layer live KV column counts (serving pool bookkeeping)."""
@@ -223,6 +302,23 @@ class DenseExecutor(AttentionExecutor):
         """Heads still computing (dense attention never prunes any)."""
         return self._n_heads
 
+    @property
+    def packed_decode_style(self) -> str:
+        """Cache-only state: the backend may run the core centrally."""
+        return "dense" if self._cache is not None else "none"
+
+    def decode_kv_append(
+        self,
+        layer_idx: int,
+        k_new: np.ndarray,
+        v_new: np.ndarray,
+        positions: np.ndarray,
+    ):
+        """Append the decode column exactly as the looped path would."""
+        layer_cache = self._cache[layer_idx]
+        layer_cache.append(k_new, v_new, positions)
+        return layer_cache
+
     def run_layer(
         self,
         layer_idx: int,
@@ -230,6 +326,7 @@ class DenseExecutor(AttentionExecutor):
         x: np.ndarray,
         positions: np.ndarray,
         stage: str,
+        projected=None,
     ) -> LayerExecution:
         attn = model.attention(layer_idx)
         cfg = model.config
@@ -241,35 +338,33 @@ class DenseExecutor(AttentionExecutor):
 
         # Causal model: maintain the KV cache across summarize + decode.
         layer_cache = self._cache[layer_idx]
-        k_new, v_new = attn.project_kv(x)
+        if projected is not None:
+            q, k_new, v_new = projected
+        else:
+            q = None  # forward() projects the queries itself
+            k_new, v_new = attn.project_kv(x)
         layer_cache.append(k_new, v_new, positions)
-        q = attn.project_q(x)
         if stage == "summarize":
-            kv = layer_cache.as_tuple()
             n_cached = len(layer_cache)
             if n_cached < self._prefill_total:
                 # Mid-chunked-prefill: pad K/V to the final prompt
                 # width (the causal mask excludes the extra columns) so
                 # the softmax normalizes over the same columns as the
-                # monolithic pass — see begin_prefill.
-                keys, values = kv
-                pad = np.zeros(
-                    (keys.shape[0], self._prefill_total - n_cached,
-                     keys.shape[2])
-                )
-                kv = (
-                    np.concatenate([keys, pad], axis=1),
-                    np.concatenate([values, pad], axis=1),
-                )
+                # monolithic pass — see begin_prefill.  With
+                # preallocated buffers this view costs no copy.
+                kv = layer_cache.padded_to(self._prefill_total)
+            else:
+                kv = layer_cache.as_tuple()
             out, record = attn.forward(
-                x, causal=True, kv=kv, query_offset=int(positions[0]),
+                x, causal=True, kv=kv, query_offset=int(positions[0]), q=q,
             )
             record.probs = record.probs[:, :, :n_cached]
         else:
-            out, record = attn.forward(x, causal=False, kv=layer_cache.as_tuple())
+            out, record = attn.forward(
+                x, causal=False, kv=layer_cache.as_tuple(), q=q
+            )
         record.key_token_ids = layer_cache.token_ids.copy()
         record.query_token_ids = positions.copy()
-        del q  # projections recomputed inside forward; kept simple on purpose
         return LayerExecution(out, record, np.arange(len(x)))
 
 
@@ -388,6 +483,11 @@ class TransformerModel:
         token_ids = np.asarray(token_ids, dtype=np.int64)
         if token_ids.ndim != 1:
             raise ValueError("token_ids must be a 1-D sequence")
+        if len(token_ids) == 0:
+            raise ValueError(
+                "cannot embed an empty token sequence: there is no position "
+                "to look up (prompts must contain at least one token)"
+            )
         if np.any(token_ids < 0) or np.any(token_ids >= self.config.vocab_size):
             raise ValueError("token id out of vocabulary range")
         positions = np.arange(len(token_ids)) + position_offset
@@ -516,7 +616,10 @@ class TransformerModel:
         return self.prefill_chunk_batch([state], max_tokens)[0]
 
     def prefill_chunk_batch(
-        self, states: Sequence[PrefillState], max_tokens: int
+        self,
+        states: Sequence[PrefillState],
+        max_tokens: int,
+        backend=None,
     ) -> List[Optional[np.ndarray]]:
         """One prefill chunk for each of several in-flight prompts.
 
@@ -526,7 +629,12 @@ class TransformerModel:
         ``[sum_chunk_lens, d_model]`` rows while attention runs per
         sequence against each sequence's own KV cache.  Row-wise
         batching keeps every sequence's arithmetic bit-identical to a
-        solo :meth:`prefill`.
+        solo :meth:`prefill`.  With a
+        :class:`~repro.nn.batched_attention.PackedDecodeBackend`, the
+        per-layer Q/K/V projections of every incremental chunk
+        additionally run as one fused matmul over the concatenated rows
+        (bit-identical: multi-row GEMMs are row- and column-block
+        consistent; see :mod:`repro.nn.batched_attention`).
 
         Executors that cannot summarize incrementally (cascade token
         pruning decides over the whole sentence — see
@@ -565,11 +673,24 @@ class TransformerModel:
                 row_positions[i] = np.arange(start, end)
             for layer_idx in range(self.config.n_layers):
                 bp = self.block(layer_idx)
+                projected = (
+                    backend.project_chunk_rows(
+                        self, layer_idx,
+                        {i: rows[i] for i in incremental},
+                        [states[i].executor for i in incremental],
+                        incremental,
+                    )
+                    if backend is not None
+                    else {}
+                )
                 outputs = []
                 for i in incremental:
+                    kwargs = (
+                        {"projected": projected[i]} if i in projected else {}
+                    )
                     execution = states[i].executor.run_layer(
                         layer_idx, self, rows[i], row_positions[i],
-                        "summarize",
+                        "summarize", **kwargs,
                     )
                     kept = execution.kept_query_rows
                     rows[i] = rows[i][kept]
@@ -608,15 +729,25 @@ class TransformerModel:
         token_ids: Sequence[int],
         positions: Sequence[int],
         executors: Sequence[AttentionExecutor],
+        backend=None,
     ) -> np.ndarray:
         """One decode step across a batch of independent sequences.
 
         Continuous batching runs many sequences' decode steps together:
         the embedding gather, the residual/LayerNorm arithmetic, the FFN
         matmuls, and the LM head all execute as single batch-level
-        operations over ``[B, d_model]``, while the attention core runs
-        per sequence (each sequence owns a ragged, independently pruned
-        KV cache via its executor).  Returns ``[B, vocab]`` logits.
+        operations over ``[B, d_model]``.  Returns ``[B, vocab]``
+        logits.
+
+        Without a ``backend`` (the **looped** path, kept as the
+        bit-identity oracle) the attention core runs per sequence via
+        :meth:`AttentionExecutor.run_layer`, issuing ``B × n_layers``
+        single-row projections per step.  With a
+        :class:`~repro.nn.batched_attention.PackedDecodeBackend` (the
+        **packed** path) each layer's Q/K/V and output projections run
+        as single fused batch-level matmuls and the dense attention core
+        is executed centrally over preallocated KV views — bit-identical
+        logits, a fraction of the interpreter and copy traffic.
 
         Each executor must already hold a prefilled sequence (see
         :meth:`prefill`); sequence ``i`` decodes ``token_ids[i]`` at
@@ -642,13 +773,21 @@ class TransformerModel:
         )
         for layer_idx in range(self.config.n_layers):
             bp = self.block(layer_idx)
-            outputs = [
-                executor.run_layer(
-                    layer_idx, self, x[i : i + 1], positions[i : i + 1], "decode"
-                ).output
-                for i, executor in enumerate(executors)
-            ]
-            attn_out = np.concatenate(outputs, axis=0)
+            if backend is not None:
+                attn_out = backend.decode_layer(
+                    self, layer_idx, x, positions, executors
+                )
+            else:
+                attn_out = np.concatenate(
+                    [
+                        executor.run_layer(
+                            layer_idx, self, x[i : i + 1],
+                            positions[i : i + 1], "decode",
+                        ).output
+                        for i, executor in enumerate(executors)
+                    ],
+                    axis=0,
+                )
             x = layer_norm(x + attn_out, bp.ln1_gamma, bp.ln1_beta)
             x = layer_norm(x + self._ffn(layer_idx, x), bp.ln2_gamma, bp.ln2_beta)
         return self.lm_logits(x)

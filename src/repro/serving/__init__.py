@@ -37,6 +37,38 @@ Layers of the subsystem
   and the single-overhead mixed step), and the :class:`ServingStats`
   report (throughput, p50/p95 queue wait, TTFT and inter-token decode
   latency, pool occupancy, reclamation).
+* :mod:`repro.nn.batched_attention` — the **packed decode backend**
+  behind ``ServingEngine(attention_backend="packed")`` (the default).
+  Every mixed step's decode attention runs with fused batch-level
+  Q/K/V and output-FC matmuls plus a central attention core over
+  zero-copy views of preallocated KV buffers, instead of ``B ×
+  n_layers`` single-row ``run_layer`` calls.  ``"looped"`` keeps the
+  per-sequence path as the bit-identity oracle: both backends commit
+  identical token streams and identical simulated-clock stats — the
+  packed one in less wall time (``benchmarks/bench_decode_step.py``).
+
+KV storage model
+----------------
+
+:class:`~repro.nn.kv_cache.LayerKVCache` separates *live length* from
+*capacity*: K/V buffers are preallocated and grown by amortized
+doubling at page granularity (``page_tokens`` columns, the same unit
+:class:`KVMemoryPool` budgets in), so one appended decode token is an
+O(1) in-place write instead of an O(L) ``np.concatenate`` — O(L²) copy
+traffic over a generation.  The pool accounts *live* columns: each
+engine step syncs a sequence's real per-layer cache lengths and the
+pool allocates exactly ``ceil(live / page_tokens)`` pages, while
+cascade eviction compacts the buffer in place and drains whole pages
+back to the free list.  Buffer *capacity* may run ahead of the
+allocated pages (the doubling policy preallocates up to ~2× the live
+columns to amortize growth copies;
+:attr:`~repro.nn.kv_cache.LayerKVCache.capacity_nbytes` vs
+:attr:`~repro.nn.kv_cache.LayerKVCache.nbytes` reports the
+difference) — the byte budget the pool enforces is a bound on live KV
+state, not on the preallocated headroom.
+Chunked dense prefill reserves the full prompt width up front and pads
+K/V with zero-copy views (:meth:`~repro.nn.kv_cache.LayerKVCache.
+padded_to`) rather than per-chunk concatenations.
 
 Quick start
 -----------

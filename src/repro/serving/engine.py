@@ -50,6 +50,7 @@ import numpy as np
 
 from ..config import PruningConfig, QuantConfig
 from ..core.pipeline import SpAttenExecutor
+from ..nn.batched_attention import ATTENTION_BACKENDS, PackedDecodeBackend
 from ..nn.transformer import (
     AttentionExecutor,
     DenseExecutor,
@@ -126,6 +127,14 @@ class ServingEngine:
             interleaved with decode; ``None`` (default) runs the whole
             prompt monolithically at admission, stalling the live
             batch (kept for comparison benchmarks).
+        attention_backend: ``"packed"`` (default) runs decode steps and
+            chunked-prefill projections through
+            :class:`~repro.nn.batched_attention.PackedDecodeBackend` —
+            fused batch-level projection/output GEMMs over preallocated
+            KV buffers; ``"looped"`` keeps the per-sequence
+            ``run_layer`` hot path (the bit-identity oracle —
+            both backends commit identical token streams and identical
+            simulated-clock stats, the packed one in less wall time).
         executor_factory: override the per-request executor (tests).
     """
 
@@ -138,6 +147,7 @@ class ServingEngine:
         cost_model: Optional[CostModel] = None,
         sampler: Optional[Callable[[np.ndarray], int]] = None,
         prefill_chunk: Optional[int] = None,
+        attention_backend: str = "packed",
         executor_factory: Optional[Callable[[], AttentionExecutor]] = None,
     ):
         if not model.config.causal:
@@ -146,6 +156,11 @@ class ServingEngine:
             raise ValueError(
                 "prefill_chunk must be >= 1, or None for monolithic prefill"
             )
+        if attention_backend not in ATTENTION_BACKENDS:
+            raise ValueError(
+                f"unknown attention_backend {attention_backend!r}; "
+                f"choose from {ATTENTION_BACKENDS}"
+            )
         self.model = model
         self.pool = pool
         self.pruning = pruning
@@ -153,12 +168,22 @@ class ServingEngine:
         self.cost = cost_model or CostModel()
         self.sampler = sampler or greedy_sampler
         self.prefill_chunk = prefill_chunk
+        self.attention_backend = attention_backend
+        self._backend = (
+            PackedDecodeBackend(model) if attention_backend == "packed" else None
+        )
         if executor_factory is not None:
             self._executor_factory = executor_factory
         elif pruning is not None or quant is not None:
-            self._executor_factory = lambda: SpAttenExecutor(pruning, quant)
+            # Thread the pool's page size into the caches so buffer
+            # growth and pool-page accounting share one unit.
+            self._executor_factory = lambda: SpAttenExecutor(
+                pruning, quant, kv_page_tokens=pool.page_tokens
+            )
         else:
-            self._executor_factory = DenseExecutor
+            self._executor_factory = lambda: DenseExecutor(
+                kv_page_tokens=pool.page_tokens
+            )
         self.queue = RequestQueue()
         self.live: List[LiveSequence] = []
         self.prefilling: List[PrefillingSequence] = []
@@ -261,6 +286,7 @@ class ServingEngine:
             [seq.next_token for seq in batch],
             [seq.next_position for seq in batch],
             [seq.executor for seq in batch],
+            backend=self._backend,
         )
         dt = self.cost.step_time(self._decode_flops(batch), len(batch))
         clock.advance(dt)
@@ -289,13 +315,15 @@ class ServingEngine:
                 [seq.next_token for seq in decode_batch],
                 [seq.next_position for seq in decode_batch],
                 [seq.executor for seq in decode_batch],
+                backend=self._backend,
             )
             if decode_batch
             else None
         )
         chunk_logits = (
             self.model.prefill_chunk_batch(
-                [seq.state for seq in prefills], self.prefill_chunk
+                [seq.state for seq in prefills], self.prefill_chunk,
+                backend=self._backend,
             )
             if prefills
             else []

@@ -74,6 +74,28 @@ class TestScaledDotAttention:
         assert probs[0, 0, 1] == pytest.approx(0.0, abs=1e-12)
         assert probs[0, 0, 2] == pytest.approx(0.0, abs=1e-12)
 
+    def test_all_true_mask_matches_no_mask(self, rng):
+        """An all-True mask excludes nothing; the fast path that skips
+        the np.where copy must be bit-identical to masking (and to no
+        mask at all)."""
+        q = rng.normal(size=(2, 4, 8))
+        k = rng.normal(size=(2, 6, 8))
+        v = rng.normal(size=(2, 6, 8))
+        out_none, probs_none = scaled_dot_attention(q, k, v, mask=None)
+        mask = np.ones((4, 6), dtype=bool)
+        out_mask, probs_mask = scaled_dot_attention(q, k, v, mask=mask)
+        assert np.array_equal(out_none, out_mask)
+        assert np.array_equal(probs_none, probs_mask)
+
+    def test_partial_mask_still_masks(self, rng):
+        q = rng.normal(size=(1, 2, 8))
+        k = rng.normal(size=(1, 2, 8))
+        v = rng.normal(size=(1, 2, 8))
+        mask = np.array([[True, False], [True, True]])
+        _, probs = scaled_dot_attention(q, k, v, mask=mask)
+        assert probs[0, 0, 1] == pytest.approx(0.0, abs=1e-12)
+        assert probs[0, 1, 1] > 0.0
+
     def test_uniform_when_keys_identical(self, rng):
         q = rng.normal(size=(1, 2, 8))
         k = np.tile(rng.normal(size=(1, 1, 8)), (1, 5, 1))

@@ -154,3 +154,102 @@ class TestKVCache:
         assert cache.total_evicted_tokens == 2 + 4
         # Eviction in one layer never disturbs the others.
         assert np.array_equal(cache[0].token_ids, np.arange(4))
+
+
+class TestCapacityModel:
+    """Capacity/length separation: preallocated page-aligned buffers."""
+
+    def test_capacity_is_page_aligned_and_doubles(self, rng):
+        cache = LayerKVCache(n_heads=2, head_dim=4, page_tokens=8)
+        assert cache.capacity == 0
+        cache.append(rng.normal(size=(2, 3, 4)), rng.normal(size=(2, 3, 4)),
+                     np.arange(3))
+        assert cache.capacity == 8  # one page
+        for i in range(3, 9):
+            cache.append(rng.normal(size=(2, 1, 4)), rng.normal(size=(2, 1, 4)),
+                         np.array([i]))
+        assert len(cache) == 9
+        assert cache.capacity == 16  # doubled, page-aligned
+        assert cache.capacity % cache.page_tokens == 0
+
+    def test_views_are_zero_copy(self, rng):
+        cache = LayerKVCache(n_heads=2, head_dim=4)
+        k = rng.normal(size=(2, 3, 4))
+        cache.append(k, k, np.arange(3))
+        assert cache.keys.base is not None  # a view, not a copy
+        assert np.shares_memory(cache.keys, cache.values) is False
+        np.testing.assert_array_equal(cache.keys, k)
+
+    def test_append_does_not_reallocate_within_capacity(self, rng):
+        cache = LayerKVCache(n_heads=2, head_dim=4, page_tokens=16)
+        cache.reserve(16)
+        buffer_before = cache.keys.base
+        for i in range(16):
+            cache.append(rng.normal(size=(2, 1, 4)), rng.normal(size=(2, 1, 4)),
+                         np.array([i]))
+        assert cache.keys.base is buffer_before
+
+    def test_reserve_prepares_capacity(self):
+        cache = LayerKVCache(n_heads=2, head_dim=4, page_tokens=8)
+        cache.reserve(20)
+        assert cache.capacity == 24  # ceil(20 / 8) pages
+        assert len(cache) == 0
+
+    def test_keep_compacts_in_place(self, rng):
+        cache = LayerKVCache(n_heads=2, head_dim=4)
+        k = rng.normal(size=(2, 6, 4))
+        v = rng.normal(size=(2, 6, 4))
+        cache.append(k, v, np.arange(6))
+        buffer_before = cache.keys.base
+        cache.keep(np.array([1, 3, 4]))
+        assert cache.keys.base is buffer_before  # no reallocation
+        np.testing.assert_array_equal(cache.keys, k[:, [1, 3, 4]])
+        np.testing.assert_array_equal(cache.token_ids, [1, 3, 4])
+
+    def test_padded_to_returns_zero_tail_views(self, rng):
+        cache = LayerKVCache(n_heads=2, head_dim=4)
+        k = rng.normal(size=(2, 5, 4))
+        cache.append(k, k, np.arange(5))
+        cache.keep(np.array([0, 2]))  # leaves stale tail data
+        keys, values = cache.padded_to(7)
+        assert keys.shape == (2, 7, 4)
+        np.testing.assert_array_equal(keys[:, :2], k[:, [0, 2]])
+        assert np.all(keys[:, 2:] == 0.0)
+        assert np.all(values[:, 2:] == 0.0)
+        with pytest.raises(ValueError):
+            cache.padded_to(1)  # below the live length
+
+    def test_concat_mode_matches_preallocated_results(self, rng):
+        fast = LayerKVCache(n_heads=2, head_dim=4, preallocate=True)
+        legacy = LayerKVCache(n_heads=2, head_dim=4, preallocate=False)
+        for i in range(7):
+            k = rng.normal(size=(2, 1, 4))
+            v = rng.normal(size=(2, 1, 4))
+            for cache in (fast, legacy):
+                cache.append(k, v, np.array([i]))
+        fast.keep(np.array([0, 3, 5]))
+        legacy.keep(np.array([0, 3, 5]))
+        np.testing.assert_array_equal(fast.keys, legacy.keys)
+        np.testing.assert_array_equal(fast.values, legacy.values)
+        np.testing.assert_array_equal(fast.token_ids, legacy.token_ids)
+        pk_fast, _ = fast.padded_to(9)
+        pk_legacy, _ = legacy.padded_to(9)
+        np.testing.assert_array_equal(pk_fast, pk_legacy)
+
+    def test_nbytes_counts_live_columns_not_capacity(self, rng):
+        cache = LayerKVCache(n_heads=2, head_dim=4, page_tokens=16)
+        cache.append(rng.normal(size=(2, 3, 4)), rng.normal(size=(2, 3, 4)),
+                     np.arange(3))
+        assert cache.nbytes == 2 * 2 * 3 * 4 * 2          # live columns
+        assert cache.capacity_nbytes == 2 * 2 * 16 * 4 * 2  # one page
+        assert cache.capacity_nbytes >= cache.nbytes
+
+    def test_invalid_page_tokens_rejected(self):
+        with pytest.raises(ValueError):
+            LayerKVCache(n_heads=2, head_dim=4, page_tokens=0)
+
+    def test_kvcache_reserve_covers_every_layer(self):
+        cache = KVCache(n_layers=3, n_heads=2, head_dim=4, page_tokens=8)
+        cache.reserve(10)
+        assert all(layer.capacity == 16 for layer in cache.layers)
+        assert cache.capacity_nbytes == 3 * (2 * 2 * 16 * 4 * 2)

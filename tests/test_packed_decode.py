@@ -1,0 +1,251 @@
+"""Bit-identity property suite: packed vs looped decode and prefill.
+
+The packed backend (:mod:`repro.nn.batched_attention`) batches the
+serving decode hot path; its whole contract is that every batched
+regrouping is *exactly* float-preserving.  These tests drive two clones
+of the same batch — one through the looped oracle, one through the
+packed backend — and assert bit-identical logits **and** bit-identical
+executor state (KV buffers, alive sets, traces) across:
+
+* dense and SpAtten executors (including progressive quantization),
+* ragged sequence lengths within one batch,
+* cascade-pruned head sets that differ per sequence,
+* mid-generation ``keep()`` evictions from cascade token pruning,
+* mixed executor types in one batch, plus the ``run_layer`` fallback,
+* chunked prefill with fused chunk projections (single-token prompts
+  included).
+
+Fast representative cases are ``smoke``-marked for tier-1.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import ModelConfig, PruningConfig, QuantConfig
+from repro.core.pipeline import SpAttenExecutor
+from repro.nn import PackedDecodeBackend, TransformerModel, random_model
+from repro.nn.transformer import DenseExecutor
+
+
+@pytest.fixture(scope="module")
+def decoder():
+    config = ModelConfig(
+        "packed-decoder", n_layers=3, n_heads=4, d_model=32, d_ff=64,
+        vocab_size=96, max_seq_len=160, causal=True,
+    )
+    return TransformerModel(config, random_model(config, seed=21))
+
+
+@pytest.fixture(scope="module")
+def backend(decoder):
+    return PackedDecodeBackend(decoder)
+
+
+PRUNING = PruningConfig(
+    token_keep_final=0.4, head_keep_final=0.5, value_keep=0.9
+)
+QUANT = QuantConfig(msb_bits=6, lsb_bits=4, progressive=True, threshold=0.1)
+
+
+class _FallbackExecutor(DenseExecutor):
+    """Dense math but opted out of packed decode: exercises the
+    per-sequence ``run_layer`` fallback inside the backend."""
+
+    @property
+    def packed_decode_style(self) -> str:
+        return "none"
+
+
+def _make_batch(model, spec, seed):
+    """Build prefilled executors from ``[(kind, prompt_len), ...]``."""
+    rng = np.random.default_rng(seed)
+    executors = []
+    for kind, prompt_len in spec:
+        if kind == "dense":
+            executor = DenseExecutor()
+        elif kind == "fallback":
+            executor = _FallbackExecutor()
+        elif kind == "spatten":
+            executor = SpAttenExecutor(PRUNING)
+        elif kind == "quant":
+            executor = SpAttenExecutor(PRUNING, QUANT)
+        else:  # pragma: no cover - spec typo guard
+            raise ValueError(kind)
+        prompt = rng.integers(0, model.config.vocab_size, size=prompt_len)
+        model.prefill(prompt.tolist(), executor)
+        executors.append(executor)
+    return executors
+
+
+def _assert_same_state(looped, packed):
+    for i, (le, pe) in enumerate(zip(looped, packed)):
+        lc, pc = le._cache, pe._cache
+        assert lc.lengths() == pc.lengths(), f"seq {i}: KV lengths diverged"
+        for li in range(len(lc)):
+            assert np.array_equal(lc[li].keys, pc[li].keys), (i, li)
+            assert np.array_equal(lc[li].values, pc[li].values), (i, li)
+            assert np.array_equal(lc[li].token_ids, pc[li].token_ids), (i, li)
+        if isinstance(le, SpAttenExecutor):
+            assert np.array_equal(le._alive_heads, pe._alive_heads), i
+            assert np.array_equal(le._alive_tokens, pe._alive_tokens), i
+            assert le.trace.n_generated == pe.trace.n_generated, i
+            assert le.evicted_kv_tokens == pe.evicted_kv_tokens, i
+
+
+def _run_twin_decode(model, backend, spec, n_steps, seed=3):
+    looped = _make_batch(model, spec, seed)
+    packed = _make_batch(model, spec, seed)
+    tokens = [7] * len(spec)
+    positions = [length for _, length in spec]
+    for step in range(n_steps):
+        looped_logits = model.decode_step_batch(tokens, positions, looped)
+        packed_logits = model.decode_step_batch(
+            tokens, positions, packed, backend=backend
+        )
+        assert np.array_equal(looped_logits, packed_logits), (
+            f"step {step}: packed logits diverged from the looped oracle"
+        )
+        _assert_same_state(looped, packed)
+        tokens = [int(np.argmax(row)) for row in looped_logits]
+        positions = [p + 1 for p in positions]
+
+
+@pytest.mark.smoke
+def test_dense_ragged_batch_bit_identical(decoder, backend):
+    """Dense batch with ragged lengths: the central packed core."""
+    spec = [("dense", 5), ("dense", 23), ("dense", 11), ("dense", 2)]
+    _run_twin_decode(decoder, backend, spec, n_steps=6)
+
+
+@pytest.mark.smoke
+def test_spatten_pruned_batch_bit_identical(decoder, backend):
+    """SpAtten batch: pruned head sets + mid-generation evictions."""
+    spec = [("spatten", 24), ("spatten", 40), ("spatten", 12)]
+    _run_twin_decode(decoder, backend, spec, n_steps=6)
+
+
+def test_mixed_executor_batch_bit_identical(decoder, backend):
+    """Dense + SpAtten + quantized + fallback sharing one batch."""
+    spec = [
+        ("dense", 17), ("spatten", 30), ("quant", 12),
+        ("fallback", 9), ("dense", 44), ("spatten", 6),
+    ]
+    _run_twin_decode(decoder, backend, spec, n_steps=8)
+
+
+def test_spatten_evictions_happen_and_match(decoder, backend):
+    """The pruning schedule must actually evict during the run (so the
+    in-place compaction path is exercised), and evictions must agree."""
+    spec = [("spatten", 48), ("spatten", 36)]
+    looped = _make_batch(decoder, spec, seed=5)
+    packed = _make_batch(decoder, spec, seed=5)
+    tokens, positions = [1, 2], [48, 36]
+    for _ in range(10):
+        ll = decoder.decode_step_batch(tokens, positions, looped)
+        pl = decoder.decode_step_batch(tokens, positions, packed,
+                                       backend=backend)
+        assert np.array_equal(ll, pl)
+        tokens = [int(np.argmax(row)) for row in ll]
+        positions = [p + 1 for p in positions]
+    assert looped[0].evicted_kv_tokens > 0, "schedule never evicted"
+    _assert_same_state(looped, packed)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_randomized_batches_bit_identical(decoder, backend, seed):
+    """Property-style sweep: random composition, lengths, and horizon."""
+    rng = np.random.default_rng(100 + seed)
+    kinds = ["dense", "spatten", "quant", "fallback"]
+    spec = [
+        (kinds[int(rng.integers(0, len(kinds)))],
+         int(rng.integers(2, 60)))
+        for _ in range(int(rng.integers(2, 7)))
+    ]
+    _run_twin_decode(
+        decoder, backend, spec, n_steps=int(rng.integers(3, 9)),
+        seed=200 + seed,
+    )
+
+
+def test_single_sequence_batch_bit_identical(decoder, backend):
+    _run_twin_decode(decoder, backend, [("dense", 9)], n_steps=4)
+    _run_twin_decode(decoder, backend, [("spatten", 21)], n_steps=4)
+
+
+@pytest.mark.smoke
+@pytest.mark.parametrize("chunk", [2, 5, 32])
+def test_chunked_prefill_packed_bit_identical(decoder, backend, chunk):
+    """Fused chunk projections commit bit-identical prefills."""
+    rng = np.random.default_rng(31)
+    prompt_lens = [1, 2, 9, 33]  # includes the single-row solo-GEMM edge
+    prompts = [
+        rng.integers(0, decoder.config.vocab_size, size=n).tolist()
+        for n in prompt_lens
+    ]
+    looped = [decoder.prefill_begin(p, DenseExecutor()) for p in prompts]
+    packed = [decoder.prefill_begin(p, DenseExecutor()) for p in prompts]
+    while not all(s.done for s in looped):
+        ll = decoder.prefill_chunk_batch(
+            [s for s in looped if not s.done], chunk
+        )
+        pl = decoder.prefill_chunk_batch(
+            [s for s in packed if not s.done], chunk, backend=backend
+        )
+        for a, b in zip(ll, pl):
+            assert (a is None) == (b is None)
+            if a is not None:
+                assert np.array_equal(a, b)
+    _assert_same_state(
+        [s.executor for s in looped], [s.executor for s in packed]
+    )
+
+
+def test_prefill_then_packed_decode_roundtrip(decoder, backend):
+    """Chunked-packed prefill feeding packed decode stays on the oracle."""
+    rng = np.random.default_rng(77)
+    prompts = [
+        rng.integers(0, decoder.config.vocab_size, size=n).tolist()
+        for n in (13, 28, 4)
+    ]
+    looped_states = [decoder.prefill_begin(p, DenseExecutor()) for p in prompts]
+    packed_states = [decoder.prefill_begin(p, DenseExecutor()) for p in prompts]
+    while not all(s.done for s in looped_states):
+        decoder.prefill_chunk_batch(
+            [s for s in looped_states if not s.done], 8
+        )
+        decoder.prefill_chunk_batch(
+            [s for s in packed_states if not s.done], 8, backend=backend
+        )
+    tokens = [int(np.argmax(s.logits)) for s in looped_states]
+    positions = [len(p) for p in prompts]
+    looped = [s.executor for s in looped_states]
+    packed = [s.executor for s in packed_states]
+    for _ in range(5):
+        ll = decoder.decode_step_batch(tokens, positions, looped)
+        pl = decoder.decode_step_batch(tokens, positions, packed,
+                                       backend=backend)
+        assert np.array_equal(ll, pl)
+        tokens = [int(np.argmax(row)) for row in ll]
+        positions = [p + 1 for p in positions]
+
+
+def test_backend_rejects_foreign_model(decoder, backend):
+    config = ModelConfig(
+        "other", n_layers=3, n_heads=4, d_model=32, d_ff=64,
+        vocab_size=96, max_seq_len=160, causal=True,
+    )
+    other = TransformerModel(config, random_model(config, seed=99))
+    executor = DenseExecutor()
+    other.prefill([1, 2, 3], executor)
+    with pytest.raises(ValueError, match="different model"):
+        other.decode_step_batch([4], [3], [executor], backend=backend)
+
+
+def test_spatten_rejects_precomputed_projections(decoder):
+    executor = SpAttenExecutor(PRUNING)
+    decoder.prefill([1, 2, 3, 4], executor)
+    with pytest.raises(ValueError, match="decode_attend_packed"):
+        executor.run_layer(
+            0, decoder, np.zeros((1, 32)), np.array([4]), "decode",
+            projected=(None, None, None),
+        )

@@ -35,6 +35,14 @@ class TestEmbedding:
         with pytest.raises(ValueError):
             tiny_encoder.embed(np.zeros((2, 2), dtype=int))
 
+    def test_embed_rejects_empty_sequence(self, tiny_encoder):
+        """An empty prompt used to die with an opaque IndexError on
+        ``positions[-1]``; it must raise a named ValueError instead."""
+        with pytest.raises(ValueError, match="empty token sequence"):
+            tiny_encoder.embed([])
+        with pytest.raises(ValueError, match="empty token sequence"):
+            tiny_encoder.embed(np.zeros(0, dtype=np.int64))
+
 
 class TestEncode:
     def test_output_shape(self, tiny_encoder, sample_tokens):
