@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 verification: the full unit/integration suite plus a fast
-# serving smoke benchmark (marker: smoke).  Extra args pass through to
-# the first pytest invocation, e.g. `scripts/run_tier1.sh -k serving`.
+# Tier-1 verification: the full unit/integration suite plus fast
+# serving/cluster smoke benchmarks (marker: smoke).  Extra args pass
+# through to the first pytest invocation, e.g.
+# `scripts/run_tier1.sh -k serving`.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -9,5 +10,7 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 python -m pytest -x -q "$@"
 python -m pytest -q -m smoke tests/test_serving.py \
     tests/test_packed_decode.py \
+    tests/test_cluster.py \
     benchmarks/bench_serving_throughput.py \
-    benchmarks/bench_decode_step.py
+    benchmarks/bench_decode_step.py \
+    benchmarks/bench_cluster_scaling.py

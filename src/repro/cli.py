@@ -6,6 +6,7 @@ Usage::
     python -m repro.cli run fig14 table4     # run specific experiments
     python -m repro.cli run all              # everything (a few minutes)
     python -m repro.cli serve --mode both    # continuous-batching serving
+    python -m repro.cli serve-cluster --replicas 3 --policy pruning_aware
 
 Each experiment prints the same rows the paper's table or figure
 reports, with the paper's numbers quoted in the table notes.  The
@@ -14,7 +15,12 @@ continuous-batching engine (:mod:`repro.serving`) and prints its
 :class:`~repro.serving.ServingStats` report.  Its defaults match the
 flag defaults below: 16 requests arriving at 200 req/s (simulated),
 served with chunked prefill (32-token chunks; pass ``--prefill-chunk
-0`` for the stalling monolithic prefill).
+0`` for the stalling monolithic prefill).  ``serve-cluster`` routes
+the trace across N replicas (:mod:`repro.cluster`) with a pluggable
+policy over a sharded KV pool; ``--drain-at TIME:REPLICA`` retires a
+replica mid-run and requeues its in-flight requests through the
+router.  Both serving subcommands accept ``--stats-json PATH`` to
+archive the report as machine-readable JSON.
 """
 
 from __future__ import annotations
@@ -114,6 +120,17 @@ def serve_command(args) -> int:
         return 2
 
 
+def serve_cluster_command(args) -> int:
+    """Serve a trace across N replicas behind the cluster router."""
+    from .serving import PoolExhausted
+
+    try:
+        return _serve_cluster(args)
+    except (ValueError, PoolExhausted) as exc:
+        print(f"serve-cluster: {exc}", file=sys.stderr)
+        return 2
+
+
 def _serve(args) -> int:
     from .config import GPT2_SMALL, PruningConfig
     from .serving import KVMemoryPool, ServingEngine
@@ -151,6 +168,7 @@ def _serve(args) -> int:
     )
     prefill_chunk = args.prefill_chunk if args.prefill_chunk != 0 else None
     throughputs = {}
+    stats_by_mode = {}
     for mode, mode_pruning in modes:
         pool = KVMemoryPool(
             config, budget_bytes=args.pool_kib * 1024,
@@ -162,12 +180,169 @@ def _serve(args) -> int:
         )
         stats = engine.run(requests)
         throughputs[mode] = stats.throughput_tps
+        stats_by_mode[mode] = stats
         print()
         print(stats.table())
     if len(throughputs) == 2:
         ratio = throughputs["spatten"] / throughputs["dense"]
         print(f"\nspatten/dense throughput at the same pool budget: {ratio:.2f}x")
+    if args.stats_json:
+        _write_stats_json(
+            args.stats_json,
+            {mode: stats.to_dict() for mode, stats in stats_by_mode.items()},
+        )
     return 0
+
+
+def _write_stats_json(path: str, payload: dict) -> None:
+    import json
+
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"\nstats written to {path}")
+
+
+def _parse_retire_events(specs, flag: str):
+    """Parse repeated ``TIME:REPLICA`` flags into (time, index) pairs."""
+    events = []
+    for spec in specs or ():
+        try:
+            time_s, _, idx_s = spec.partition(":")
+            events.append((float(time_s), int(idx_s)))
+        except ValueError:
+            raise ValueError(
+                f"{flag} expects TIME:REPLICA (e.g. 0.05:1), got {spec!r}"
+            )
+    return events
+
+
+def _serve_cluster(args) -> int:
+    from .cluster import ClusterEngine, ShardedKVPool
+    from .config import GPT2_SMALL, PruningConfig
+    from .workloads import (
+        TrafficClass,
+        accuracy_scale_config,
+        build_task_model,
+        build_vocabulary,
+        heterogeneous_request_trace,
+        make_lm_corpus,
+        synthetic_request_trace,
+    )
+
+    if args.replicas < 1:
+        raise ValueError("--replicas must be >= 1")
+    pruning = PruningConfig(
+        token_keep_final=args.token_keep, head_keep_final=0.75, value_keep=0.9
+    )
+    long_prompt = (
+        args.prompt_len if args.traffic == "uniform" else 3 * args.prompt_len
+    )
+    vocab = build_vocabulary(size=512, n_classes=4, seed=args.seed)
+    config = accuracy_scale_config(
+        GPT2_SMALL, len(vocab), n_layers=args.layers, d_model=128, n_heads=8,
+        max_seq_len=max(256, long_prompt + args.max_new[1] + 1),
+    )
+    model, _ = build_task_model(config, vocab, "lm", seed=args.seed)
+    corpus = make_lm_corpus(
+        vocab, n_tokens=max(4096, 8 * long_prompt), seed=args.seed + 1
+    )
+    if args.traffic == "uniform":
+        requests = synthetic_request_trace(
+            corpus,
+            n_requests=args.requests,
+            rate_per_s=args.rate,
+            prompt_len=args.prompt_len,
+            max_new_tokens=tuple(args.max_new),
+            n_priorities=args.priorities,
+            seed=args.seed,
+        )
+        engine_pruning = pruning if args.mode == "spatten" else None
+    else:
+        # Skewed mix: mostly cheap heavily-pruned requests, a minority
+        # of long dense ones — the trace shape schedule-aware routing
+        # is built for.
+        classes = [
+            TrafficClass(
+                "pruned-short", weight=0.75, prompt_len=args.prompt_len,
+                max_new_tokens=tuple(args.max_new), pruning=pruning,
+            ),
+            TrafficClass(
+                "dense-long", weight=0.25, prompt_len=long_prompt,
+                max_new_tokens=tuple(args.max_new), pruning=None,
+            ),
+        ]
+        requests = heterogeneous_request_trace(
+            corpus, classes, n_requests=args.requests, rate_per_s=args.rate,
+            seed=args.seed,
+        )
+        engine_pruning = None  # every request carries its own schedule
+    if args.replica_budget_kib:
+        pool = ShardedKVPool(
+            config,
+            replica_budgets_bytes=[args.replica_budget_kib * 1024]
+            * args.replicas,
+            page_tokens=args.page_tokens,
+        )
+    else:
+        pool = ShardedKVPool(
+            config, total_budget_bytes=args.pool_kib * 1024,
+            n_replicas=args.replicas, page_tokens=args.page_tokens,
+        )
+    prefill_chunk = args.prefill_chunk if args.prefill_chunk != 0 else None
+    cluster = ClusterEngine(
+        model, pool,
+        policy=args.policy,
+        pruning=engine_pruning,
+        prefill_chunk=prefill_chunk,
+        attention_backend=args.attention_backend,
+        drain_events=_parse_retire_events(args.drain_at, "--drain-at"),
+        fail_events=_parse_retire_events(args.fail_at, "--fail-at"),
+    )
+    stats = cluster.run(requests)
+    print()
+    print(stats.table())
+    if args.stats_json:
+        _write_stats_json(args.stats_json, stats.to_dict())
+    return 0
+
+
+def _add_serving_flags(parser) -> None:
+    """Flags shared by the `serve` and `serve-cluster` subcommands."""
+    parser.add_argument("--requests", type=int, default=16,
+                        help="number of requests in the trace")
+    parser.add_argument("--rate", type=float, default=200.0,
+                        help="Poisson arrival rate (req per simulated second)")
+    parser.add_argument("--prefill-chunk", type=int, default=32,
+                        help="prompt tokens committed per mixed step; 0 runs "
+                             "the whole prefill monolithically at admission "
+                             "(stalls the live decode batch)")
+    parser.add_argument("--attention-backend", choices=("packed", "looped"),
+                        default="packed",
+                        help="decode attention backend: 'packed' batches "
+                             "projections and the dense attention core "
+                             "across the live batch (default); 'looped' "
+                             "keeps the per-sequence oracle (bit-identical "
+                             "tokens, slower wall clock)")
+    parser.add_argument("--pool-kib", type=int, default=768,
+                        help="total KV memory-pool budget in KiB (split "
+                             "evenly across replicas in serve-cluster)")
+    parser.add_argument("--page-tokens", type=int, default=16,
+                        help="KV columns per pool page")
+    parser.add_argument("--prompt-len", type=int, default=48,
+                        help="prompt length in tokens")
+    parser.add_argument("--max-new", type=int, nargs=2, default=(8, 24),
+                        metavar=("LO", "HI"), help="decode-budget range")
+    parser.add_argument("--token-keep", type=float, default=0.35,
+                        help="final-layer token keep fraction (spatten mode)")
+    parser.add_argument("--priorities", type=int, default=1,
+                        help="number of scheduling priority classes")
+    parser.add_argument("--layers", type=int, default=6,
+                        help="transformer depth of the serving model")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="trace/model seed")
+    parser.add_argument("--stats-json", metavar="PATH", default=None,
+                        help="also write the run's stats report as JSON")
 
 
 def main(argv=None) -> int:
@@ -181,42 +356,51 @@ def main(argv=None) -> int:
     serve = sub.add_parser(
         "serve", help="run a synthetic arrival trace through repro.serving"
     )
-    serve.add_argument("--requests", type=int, default=16,
-                       help="number of requests in the trace")
-    serve.add_argument("--rate", type=float, default=200.0,
-                       help="Poisson arrival rate (req per simulated second)")
-    serve.add_argument("--prefill-chunk", type=int, default=32,
-                       help="prompt tokens committed per mixed step; 0 runs "
-                            "the whole prefill monolithically at admission "
-                            "(stalls the live decode batch)")
+    _add_serving_flags(serve)
     serve.add_argument("--mode", choices=("dense", "spatten", "both"),
                        default="both", help="attention path(s) to serve with")
-    serve.add_argument("--attention-backend", choices=("packed", "looped"),
-                       default="packed",
-                       help="decode attention backend: 'packed' batches "
-                            "projections and the dense attention core "
-                            "across the live batch (default); 'looped' "
-                            "keeps the per-sequence oracle (bit-identical "
-                            "tokens, slower wall clock)")
-    serve.add_argument("--pool-kib", type=int, default=768,
-                       help="KV memory-pool budget in KiB")
-    serve.add_argument("--page-tokens", type=int, default=16,
-                       help="KV columns per pool page")
-    serve.add_argument("--prompt-len", type=int, default=48,
-                       help="prompt length in tokens")
-    serve.add_argument("--max-new", type=int, nargs=2, default=(8, 24),
-                       metavar=("LO", "HI"), help="decode-budget range")
-    serve.add_argument("--token-keep", type=float, default=0.35,
-                       help="final-layer token keep fraction (spatten mode)")
-    serve.add_argument("--priorities", type=int, default=1,
-                       help="number of scheduling priority classes")
-    serve.add_argument("--layers", type=int, default=6,
-                       help="transformer depth of the serving model")
-    serve.add_argument("--seed", type=int, default=0, help="trace/model seed")
+    cluster = sub.add_parser(
+        "serve-cluster",
+        help="run a trace across N serving replicas (repro.cluster): "
+             "pluggable routing over a sharded KV pool",
+    )
+    _add_serving_flags(cluster)
+    # The mixed trace carries 3x-longer dense prompts and every shard
+    # must hold a whole dense reservation, so the fleet default budget
+    # is larger than single-engine serve's.
+    cluster.set_defaults(pool_kib=4096)
+    cluster.add_argument("--replicas", type=int, default=2,
+                         help="number of serving-engine replicas")
+    cluster.add_argument("--policy",
+                         choices=("round_robin", "least_loaded",
+                                  "pruning_aware"),
+                         default="pruning_aware",
+                         help="request-to-replica routing policy")
+    cluster.add_argument("--traffic", choices=("mixed", "uniform"),
+                         default="mixed",
+                         help="'mixed' draws a skewed per-request schedule "
+                              "mix (75%% short pruned / 25%% long dense); "
+                              "'uniform' mirrors plain `repro serve` traffic "
+                              "(every request inherits --mode)")
+    cluster.add_argument("--mode", choices=("dense", "spatten"),
+                         default="spatten",
+                         help="engine-default schedule for uniform traffic")
+    cluster.add_argument("--replica-budget-kib", type=int, default=0,
+                         help="per-replica KV budget in KiB (overrides the "
+                              "even split of --pool-kib)")
+    cluster.add_argument("--drain-at", action="append", metavar="TIME:REPLICA",
+                         help="gracefully drain a replica at a simulated "
+                              "time; its in-flight requests requeue through "
+                              "the router (repeatable)")
+    cluster.add_argument("--fail-at", action="append", metavar="TIME:REPLICA",
+                         help="like --drain-at but marks the replica failed "
+                              "in the fleet report (repeatable)")
     args = parser.parse_args(argv)
 
     if args.command == "serve":
         return serve_command(args)
+    if args.command == "serve-cluster":
+        return serve_cluster_command(args)
 
     if args.command == "list":
         for name in EXPERIMENTS:

@@ -1,0 +1,266 @@
+"""Multi-replica serving: N engines on parallel simulated timelines.
+
+The :class:`ClusterEngine` runs one :class:`~repro.serving.engine.
+ServingEngine` per replica, each over its own simulated clock (replicas
+execute in parallel wall-time, so their timelines advance
+independently), and merges three globally ordered event streams:
+
+* **arrivals** — each request is routed at its arrival time by the
+  :class:`~repro.cluster.router.ClusterRouter` policy, observing every
+  replica's pool and backlog state at that moment;
+* **replica steps** — the replica whose local clock is furthest behind
+  executes its next scheduler iteration; idle replicas jump forward,
+  capped at the next global event so no replica leapfrogs an arrival
+  or drain it should have witnessed;
+* **drains/fails** — at the scheduled time the replica's shard leaves
+  the active set and everything it had in flight (queued, prefilling,
+  *and* live sequences) releases its pages and re-routes through the
+  router.  Records reset to their pre-admission state; greedy decoding
+  is deterministic, so requeued requests commit the same token streams
+  on their new replica, and the drain penalty lands where it belongs —
+  in the queue-wait and TTFT tails.
+
+With one replica and no drains, the event loop degenerates to exactly
+the plain engine's ``run()`` (which is itself built on the same
+stepwise hooks): same admissions, same clock advances, same tokens,
+same stats.  ``tests/test_cluster.py`` asserts this field by field.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..config import PruningConfig, QuantConfig
+from ..nn.transformer import TransformerModel
+from ..serving.engine import ServingEngine
+from ..serving.memory_pool import PoolExhausted
+from ..serving.request import Request, RequestRecord
+from ..serving.stats import CostModel
+from .router import Replica, ClusterRouter
+from .sharded_pool import ShardedKVPool
+from .stats import ClusterStats
+
+__all__ = ["ClusterEngine"]
+
+
+class ClusterEngine:
+    """Route a shared arrival trace across N serving-engine replicas.
+
+    Args:
+        model: causal transformer shared by every replica.
+        pool: the sharded KV pool (one shard per replica).
+        policy: routing policy name, or pass a ready
+            :class:`ClusterRouter` via ``router``.
+        pruning: fleet-default cascade schedule (requests may override
+            per-request via :attr:`~repro.serving.request.Request.
+            pruning`).
+        quant / cost_model / prefill_chunk / attention_backend /
+        sampler: forwarded to every replica's engine, identical
+            semantics to :class:`~repro.serving.engine.ServingEngine`.
+        drain_events: ``(time, replica_index)`` pairs — the replica is
+            gracefully drained at that simulated time.
+        fail_events: like ``drain_events`` but flags the replica as
+            failed in the fleet report (ledger semantics identical:
+            pages must return via requeue either way).
+    """
+
+    def __init__(
+        self,
+        model: TransformerModel,
+        pool: ShardedKVPool,
+        policy: str = "round_robin",
+        pruning: Optional[PruningConfig] = None,
+        quant: Optional[QuantConfig] = None,
+        cost_model: Optional[CostModel] = None,
+        prefill_chunk: Optional[int] = None,
+        attention_backend: str = "packed",
+        sampler=None,
+        router: Optional[ClusterRouter] = None,
+        drain_events: Sequence[Tuple[float, int]] = (),
+        fail_events: Sequence[Tuple[float, int]] = (),
+    ):
+        self.model = model
+        self.pool = pool
+        self.router = router if router is not None else ClusterRouter(policy)
+        self.replicas: List[Replica] = [
+            Replica(
+                index=i,
+                engine=ServingEngine(
+                    model,
+                    pool.shard(i),
+                    pruning=pruning,
+                    quant=quant,
+                    cost_model=cost_model,
+                    sampler=sampler,
+                    prefill_chunk=prefill_chunk,
+                    attention_backend=attention_backend,
+                    name=f"replica{i}",
+                ),
+                shard=pool.shard(i),
+            )
+            for i in range(pool.n_replicas)
+        ]
+        events = [(float(t), int(idx), "drain") for t, idx in drain_events]
+        events += [(float(t), int(idx), "fail") for t, idx in fail_events]
+        for t, idx, _kind in events:
+            if not 0 <= idx < pool.n_replicas:
+                raise ValueError(f"drain/fail targets unknown replica {idx}")
+            if t < 0:
+                raise ValueError("drain/fail times must be non-negative")
+        if len({idx for _, idx, _ in events}) != len(events):
+            raise ValueError("each replica can be drained/failed once")
+        self._retire_events = sorted(events)
+        self.n_requeued = 0
+
+    # ------------------------------------------------------------------
+    def run(self, requests: Sequence[Request]) -> ClusterStats:
+        """Serve a whole arrival trace across the fleet; returns stats."""
+        ids = [r.request_id for r in requests]
+        if len(set(ids)) != len(ids):
+            raise ValueError("request_ids must be unique")
+        max_seq_len = self.model.config.max_seq_len
+        for request in requests:
+            if request.total_len > max_seq_len:
+                raise ValueError(
+                    f"request {request.request_id} spans "
+                    f"{request.total_len} tokens (prompt + max_new), model "
+                    f"max_seq_len is {max_seq_len}"
+                )
+            if not any(
+                self._ever_fits(request, replica)
+                for replica in self.replicas
+                if self.pool.is_active(replica.index)
+            ):
+                raise PoolExhausted(
+                    f"request {request.request_id} fits no replica shard: "
+                    f"it can never be admitted anywhere"
+                )
+        records: Dict[int, RequestRecord] = {
+            r.request_id: RequestRecord(r) for r in requests
+        }
+        for replica in self.replicas:
+            replica.engine.start()
+
+        arrivals = deque(
+            sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
+        )
+        retires = deque(self._retire_events)
+        occupancy_samples: List[float] = []
+        occupancy_peak = 0.0
+        last_event_time = 0.0
+        inf = math.inf
+
+        while True:
+            busy = [r for r in self.replicas if r.engine.has_work]
+            if not arrivals and not retires and not busy:
+                break
+            t_arrival = arrivals[0].arrival_time if arrivals else inf
+            t_retire = retires[0][0] if retires else inf
+            t_step = min(r.engine.now for r in busy) if busy else inf
+
+            if t_retire <= t_arrival and t_retire <= t_step:
+                t, idx, kind = retires.popleft()
+                # Retiring an already-idle replica is an administrative
+                # event: it must not advance any clock or stretch the
+                # makespan (requeued work extends the *receiving*
+                # replicas' timelines instead).
+                self._retire_replica(idx, t, kind)
+            elif t_arrival <= t_step:
+                request = arrivals.popleft()
+                self._route(
+                    request, records[request.request_id],
+                    available=request.arrival_time,
+                )
+                last_event_time = max(last_event_time, request.arrival_time)
+            else:
+                horizon = min(t_arrival, t_retire)
+                replica = min(busy, key=lambda r: (r.engine.now, r.index))
+                replica.engine.step(
+                    horizon=None if horizon == inf else horizon
+                )
+                occ = self.pool.global_occupancy
+                occupancy_samples.append(occ)
+                occupancy_peak = max(occupancy_peak, occ)
+                last_event_time = max(last_event_time, replica.engine.now)
+
+        self.pool.audit()
+        replica_stats = [r.engine.finish() for r in self.replicas]
+        makespan = max(
+            [last_event_time] + [r.engine.now for r in self.replicas]
+        )
+        return ClusterStats.from_run(
+            policy=self.router.policy,
+            records=[records[i] for i in sorted(records)],
+            replica_stats=replica_stats,
+            makespan_s=makespan,
+            global_occupancy_samples=occupancy_samples,
+            global_occupancy_peak=occupancy_peak,
+            total_pages=self.pool.total_pages,
+            page_tokens=self.pool.page_tokens,
+            reclaimed_pages=self.pool.reclaimed_pages,
+            reclaimed_tokens=self.pool.reclaimed_tokens,
+            n_active_replicas=self.pool.n_active,
+            n_drained=sum(
+                not self.pool.is_active(i) and not self.pool.is_failed(i)
+                for i in range(self.pool.n_replicas)
+            ),
+            n_failed=sum(
+                self.pool.is_failed(i) for i in range(self.pool.n_replicas)
+            ),
+            n_requeued=self.n_requeued,
+            routed_counts=[
+                self.router.routed_counts.get(i, 0)
+                for i in range(self.pool.n_replicas)
+            ],
+        )
+
+    # ------------------------------------------------------------------
+    def _ever_fits(self, request: Request, replica: Replica) -> bool:
+        need = replica.shard.reservation_pages(
+            request.prompt_len, request.max_new_tokens,
+            replica.engine.pruning_of(request),
+        )
+        return need <= replica.shard.n_pages
+
+    def _route(
+        self,
+        request: Request,
+        record: RequestRecord,
+        available: float,
+    ) -> None:
+        active = [
+            r for r in self.replicas if self.pool.is_active(r.index)
+        ]
+        if not active:
+            raise PoolExhausted(
+                "all replicas drained or failed with requests outstanding"
+            )
+        replica = self.router.choose(request, active)
+        replica.engine.submit(request, record, available_time=available)
+
+    def _retire_replica(self, idx: int, t: float, kind: str) -> None:
+        """Drain or fail a replica at simulated time ``t``; requeue.
+
+        The shard leaves the active set *before* the requeue is routed,
+        so none of the displaced requests can land back on it.  Requeue
+        availability is ``max(t, replica clock)`` — a replica already
+        mid-step past ``t`` hands its work over when that step would
+        have been interrupted, never in the simulated past.  The
+        drained replica's own clock is left untouched: a retire event
+        landing after its work finished must not inflate its makespan
+        (the event loop only fires a retire once every *busy* replica
+        clock has reached ``t``, so a replica with work in flight is
+        already at or past the drain time).
+        """
+        replica = self.replicas[idx]
+        if kind == "fail":
+            self.pool.fail(idx)
+        else:
+            self.pool.drain(idx)
+        requeued = replica.engine.drain()
+        self.n_requeued += len(requeued)
+        available = max(t, replica.engine.now)
+        for request, record in requeued:
+            self._route(request, record, available=available)

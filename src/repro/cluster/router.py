@@ -1,0 +1,153 @@
+"""Pluggable request-to-replica routing policies.
+
+Three policies, in increasing awareness of what a request will cost:
+
+* ``round_robin`` — cycle over the active replicas, blind to load.
+  The baseline every serious policy must beat.
+* ``least_loaded`` — place on the replica with the most free
+  reservation pages (ties break on the lowest replica index).  Page
+  pressure is the admission bottleneck, so this is the natural
+  memory-greedy policy.
+* ``pruning_aware`` — score replicas by the request's *schedule-bound*
+  cost estimate: worst-case KV pages from :func:`repro.serving.
+  memory_pool.pruned_kv_bounds` (via the shard's page arithmetic) and
+  end-to-end FLOPs from the serving :class:`~repro.serving.stats.
+  CostModel` (:meth:`~repro.serving.engine.ServingEngine.
+  request_flops_estimate`).  Each replica's score is the projected
+  delay of the placement's *bottleneck resource*: the compute backlog
+  ``(outstanding + request FLOPs) / flops_per_second`` versus the
+  page-availability delay ``(outstanding page-seconds + reservation x
+  service time) / shard pages`` — whichever is larger.  A heavily
+  pruned request adds little to either term, so it lands wherever
+  total backlog is lightest, packing onto replicas whose pages are
+  busy; a dense request inflates the page term steeply and is steered
+  to shards with free capacity.  Momentary fullness is deliberately
+  *not* a hard disqualifier: a page-full replica about to free a
+  large reservation can still beat a free-but-backlogged one (the
+  delay projection, not an admit-now bit, decides — empirically this
+  wins the TTFT tail; see ``benchmarks/bench_cluster_scaling.py``).
+
+This is the ProxyAttn-style observation applied to placement instead
+of kernels: sparsity estimates are cheap enough to drive scheduling
+decisions — here, per-request cascade schedules bound KV and FLOP
+cost tightly enough to route on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+from ..serving.engine import ServingEngine
+from ..serving.memory_pool import KVMemoryPool, PoolExhausted
+from ..serving.request import Request
+
+__all__ = ["ROUTING_POLICIES", "Replica", "ClusterRouter"]
+
+ROUTING_POLICIES = ("round_robin", "least_loaded", "pruning_aware")
+
+
+@dataclass
+class Replica:
+    """One serving replica: an engine bound to its KV pool shard."""
+
+    index: int
+    engine: ServingEngine
+    shard: KVMemoryPool
+
+
+@dataclass
+class ClusterRouter:
+    """Stateful request router over a set of replicas.
+
+    The router is policy-pluggable (:data:`ROUTING_POLICIES`) and
+    deterministic: given the same replica states and request stream it
+    always makes the same placements.  It also keeps the fleet routing
+    tally (``routed_counts``) for the cluster report.
+    """
+
+    policy: str = "round_robin"
+    routed_counts: dict = field(default_factory=dict)
+    _rr_cursor: int = 0
+
+    def __post_init__(self) -> None:
+        if self.policy not in ROUTING_POLICIES:
+            raise ValueError(
+                f"unknown routing policy {self.policy!r}; choose from "
+                f"{ROUTING_POLICIES}"
+            )
+
+    def choose(self, request: Request, replicas: Sequence[Replica]) -> Replica:
+        """Pick the replica this request is placed on.
+
+        ``replicas`` must be the *active* set; replicas whose shard can
+        never hold the request's worst-case reservation are excluded.
+        Raises :class:`PoolExhausted` when no active replica can ever
+        serve the request.
+        """
+        candidates = [
+            (r, need)
+            for r, need in (
+                (r, self._need_pages(request, r)) for r in replicas
+            )
+            if need <= r.shard.n_pages
+        ]
+        if not candidates:
+            raise PoolExhausted(
+                f"request {request.request_id} fits no active replica "
+                f"(needs more pages than any remaining shard holds)"
+            )
+        if self.policy == "round_robin":
+            chosen = candidates[self._rr_cursor % len(candidates)][0]
+            self._rr_cursor += 1
+        elif self.policy == "least_loaded":
+            chosen = min(
+                candidates,
+                key=lambda cn: (-cn[0].shard.free_reservation_pages,
+                                cn[0].index),
+            )[0]
+        else:  # pruning_aware
+            chosen = min(
+                candidates,
+                key=lambda cn: self._pruning_aware_key(request, *cn),
+            )[0]
+        self.routed_counts[chosen.index] = (
+            self.routed_counts.get(chosen.index, 0) + 1
+        )
+        return chosen
+
+    @staticmethod
+    def _need_pages(request: Request, replica: Replica) -> int:
+        return replica.shard.reservation_pages(
+            request.prompt_len,
+            request.max_new_tokens,
+            replica.engine.pruning_of(request),
+        )
+
+    @staticmethod
+    def _pruning_aware_key(
+        request: Request, replica: Replica, need: int
+    ) -> Tuple[float, int]:
+        """Sort key: (projected bottleneck delay, index).
+
+        Both resources a placement consumes are projected in seconds:
+        the replica's compute backlog (outstanding + this request's
+        schedule-bound FLOPs at the cost model's rate) and its
+        page-availability delay (outstanding page-seconds plus this
+        request's ``reservation x service time``, normalized by shard
+        capacity).  The max of the two is the resource that would
+        actually delay this request there.  Cheap pruned requests add
+        little to either term, so they land wherever total backlog is
+        lightest — including page-busy replicas; dense requests
+        inflate the page term steeply and get steered to shards with
+        free capacity.
+        """
+        engine = replica.engine
+        rate = engine.cost.flops_per_second
+        req_flops = engine.request_flops_estimate(request)
+        compute_s = (engine.outstanding_flops() + req_flops) / rate
+        page_s = (
+            engine.outstanding_page_seconds()
+            + need * req_flops / rate
+        ) / replica.shard.n_pages
+        return (max(compute_s, page_s), replica.index)

@@ -1,0 +1,169 @@
+"""Fleet-level aggregation of per-replica serving reports.
+
+:class:`ClusterStats` carries one :class:`~repro.serving.stats.
+ServingStats` per replica (exactly what that replica's engine would
+have reported standalone — the single-replica cluster is bit-identical
+to plain serving) plus a *fleet* ``ServingStats`` recomputed over every
+request record in the run.  Percentiles are therefore derived once,
+from the pooled samples, by the same code single-engine serving uses —
+never by averaging per-replica percentiles.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..eval.reporting import Table
+from ..serving.request import RequestRecord
+from ..serving.stats import ServingStats
+
+__all__ = ["ClusterStats"]
+
+
+@dataclass
+class ClusterStats:
+    """Aggregate report of one multi-replica cluster run."""
+
+    policy: str
+    n_replicas: int
+    #: Replicas still in the active set when the run ended.
+    n_active_replicas: int
+    n_drained: int
+    n_failed: int
+    #: In-flight requests handed back by drained/failed replicas and
+    #: re-routed (each requeue counts once).
+    n_requeued: int
+    #: Requests placed on each replica, including requeue placements.
+    routed_counts: List[int]
+    #: Fleet-level aggregate over every request record (percentiles
+    #: recomputed from pooled samples, not averaged).
+    fleet: ServingStats
+    #: Each replica's own ServingStats, as reported by its engine.
+    replicas: List[ServingStats] = field(default_factory=list)
+
+    @staticmethod
+    def from_run(
+        policy: str,
+        records: List[RequestRecord],
+        replica_stats: List[ServingStats],
+        makespan_s: float,
+        global_occupancy_samples: List[float],
+        global_occupancy_peak: float,
+        total_pages: int,
+        page_tokens: int,
+        reclaimed_pages: int,
+        reclaimed_tokens: int,
+        n_active_replicas: int,
+        n_drained: int,
+        n_failed: int,
+        n_requeued: int,
+        routed_counts: List[int],
+    ) -> "ClusterStats":
+        modes = {s.mode for s in replica_stats}
+        mode = modes.pop() if len(modes) == 1 else "mixed"
+        fleet = ServingStats.from_run(
+            mode=f"cluster/{mode}/{policy}",
+            records=records,
+            makespan_s=makespan_s,
+            batch_sizes=[],
+            occupancy_samples=global_occupancy_samples,
+            pool_pages=total_pages,
+            pool_page_tokens=page_tokens,
+            occupancy_peak=global_occupancy_peak,
+            reclaimed_pages=reclaimed_pages,
+            reclaimed_tokens=reclaimed_tokens,
+        )
+        # Mean live batch across the fleet: per-replica means weighted
+        # equally by replica would misweight idle replicas; sum of
+        # means is the average number of concurrently resident
+        # sequences fleet-wide, which is the quantity capacity planning
+        # cares about.
+        fleet.mean_batch_size = sum(s.mean_batch_size for s in replica_stats)
+        return ClusterStats(
+            policy=policy,
+            n_replicas=len(replica_stats),
+            n_active_replicas=n_active_replicas,
+            n_drained=n_drained,
+            n_failed=n_failed,
+            n_requeued=n_requeued,
+            routed_counts=list(routed_counts),
+            fleet=fleet,
+            replicas=list(replica_stats),
+        )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "policy": self.policy,
+            "n_replicas": self.n_replicas,
+            "n_active_replicas": self.n_active_replicas,
+            "n_drained": self.n_drained,
+            "n_failed": self.n_failed,
+            "n_requeued": self.n_requeued,
+            "routed_counts": list(self.routed_counts),
+            "fleet": self.fleet.to_dict(),
+            "replicas": [s.to_dict() for s in self.replicas],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def table(self) -> Table:
+        ms = 1e3
+        t = Table(
+            title=(
+                f"cluster report — {self.n_replicas} replicas, "
+                f"{self.policy} routing"
+            ),
+            headers=["metric", "value"],
+        )
+        f = self.fleet
+        t.add_row("requests served", str(f.n_requests))
+        if f.n_unadmitted:
+            t.add_row("requests never admitted (partial run)",
+                      str(f.n_unadmitted))
+        t.add_row("tokens generated", str(f.n_tokens))
+        t.add_row("makespan (s)", f"{f.makespan_s:.3f}")
+        t.add_row("fleet throughput (tok/s)", f"{f.throughput_tps:.1f}")
+        t.add_row("queue wait p50/p95/p99 (ms)",
+                  f"{f.queue_wait_p50 * ms:.1f} / "
+                  f"{f.queue_wait_p95 * ms:.1f} / "
+                  f"{f.queue_wait_p99 * ms:.1f}")
+        t.add_row("time-to-first-token p50/p95/p99 (ms)",
+                  f"{f.ttft_p50 * ms:.1f} / {f.ttft_p95 * ms:.1f} / "
+                  f"{f.ttft_p99 * ms:.1f}")
+        t.add_row("decode latency p50/p95/p99 (ms/tok)",
+                  f"{f.decode_latency_p50 * ms:.2f} / "
+                  f"{f.decode_latency_p95 * ms:.2f} / "
+                  f"{f.decode_latency_p99 * ms:.2f}")
+        t.add_row("fleet resident sequences (mean)",
+                  f"{f.mean_batch_size:.2f}")
+        t.add_row("global pool pages (x tokens/page)",
+                  f"{f.pool_pages} x {f.pool_page_tokens}")
+        t.add_row("global occupancy mean/peak",
+                  f"{f.occupancy_mean:.1%} / {f.occupancy_peak:.1%}")
+        t.add_row("pages reclaimed by pruning", str(f.reclaimed_pages))
+        t.add_row("requests routed per replica",
+                  " / ".join(str(c) for c in self.routed_counts))
+        t.add_row("replicas active at end",
+                  f"{self.n_active_replicas}/{self.n_replicas} "
+                  f"({self.n_drained} drained, {self.n_failed} failed)")
+        if self.n_requeued:
+            t.add_row("requests requeued by drains", str(self.n_requeued))
+        for i, s in enumerate(self.replicas):
+            t.add_row(
+                f"replica {i}",
+                f"{s.n_requests} reqs, {s.throughput_tps:.0f} tok/s, "
+                f"ttft p95 {s.ttft_p95 * ms:.1f} ms, "
+                f"occ peak {s.occupancy_peak:.0%}",
+            )
+        t.add_note(
+            "parallel simulated timelines, one per replica; fleet "
+            "percentiles recomputed from pooled records "
+            "(repro.cluster.stats.ClusterStats)"
+        )
+        return t

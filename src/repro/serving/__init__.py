@@ -106,6 +106,52 @@ The benchmark ``benchmarks/bench_serving_throughput.py`` compares dense
 and SpAtten-pruned serving across arrival rates at a matched budget,
 and sweeps chunked against monolithic prefill to quantify the TTFT and
 decode-latency-p95 win under load.
+
+Cluster mode
+------------
+
+:mod:`repro.cluster` layers multi-replica serving on top of this
+package; the engine exposes the hooks it drives:
+
+* **Stepwise API** — ``run()`` is a thin loop over
+  :meth:`~repro.serving.engine.ServingEngine.start` /
+  :meth:`~repro.serving.engine.ServingEngine.submit` /
+  :meth:`~repro.serving.engine.ServingEngine.step` /
+  :meth:`~repro.serving.engine.ServingEngine.finish`.  A cluster
+  driver steps N engines on *parallel simulated timelines*, delivering
+  each request at its arrival through a routing policy
+  (``round_robin``, ``least_loaded``, or the schedule-aware
+  ``pruning_aware``) and capping idle clock jumps at the next global
+  event.  Because both paths share the same hooks, a single-replica
+  cluster is bit-identical to plain ``run()`` — same tokens, same
+  stats.
+* **Per-request schedules** — :attr:`~repro.serving.request.Request.
+  pruning` lets every request carry its own cascade schedule (the
+  default inherits the engine's; ``None`` forces dense).  Executors,
+  pool reservations, and cost-model charges all resolve per request,
+  which is what heterogeneous traces
+  (:func:`repro.workloads.heterogeneous_request_trace`) and
+  schedule-bound routing cost estimates
+  (:meth:`~repro.serving.engine.ServingEngine.request_flops_estimate`,
+  :meth:`~repro.serving.engine.ServingEngine.outstanding_flops`,
+  :meth:`~repro.serving.engine.ServingEngine.outstanding_page_seconds`)
+  are built on.
+* **Sharded ledger accounting** — each replica owns a private
+  :class:`KVMemoryPool` shard; :class:`repro.cluster.ShardedKVPool`
+  aggregates them under a global page ledger whose ``audit()``
+  guarantees every live sequence is billed by exactly one shard and
+  retired shards hold nothing.
+* **Drain semantics** — :meth:`~repro.serving.engine.ServingEngine.
+  drain` pre-empts everything in flight (queued, prefilling, live):
+  pool pages release immediately, records reset to pre-admission
+  state, and the cluster re-routes the requests with their *original*
+  arrival times, so the drain penalty stays visible in queue-wait and
+  TTFT percentiles while greedy decoding guarantees the requeued
+  requests commit identical token streams (no token loss).
+
+``benchmarks/bench_cluster_scaling.py`` sweeps replica count × routing
+policy at a fixed total budget; ``repro serve-cluster`` is the CLI
+surface (``--drain-at TIME:REPLICA`` exercises mid-run drains).
 """
 
 from .engine import (
@@ -120,10 +166,17 @@ from .memory_pool import (
     prefill_kv_lengths,
     pruned_kv_bounds,
 )
-from .request import Request, RequestQueue, RequestRecord, RequestStatus
+from .request import (
+    INHERIT_PRUNING,
+    Request,
+    RequestQueue,
+    RequestRecord,
+    RequestStatus,
+)
 from .stats import CostModel, ServingStats, SimulatedClock
 
 __all__ = [
+    "INHERIT_PRUNING",
     "LiveSequence",
     "PrefillingSequence",
     "ServingEngine",

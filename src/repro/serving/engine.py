@@ -38,17 +38,48 @@ path, in both dense and SpAtten modes (see
 After every step the pool is synced against each executor's real
 per-layer cache lengths, so columns evicted by cascade token pruning
 drain whole pages back to the free list mid-flight.
+
+Stepwise driving (cluster mode)
+-------------------------------
+
+:meth:`ServingEngine.run` is a thin loop over a stepwise API that an
+external driver — :class:`repro.cluster.ClusterEngine` — uses to run
+*several* engines on parallel simulated timelines:
+
+* :meth:`~ServingEngine.start` opens a run (own clock per engine);
+* :meth:`~ServingEngine.submit` delivers one request (the cluster
+  router calls this at the request's arrival, or at a drain event's
+  requeue time via ``available_time``);
+* :meth:`~ServingEngine.step` executes exactly one scheduler
+  iteration; an idle engine jumps its clock to the next pending
+  arrival, capped at ``horizon`` so a cluster driver can interleave
+  globally ordered events;
+* :meth:`~ServingEngine.drain` pre-empts everything in flight —
+  queued, prefilling, *and* live sequences — releasing their pool
+  pages and handing the (reset) requests back for re-routing;
+* :meth:`~ServingEngine.finish` builds the :class:`ServingStats`
+  report over the requests this engine actually served.
+
+Because ``run()`` itself is implemented on these hooks, a single-
+replica cluster run is *identical* (same committed tokens, same
+simulated-clock stats) to a plain ``engine.run(requests)``.
+
+Requests may carry their own cascade schedule
+(:attr:`repro.serving.request.Request.pruning`); the engine resolves
+it per request — executors, pool reservations, and the cost model all
+follow the request's schedule, which is what makes heterogeneous
+traces and schedule-aware cluster routing possible.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Deque, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..config import PruningConfig, QuantConfig
+from ..core import schedule as sched
 from ..core.pipeline import SpAttenExecutor
 from ..nn.batched_attention import ATTENTION_BACKENDS, PackedDecodeBackend
 from ..nn.transformer import (
@@ -57,8 +88,15 @@ from ..nn.transformer import (
     PrefillState,
     TransformerModel,
 )
-from .memory_pool import KVMemoryPool, PoolExhausted, prefill_kv_lengths
-from .request import Request, RequestQueue, RequestRecord, RequestStatus
+from .memory_pool import KVMemoryPool, PoolExhausted, prefill_kv_lengths, \
+    pruned_kv_bounds
+from .request import (
+    INHERIT_PRUNING,
+    Request,
+    RequestQueue,
+    RequestRecord,
+    RequestStatus,
+)
 from .stats import CostModel, ServingStats, SimulatedClock
 
 __all__ = [
@@ -107,6 +145,22 @@ class PrefillingSequence(ScheduledSequence):
     """An admitted request whose prompt is still committing in chunks."""
 
     state: PrefillState
+    #: The request's resolved cascade schedule (``None`` = dense).
+    pruning: Optional[PruningConfig] = None
+
+
+@dataclass
+class _PendingArrival:
+    """A submitted request not yet visible to the priority queue.
+
+    ``available`` is when the scheduler may first see it: the arrival
+    time for fresh requests, or the requeue time for requests handed
+    back by a drained replica (which must not restart in the simulated
+    past).
+    """
+
+    available: float
+    request: Request
 
 
 class ServingEngine:
@@ -118,6 +172,8 @@ class ServingEngine:
         pruning: SpAtten cascade schedule, or ``None`` for the dense
             path.  Also drives the pool's schedule-aware reservations
             and the cost model's schedule-aware prefill charge.
+            Individual requests may override it
+            (:attr:`~repro.serving.request.Request.pruning`).
         quant: optional progressive quantization for pruned serving.
         cost_model: simulated-clock step costs.
         sampler: logits -> token id (greedy by default, which keeps
@@ -136,6 +192,8 @@ class ServingEngine:
             both backends commit identical token streams and identical
             simulated-clock stats, the packed one in less wall time).
         executor_factory: override the per-request executor (tests).
+            When set, it wins over per-request pruning overrides.
+        name: label for cluster replicas (defaults to ``"engine"``).
     """
 
     def __init__(
@@ -149,6 +207,7 @@ class ServingEngine:
         prefill_chunk: Optional[int] = None,
         attention_backend: str = "packed",
         executor_factory: Optional[Callable[[], AttentionExecutor]] = None,
+        name: str = "engine",
     ):
         if not model.config.causal:
             raise ValueError("serving requires a causal (GPT-style) model")
@@ -169,53 +228,376 @@ class ServingEngine:
         self.sampler = sampler or greedy_sampler
         self.prefill_chunk = prefill_chunk
         self.attention_backend = attention_backend
+        self.name = name
         self._backend = (
             PackedDecodeBackend(model) if attention_backend == "packed" else None
         )
-        if executor_factory is not None:
-            self._executor_factory = executor_factory
-        elif pruning is not None or quant is not None:
-            # Thread the pool's page size into the caches so buffer
-            # growth and pool-page accounting share one unit.
-            self._executor_factory = lambda: SpAttenExecutor(
-                pruning, quant, kv_page_tokens=pool.page_tokens
-            )
-        else:
-            self._executor_factory = lambda: DenseExecutor(
-                kv_page_tokens=pool.page_tokens
-            )
+        self._executor_factory = executor_factory
         self.queue = RequestQueue()
         self.live: List[LiveSequence] = []
         self.prefilling: List[PrefillingSequence] = []
+        # Stepwise-run state (populated by start()).
+        self._clock: Optional[SimulatedClock] = None
+        self._pending: List[_PendingArrival] = []
+        self._records: Dict[int, RequestRecord] = {}
+        self._batch_sizes: List[int] = []
+        self._occupancy_samples: List[float] = []
 
     @property
     def mode(self) -> str:
         return "dense" if self.pruning is None else "spatten"
 
     # ------------------------------------------------------------------
+    # Per-request schedule resolution
+    # ------------------------------------------------------------------
+    def pruning_of(self, request: Request) -> Optional[PruningConfig]:
+        """The cascade schedule this request runs under (None = dense)."""
+        if request.pruning is INHERIT_PRUNING:
+            return self.pruning
+        return request.pruning
+
+    def _make_executor(
+        self, pruning: Optional[PruningConfig]
+    ) -> AttentionExecutor:
+        if self._executor_factory is not None:
+            return self._executor_factory()
+        if pruning is not None or self.quant is not None:
+            # Thread the pool's page size into the caches so buffer
+            # growth and pool-page accounting share one unit.
+            return SpAttenExecutor(
+                pruning, self.quant, kv_page_tokens=self.pool.page_tokens
+            )
+        return DenseExecutor(kv_page_tokens=self.pool.page_tokens)
+
+    # ------------------------------------------------------------------
+    # Stepwise run API (the cluster driver's hooks)
+    # ------------------------------------------------------------------
+    @property
+    def clock(self) -> SimulatedClock:
+        if self._clock is None:
+            raise RuntimeError("engine not started: call start() first")
+        return self._clock
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    @property
+    def has_work(self) -> bool:
+        """True while any request is pending, queued, or in flight."""
+        return bool(
+            self._pending or self.queue or self.prefilling or self.live
+        )
+
+    @property
+    def n_inflight(self) -> int:
+        """Requests currently owned by the scheduler (not yet finished)."""
+        return (
+            len(self._pending) + len(self.queue)
+            + len(self.prefilling) + len(self.live)
+        )
+
+    def validate_request(self, request: Request) -> None:
+        """Reject a request this engine could never serve.
+
+        Raises ``ValueError`` for context overflow and
+        :class:`PoolExhausted` for reservations larger than the whole
+        pool.  Called by :meth:`submit`, and by :meth:`run` for every
+        request *before* any state mutates, so a bad trace fails fast
+        and leaves the engine reusable.
+        """
+        max_seq_len = self.model.config.max_seq_len
+        if request.total_len > max_seq_len:
+            raise ValueError(
+                f"request {request.request_id} spans {request.total_len} "
+                f"tokens (prompt + max_new), model max_seq_len is "
+                f"{max_seq_len}"
+            )
+        need = self.pool.reservation_pages(
+            request.prompt_len, request.max_new_tokens,
+            self.pruning_of(request),
+        )
+        if need > self.pool.n_pages:
+            raise PoolExhausted(
+                f"request {request.request_id} needs {need} pages, pool "
+                f"holds {self.pool.n_pages}: it can never be admitted"
+            )
+
+    def start(self, clock: Optional[SimulatedClock] = None) -> None:
+        """Open a stepwise run (fresh clock, empty pending/record state)."""
+        if self._clock is not None and self.has_work:
+            raise RuntimeError("engine already running with work in flight")
+        self._clock = clock or SimulatedClock()
+        self._pending = []
+        self._records = {}
+        self._batch_sizes = []
+        self._occupancy_samples = []
+
+    def submit(
+        self,
+        request: Request,
+        record: Optional[RequestRecord] = None,
+        available_time: Optional[float] = None,
+    ) -> RequestRecord:
+        """Deliver one request to this engine's scheduler.
+
+        Validates that the request can ever be served here (context
+        length, worst-case reservation vs. this pool).  ``record``
+        carries lifecycle state across replicas when the cluster
+        requeues a drained request; ``available_time`` delays queue
+        visibility past the arrival time (a requeue must not restart
+        in the simulated past).
+        """
+        if request.request_id in self._records:
+            raise ValueError(
+                f"request {request.request_id} already submitted; "
+                f"request_ids must be unique"
+            )
+        self.validate_request(request)
+        record = record if record is not None else RequestRecord(request)
+        self._records[request.request_id] = record
+        available = (
+            request.arrival_time
+            if available_time is None
+            else max(float(available_time), request.arrival_time)
+        )
+        self._pending.append(_PendingArrival(available, request))
+        return record
+
+    def step(self, horizon: Optional[float] = None) -> float:
+        """Run exactly one scheduler iteration; returns the clock delta.
+
+        Ingests every pending request whose availability has passed,
+        backfills admissions from the queue, then executes one mixed
+        (or monolithic-era decode) step.  An engine with nothing
+        admitted jumps its clock to the next pending arrival — capped
+        at ``horizon``, so a cluster driver can stop the jump at the
+        next globally ordered event (an arrival it has not routed yet,
+        or a drain).
+        """
+        clock = self.clock
+        before = clock.now
+        self._ingest(clock.now)
+        self._admit_ready(clock)
+        if not self.live and not self.prefilling:
+            if self._pending:
+                target = min(entry.available for entry in self._pending)
+                if horizon is not None:
+                    target = min(target, float(horizon))
+                clock.advance_to(target)
+                return clock.now - before
+            if self.queue:  # pragma: no cover - submit() pre-validation
+                raise PoolExhausted("queued request can never be admitted")
+            return 0.0
+        if self.prefill_chunk is None:
+            self._batch_sizes.append(len(self.live))
+            self._decode_step(clock)
+        else:
+            self._batch_sizes.append(len(self.live) + len(self.prefilling))
+            self._mixed_step(clock)
+        self._occupancy_samples.append(self.pool.occupancy)
+        return clock.now - before
+
+    def drain(self) -> List[Tuple[Request, RequestRecord]]:
+        """Pre-empt every request in flight; return them for re-routing.
+
+        Pending, queued, prefilling, and live requests all come back
+        (in that order).  Admitted sequences release their pool pages
+        and their records reset to the pre-admission state — greedy
+        decoding is deterministic, so a request restarted on another
+        replica commits the same token stream it would have here.
+        Requests already finished on this engine stay in its report.
+        """
+        requeued: List[Tuple[Request, RequestRecord]] = []
+        for entry in self._pending:
+            requeued.append((entry.request, self._records.pop(
+                entry.request.request_id)))
+        self._pending = []
+        for request in self.queue.drain():
+            requeued.append((request, self._records.pop(request.request_id)))
+        for seq in self.prefilling:
+            self.pool.release(seq.seq_id)
+            seq.record.reset_for_requeue()
+            requeued.append((seq.request, self._records.pop(seq.seq_id)))
+        self.prefilling = []
+        for seq in self.live:
+            self.pool.release(seq.seq_id)
+            seq.record.reset_for_requeue()
+            requeued.append((seq.request, self._records.pop(seq.seq_id)))
+        self.live = []
+        return requeued
+
+    def finish(self) -> ServingStats:
+        """Build the stats report over the requests this engine served."""
+        records = [self._records[i] for i in sorted(self._records)]
+        return ServingStats.from_run(
+            mode=self.mode,
+            records=records,
+            makespan_s=self.clock.now,
+            batch_sizes=self._batch_sizes,
+            occupancy_samples=self._occupancy_samples,
+            pool_pages=self.pool.n_pages,
+            pool_page_tokens=self.pool.page_tokens,
+            occupancy_peak=self.pool.peak_allocated_pages / self.pool.n_pages,
+            reclaimed_pages=self.pool.reclaimed_pages,
+            reclaimed_tokens=self.pool.reclaimed_tokens,
+        )
+
+    # ------------------------------------------------------------------
+    # Routing cost estimates (used by repro.cluster policies)
+    # ------------------------------------------------------------------
+    def request_flops_estimate(self, request: Request) -> float:
+        """Schedule-bound FLOPs to serve one request end to end.
+
+        Prefill is charged exactly (:meth:`CostModel.prefill_flops` is
+        schedule-aware); decode is bounded with the per-layer KV caps
+        from :func:`pruned_kv_bounds` and the schedule's smallest
+        surviving-head count — an upper estimate that preserves the
+        *ordering* between dense and heavily pruned requests, which is
+        all placement needs.
+        """
+        pruning = self.pruning_of(request)
+        cfg = self.model.config
+        prefill = self.cost.prefill_flops(cfg, request.prompt_len, pruning)
+        return prefill + request.max_new_tokens * self._decode_tok_estimate(
+            pruning, request.prompt_len, request.max_new_tokens
+        )
+
+    def _decode_tok_estimate(
+        self,
+        pruning: Optional[PruningConfig],
+        prompt_len: int,
+        max_new_tokens: int,
+    ) -> float:
+        cfg = self.model.config
+        bounds = pruned_kv_bounds(
+            pruning, cfg.n_layers, prompt_len, max_new_tokens
+        )
+        if pruning is None:
+            heads = cfg.n_heads
+        else:
+            heads = int(min(
+                sched.head_keep_counts(pruning, cfg.n_layers, cfg.n_heads)
+            ))
+        return self.cost.decode_seq_flops(cfg, bounds, heads)
+
+    def outstanding_flops(self) -> float:
+        """Estimated arithmetic still owed to every in-flight request.
+
+        The cluster's ``pruning_aware`` policy reads this as the
+        replica's backlog: pending and queued requests charge their
+        full end-to-end estimate, prefilling sequences their remaining
+        chunks plus decode budget, live sequences their remaining
+        tokens at the executor's *actual* live KV lengths and heads.
+        """
+        cfg = self.model.config
+        total = 0.0
+        for entry in self._pending:
+            total += self.request_flops_estimate(entry.request)
+        for request in self.queue.as_ordered_list():
+            total += self.request_flops_estimate(request)
+        for seq in self.prefilling:
+            state = seq.state
+            if state.n_committed < state.prompt_len:
+                total += self.cost.prefill_chunk_flops(
+                    cfg, state.prompt_len, state.n_committed,
+                    state.prompt_len, seq.pruning,
+                )
+            total += seq.request.max_new_tokens * self._decode_tok_estimate(
+                seq.pruning, state.prompt_len, seq.request.max_new_tokens
+            )
+        for seq in self.live:
+            remaining = seq.request.max_new_tokens - seq.record.n_generated
+            total += remaining * self.cost.decode_seq_flops(
+                cfg, seq.executor.kv_lengths(), seq.executor.n_live_heads
+            )
+        return total
+
+    def outstanding_page_seconds(self) -> float:
+        """Estimated page-holding backlog: pages x seconds still owed.
+
+        Pages are the admission bottleneck, so the router needs more
+        than a page *count* — a dense request holding 50 pages for a
+        long generation is a different load than a pruned request
+        holding 8 pages briefly.  Each in-flight request contributes
+        its schedule-bound reservation multiplied by its remaining
+        service-time estimate; queued requests charge their full
+        estimate.  Divided by the shard's page count this is the
+        replica's expected page-availability delay.
+        """
+        rate = self.cost.flops_per_second
+        total = 0.0
+        for entry in self._pending:
+            total += self._request_page_seconds(entry.request)
+        for request in self.queue.as_ordered_list():
+            total += self._request_page_seconds(request)
+        cfg = self.model.config
+        for seq in self.prefilling:
+            state = seq.state
+            remaining = 0.0
+            if state.n_committed < state.prompt_len:
+                remaining += self.cost.prefill_chunk_flops(
+                    cfg, state.prompt_len, state.n_committed,
+                    state.prompt_len, seq.pruning,
+                )
+            remaining += (
+                seq.request.max_new_tokens * self._decode_tok_estimate(
+                    seq.pruning, state.prompt_len,
+                    seq.request.max_new_tokens,
+                )
+            )
+            total += (
+                self.pool.reserved_pages_of(seq.seq_id) * remaining / rate
+            )
+        for seq in self.live:
+            remaining_toks = (
+                seq.request.max_new_tokens - seq.record.n_generated
+            )
+            remaining = remaining_toks * self.cost.decode_seq_flops(
+                cfg, seq.executor.kv_lengths(), seq.executor.n_live_heads
+            )
+            total += (
+                self.pool.reserved_pages_of(seq.seq_id) * remaining / rate
+            )
+        return total
+
+    def _request_page_seconds(self, request: Request) -> float:
+        pruning = self.pruning_of(request)
+        need = self.pool.reservation_pages(
+            request.prompt_len, request.max_new_tokens, pruning
+        )
+        service_s = (
+            self.request_flops_estimate(request) / self.cost.flops_per_second
+        )
+        return need * service_s
+
+    # ------------------------------------------------------------------
     # Scheduling phases
     # ------------------------------------------------------------------
-    def _ingest(self, pending: Deque[Request], now: float) -> None:
-        while pending and pending[0].arrival_time <= now:
-            self.queue.push(pending.popleft())
+    def _ingest(self, now: float) -> None:
+        still_pending: List[_PendingArrival] = []
+        for entry in self._pending:
+            if entry.available <= now:
+                self.queue.push(entry.request)
+            else:
+                still_pending.append(entry)
+        self._pending = still_pending
 
-    def _admit_ready(
-        self,
-        clock: SimulatedClock,
-        records: Dict[int, RequestRecord],
-    ) -> None:
+    def _admit_ready(self, clock: SimulatedClock) -> None:
         """Backfill the live batch from the queue while the pool fits."""
         while self.queue:
             request = self.queue.peek()
             if not self.pool.can_admit(
-                request.prompt_len, request.max_new_tokens, self.pruning
+                request.prompt_len, request.max_new_tokens,
+                self.pruning_of(request),
             ):
                 break  # head-of-line blocking: keep admission order fair
             self.queue.pop()
+            record = self._records[request.request_id]
             if self.prefill_chunk is None:
-                self._admit(request, clock, records[request.request_id])
+                self._admit(request, clock, record)
             else:
-                self._reserve(request, clock, records[request.request_id])
+                self._reserve(request, clock, record)
 
     def _reserve(
         self,
@@ -229,15 +611,18 @@ class ServingEngine:
         inside subsequent mixed steps, so reservation itself costs no
         simulated time and never stalls the live batch.
         """
+        pruning = self.pruning_of(request)
         self.pool.admit(
             request.request_id, request.prompt_len, request.max_new_tokens,
-            self.pruning,
+            pruning,
         )
         record.status = RequestStatus.RUNNING
         record.admit_time = clock.now
-        executor = self._executor_factory()
+        executor = self._make_executor(pruning)
         state = self.model.prefill_begin(request.prompt_ids, executor)
-        self.prefilling.append(PrefillingSequence(record=record, state=state))
+        self.prefilling.append(
+            PrefillingSequence(record=record, state=state, pruning=pruning)
+        )
 
     def _admit(
         self,
@@ -250,17 +635,18 @@ class ServingEngine:
         This is the head-of-line stall the chunked scheduler removes —
         every live sequence waits out the full prompt duration.
         """
+        pruning = self.pruning_of(request)
         self.pool.admit(
             request.request_id, request.prompt_len, request.max_new_tokens,
-            self.pruning,
+            pruning,
         )
         record.status = RequestStatus.RUNNING
         record.admit_time = clock.now
-        executor = self._executor_factory()
+        executor = self._make_executor(pruning)
         logits = self.model.prefill(request.prompt_ids, executor)
         clock.advance(
             self.cost.prefill_time(
-                self.model.config, request.prompt_len, self.pruning
+                self.model.config, request.prompt_len, pruning
             )
         )
         self._sync_pool(request.request_id, executor)
@@ -305,7 +691,7 @@ class ServingEngine:
         ]
         prefill_flops = sum(
             self.cost.prefill_chunk_flops(
-                cfg, seq.state.prompt_len, start, end, self.pruning
+                cfg, seq.state.prompt_len, start, end, seq.pruning
             )
             for seq, start, end in spans
         )
@@ -420,7 +806,7 @@ class ServingEngine:
             self.pool.sync(
                 seq.seq_id,
                 prefill_kv_lengths(
-                    self.pruning, self.model.config.n_layers,
+                    seq.pruning, self.model.config.n_layers,
                     state.prompt_len, state.n_committed,
                 ),
             )
@@ -439,58 +825,13 @@ class ServingEngine:
         ids = [r.request_id for r in requests]
         if len(set(ids)) != len(ids):
             raise ValueError("request_ids must be unique")
-        max_seq_len = self.model.config.max_seq_len
         for request in requests:
-            if request.total_len > max_seq_len:
-                raise ValueError(
-                    f"request {request.request_id} spans {request.total_len} "
-                    f"tokens (prompt + max_new), model max_seq_len is "
-                    f"{max_seq_len}"
-                )
-            need = self.pool.reservation_pages(
-                request.prompt_len, request.max_new_tokens, self.pruning
-            )
-            if need > self.pool.n_pages:
-                raise PoolExhausted(
-                    f"request {request.request_id} needs {need} pages, pool "
-                    f"holds {self.pool.n_pages}: it can never be admitted"
-                )
-        records = {r.request_id: RequestRecord(r) for r in requests}
-        pending: Deque[Request] = deque(
-            sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
-        )
-        clock = SimulatedClock()
-        batch_sizes: List[int] = []
-        occupancy: List[float] = []
-
-        while pending or self.queue or self.prefilling or self.live:
-            self._ingest(pending, clock.now)
-            self._admit_ready(clock, records)
-            if not self.live and not self.prefilling:
-                if pending:
-                    # Idle: jump straight to the next arrival.
-                    clock.advance_to(pending[0].arrival_time)
-                    continue
-                if self.queue:  # pragma: no cover - run() pre-validation
-                    raise PoolExhausted("queued request can never be admitted")
-                break
-            if self.prefill_chunk is None:
-                batch_sizes.append(len(self.live))
-                self._decode_step(clock)
-            else:
-                batch_sizes.append(len(self.live) + len(self.prefilling))
-                self._mixed_step(clock)
-            occupancy.append(self.pool.occupancy)
-
-        return ServingStats.from_run(
-            mode=self.mode,
-            records=[records[i] for i in sorted(records)],
-            makespan_s=clock.now,
-            batch_sizes=batch_sizes,
-            occupancy_samples=occupancy,
-            pool_pages=self.pool.n_pages,
-            pool_page_tokens=self.pool.page_tokens,
-            occupancy_peak=self.pool.peak_allocated_pages / self.pool.n_pages,
-            reclaimed_pages=self.pool.reclaimed_pages,
-            reclaimed_tokens=self.pool.reclaimed_tokens,
-        )
+            self.validate_request(request)
+        self.start()
+        for request in sorted(
+            requests, key=lambda r: (r.arrival_time, r.request_id)
+        ):
+            self.submit(request)
+        while self.has_work:
+            self.step()
+        return self.finish()

@@ -187,6 +187,20 @@ class KVMemoryPool:
     def n_sequences(self) -> int:
         return len(self._accounts)
 
+    @property
+    def tracked_sequences(self) -> frozenset:
+        """Ids of every sequence currently holding a reservation.
+
+        The sharded cluster ledger audits these across shards: a
+        sequence id appearing in more than one shard means its pages
+        are double-billed against the global budget.
+        """
+        return frozenset(self._accounts)
+
+    def reserved_pages_of(self, seq_id: int) -> int:
+        """Pages reserved by one live sequence (ledger audits)."""
+        return self._account(seq_id).reserved_pages
+
     # ------------------------------------------------------------------
     # Admission / lifecycle
     # ------------------------------------------------------------------

@@ -2,21 +2,52 @@
 
 A :class:`Request` is a prompt plus a generation budget, stamped with a
 simulated arrival time and a priority.  The :class:`RequestQueue` orders
-waiting requests by ``(priority, arrival_time, request_id)`` — lower
-priority values are served first, ties break FIFO — and only surfaces
-requests whose arrival time has passed the simulated clock.
+waiting requests by ``(priority, arrival_time, push order)`` — lower
+priority values are served first, ties break FIFO on arrival time, and
+requests that are equal on both pop in the order they were pushed
+(a monotonic per-queue counter, so pop order never depends on request
+ids or payload comparison).
 """
 
 from __future__ import annotations
 
 import heapq
+import itertools
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import List, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["RequestStatus", "Request", "RequestRecord", "RequestQueue"]
+__all__ = [
+    "INHERIT_PRUNING",
+    "RequestStatus",
+    "Request",
+    "RequestRecord",
+    "RequestQueue",
+]
+
+
+class _InheritPruning:
+    """Sentinel: the request follows the engine's pruning schedule.
+
+    Distinct from ``None``, which *forces* the dense path for one
+    request even on an engine whose default schedule prunes.
+    """
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "INHERIT_PRUNING"
+
+
+#: Default for :attr:`Request.pruning`: inherit the engine's schedule.
+INHERIT_PRUNING = _InheritPruning()
 
 
 class RequestStatus(Enum):
@@ -35,6 +66,13 @@ class Request:
         max_new_tokens: decode budget (>= 1).
         arrival_time: simulated-clock arrival timestamp in seconds.
         priority: scheduling class; *lower* values are admitted first.
+        pruning: per-request cascade schedule.  The default
+            :data:`INHERIT_PRUNING` follows whatever the serving engine
+            was configured with; a :class:`~repro.config.PruningConfig`
+            overrides it for this request only, and ``None`` forces the
+            dense path.  Heterogeneous traces (requests with different
+            schedules in one trace) are what make the cluster router's
+            schedule-bound cost estimates meaningful.
     """
 
     request_id: int
@@ -42,6 +80,7 @@ class Request:
     max_new_tokens: int
     arrival_time: float = 0.0
     priority: int = 0
+    pruning: object = INHERIT_PRUNING
 
     def __post_init__(self) -> None:
         self.prompt_ids = np.asarray(self.prompt_ids, dtype=np.int64)
@@ -97,12 +136,39 @@ class RequestRecord:
     def n_generated(self) -> int:
         return len(self.token_ids)
 
+    def reset_for_requeue(self) -> None:
+        """Return the record to its pre-admission state (replica drain).
+
+        A drained or failed replica's in-flight requests restart from
+        scratch on another replica.  Greedy decoding is deterministic,
+        so the regenerated token stream is identical; the original
+        ``arrival_time`` is kept, so the drain penalty stays visible in
+        the queue-wait and TTFT percentiles.
+        """
+        self.status = RequestStatus.QUEUED
+        self.admit_time = None
+        self.first_token_time = None
+        self.finish_time = None
+        self.token_ids.clear()
+        self.token_latencies.clear()
+
 
 class RequestQueue:
-    """Priority + FIFO queue over not-yet-admitted requests."""
+    """Priority + FIFO queue over not-yet-admitted requests.
+
+    Pop order is ``(priority, arrival_time, push order)``.  The third
+    key is a monotonic per-queue counter stamped at :meth:`push`, so
+    requests that tie on priority *and* arrival time pop exactly in the
+    order they entered the queue — never by request id and never by
+    comparing request payloads (which are not orderable).  Requeued
+    requests (a drained cluster replica pushing its in-flight work back
+    through the router) therefore line up behind equal-priority
+    originals instead of jumping the line.
+    """
 
     def __init__(self) -> None:
         self._heap: List[tuple] = []
+        self._push_counter = itertools.count()
 
     def __len__(self) -> int:
         return len(self._heap)
@@ -113,7 +179,12 @@ class RequestQueue:
     def push(self, request: Request) -> None:
         heapq.heappush(
             self._heap,
-            (request.priority, request.arrival_time, request.request_id, request),
+            (
+                request.priority,
+                request.arrival_time,
+                next(self._push_counter),
+                request,
+            ),
         )
 
     def peek(self) -> Request:
@@ -129,3 +200,9 @@ class RequestQueue:
     def as_ordered_list(self) -> Sequence[Request]:
         """Waiting requests in admission order (non-destructive)."""
         return [entry[3] for entry in sorted(self._heap)]
+
+    def drain(self) -> List[Request]:
+        """Pop every waiting request, in admission order."""
+        drained = [entry[3] for entry in sorted(self._heap)]
+        self._heap.clear()
+        return drained

@@ -15,7 +15,8 @@ same philosophy as the repo's analytic traces).  The cost model charges
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import dataclass, field, fields
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -204,10 +205,13 @@ class ServingStats:
     throughput_tps: float
     queue_wait_p50: float
     queue_wait_p95: float
+    queue_wait_p99: float
     ttft_p50: float
     ttft_p95: float
+    ttft_p99: float
     decode_latency_p50: float
     decode_latency_p95: float
+    decode_latency_p99: float
     mean_batch_size: float
     pool_pages: int
     pool_page_tokens: int
@@ -253,10 +257,13 @@ class ServingStats:
             throughput_tps=n_tokens / makespan_s if makespan_s > 0 else 0.0,
             queue_wait_p50=_percentile(queue_waits, 50),
             queue_wait_p95=_percentile(queue_waits, 95),
+            queue_wait_p99=_percentile(queue_waits, 99),
             ttft_p50=_percentile(ttfts, 50),
             ttft_p95=_percentile(ttfts, 95),
+            ttft_p99=_percentile(ttfts, 99),
             decode_latency_p50=_percentile(decode_lat, 50),
             decode_latency_p95=_percentile(decode_lat, 95),
+            decode_latency_p99=_percentile(decode_lat, 99),
             mean_batch_size=float(np.mean(batch_sizes)) if batch_sizes else 0.0,
             pool_pages=pool_pages,
             pool_page_tokens=pool_page_tokens,
@@ -269,6 +276,22 @@ class ServingStats:
             n_unadmitted=len(records) - len(admitted),
             records=records,
         )
+
+    def to_dict(self) -> dict:
+        """All scalar metrics as a plain dict (no per-request records).
+
+        Benchmarks and the cluster aggregator consume this instead of
+        re-deriving percentiles from :attr:`records` by hand.
+        """
+        return {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if f.name != "records"
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """The scalar metrics as a JSON document (see :meth:`to_dict`)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     def table(self) -> Table:
         t = Table(
@@ -283,13 +306,17 @@ class ServingStats:
         t.add_row("tokens generated", str(self.n_tokens))
         t.add_row("makespan (s)", f"{self.makespan_s:.3f}")
         t.add_row("throughput (tok/s)", f"{self.throughput_tps:.1f}")
-        t.add_row("queue wait p50/p95 (ms)",
-                  f"{self.queue_wait_p50 * ms:.1f} / {self.queue_wait_p95 * ms:.1f}")
-        t.add_row("time-to-first-token p50/p95 (ms)",
-                  f"{self.ttft_p50 * ms:.1f} / {self.ttft_p95 * ms:.1f}")
-        t.add_row("decode latency p50/p95 (ms/tok)",
+        t.add_row("queue wait p50/p95/p99 (ms)",
+                  f"{self.queue_wait_p50 * ms:.1f} / "
+                  f"{self.queue_wait_p95 * ms:.1f} / "
+                  f"{self.queue_wait_p99 * ms:.1f}")
+        t.add_row("time-to-first-token p50/p95/p99 (ms)",
+                  f"{self.ttft_p50 * ms:.1f} / {self.ttft_p95 * ms:.1f} / "
+                  f"{self.ttft_p99 * ms:.1f}")
+        t.add_row("decode latency p50/p95/p99 (ms/tok)",
                   f"{self.decode_latency_p50 * ms:.2f} / "
-                  f"{self.decode_latency_p95 * ms:.2f}")
+                  f"{self.decode_latency_p95 * ms:.2f} / "
+                  f"{self.decode_latency_p99 * ms:.2f}")
         t.add_row("mean live batch", f"{self.mean_batch_size:.2f}")
         t.add_row("pool pages (x tokens/page)",
                   f"{self.pool_pages} x {self.pool_page_tokens}")

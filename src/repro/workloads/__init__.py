@@ -23,7 +23,12 @@ from .tasks import (
     make_lm_corpus,
     make_regression_dataset,
 )
-from .traffic import poisson_arrival_times, synthetic_request_trace
+from .traffic import (
+    TrafficClass,
+    heterogeneous_request_trace,
+    poisson_arrival_times,
+    synthetic_request_trace,
+)
 from .vocab import CONTENT_EXEMPLARS, FUNCTION_WORDS, Vocabulary, build_vocabulary
 
 __all__ = [
@@ -45,6 +50,8 @@ __all__ = [
     "make_regression_dataset",
     "poisson_arrival_times",
     "synthetic_request_trace",
+    "TrafficClass",
+    "heterogeneous_request_trace",
     "CONTENT_EXEMPLARS",
     "FUNCTION_WORDS",
     "Vocabulary",

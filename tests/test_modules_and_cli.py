@@ -88,6 +88,73 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(base + ["--attention-backend", "einsum"])
 
+    def test_serve_stats_json_flag(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "serve.json"
+        assert main([
+            "serve", "--requests", "3", "--rate", "500", "--mode", "dense",
+            "--prompt-len", "12", "--max-new", "2", "4", "--layers", "2",
+            "--pool-kib", "256", "--stats-json", str(path),
+        ]) == 0
+        payload = json.loads(path.read_text())
+        assert set(payload) == {"dense"}
+        assert payload["dense"]["n_requests"] == 3
+        assert "ttft_p99" in payload["dense"]
+
+    def test_serve_cluster_end_to_end(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "cluster.json"
+        base = [
+            "serve-cluster", "--replicas", "2", "--requests", "6",
+            "--rate", "800", "--prompt-len", "12", "--max-new", "2", "4",
+            "--layers", "2", "--pool-kib", "1024",
+        ]
+        assert main(base + [
+            "--policy", "pruning_aware", "--drain-at", "0.01:0",
+            "--stats-json", str(path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cluster report" in out
+        assert "pruning_aware" in out
+        payload = json.loads(path.read_text())
+        assert payload["n_replicas"] == 2
+        assert payload["n_drained"] == 1
+        assert payload["fleet"]["n_requests"] == 6
+
+    def test_serve_cluster_rejects_bad_flags(self, capsys):
+        base = ["serve-cluster", "--requests", "2", "--layers", "2"]
+        assert main(base + ["--drain-at", "banana"]) == 2
+        assert "TIME:REPLICA" in capsys.readouterr().err
+        assert main(base + ["--replicas", "0"]) == 2
+        assert "--replicas" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            main(base + ["--policy", "fastest"])
+
+    def test_serve_cluster_single_replica_matches_serve(self, capsys,
+                                                        tmp_path):
+        """CLI-level acceptance: serve-cluster x1 == plain serve."""
+        import json
+
+        serve_json = tmp_path / "serve.json"
+        cluster_json = tmp_path / "cluster.json"
+        common = [
+            "--requests", "4", "--rate", "600", "--prompt-len", "12",
+            "--max-new", "2", "4", "--layers", "2", "--pool-kib", "256",
+        ]
+        assert main(["serve", "--mode", "spatten", "--stats-json",
+                     str(serve_json)] + common) == 0
+        assert main(
+            ["serve-cluster", "--replicas", "1", "--traffic", "uniform",
+             "--mode", "spatten", "--policy", "round_robin",
+             "--stats-json", str(cluster_json)] + common
+        ) == 0
+        capsys.readouterr()
+        plain = json.loads(serve_json.read_text())["spatten"]
+        replica = json.loads(cluster_json.read_text())["replicas"][0]
+        assert replica == plain
+
     def test_registry_covers_all_figures(self):
         expected = {
             "headline", "fig01", "fig02", "fig07", "table1", "table2",

@@ -84,6 +84,25 @@ class TestRequestAndQueue:
         with pytest.raises(IndexError):
             queue.pop()
 
+    def test_equal_priority_equal_arrival_pops_in_push_order(self):
+        """Ties on (priority, arrival) break on the monotonic push
+        counter — never on request ids and never by comparing request
+        payloads (regression: the heap used to carry the id as the
+        tiebreaker, so requeued requests could jump the line)."""
+        queue = RequestQueue()
+        for rid in (5, 2, 9):  # deliberately not in id order
+            queue.push(Request(rid, [1], 1, arrival_time=1.0, priority=3))
+        assert [r.request_id for r in queue.as_ordered_list()] == [5, 2, 9]
+        assert [queue.pop().request_id for _ in range(3)] == [5, 2, 9]
+
+    def test_queue_drain_returns_admission_order_and_empties(self):
+        queue = RequestQueue()
+        queue.push(Request(0, [1], 1, arrival_time=0.2, priority=1))
+        queue.push(Request(1, [1], 1, arrival_time=0.1, priority=0))
+        queue.push(Request(2, [1], 1, arrival_time=0.1, priority=0))
+        assert [r.request_id for r in queue.drain()] == [1, 2, 0]
+        assert len(queue) == 0
+
 
 class TestKVBounds:
     def test_dense_bounds_are_full_length(self):
@@ -304,12 +323,12 @@ class TestAttentionBackend:
     def test_pool_page_size_threads_into_kv_caches(self, serving_setup):
         config, model, _ = serving_setup
         pool = make_pool(config, pages=24, page_tokens=32)
-        dense = ServingEngine(model, pool)._executor_factory()
+        dense = ServingEngine(model, pool)._make_executor(None)
         model.prefill([1, 2, 3], dense)
         assert dense._cache[0].page_tokens == pool.page_tokens
         spatten = ServingEngine(
             model, pool, pruning=PRUNING
-        )._executor_factory()
+        )._make_executor(PRUNING)
         model.prefill([1, 2, 3], spatten)
         assert spatten._cache[0].page_tokens == pool.page_tokens
 
@@ -417,6 +436,24 @@ class TestServingEngine:
             ServingEngine(model, pool).run(
                 [Request(0, prompt, 2), Request(0, prompt, 2)]
             )
+
+    def test_run_validates_before_mutating_state(self, serving_setup):
+        """A bad request anywhere in the trace fails fast and leaves
+        the engine reusable (regression: per-submit validation used to
+        poison the engine with already-submitted requests)."""
+        config, model, corpus = serving_setup
+        prompts = lm_prompts(corpus, PROMPT_LEN, 2, seed=59)
+        good = Request(0, prompts[0], 4, arrival_time=0.0)
+        too_long = Request(
+            1, prompts[1], config.max_seq_len, arrival_time=0.0
+        )
+        pool = make_pool(config, pages=64, page_tokens=8)
+        engine = ServingEngine(model, pool)
+        with pytest.raises(ValueError, match="max_seq_len"):
+            engine.run([good, too_long])
+        assert not engine.has_work  # nothing was half-submitted
+        stats = engine.run([good])
+        assert stats.records[0].n_generated == good.max_new_tokens
 
 
 class TestChunkedServing:
@@ -580,6 +617,42 @@ class TestStatsPartialRuns:
         )
         assert stats.n_unadmitted == 0
         assert "never admitted" not in str(stats.table())
+
+
+class TestStatsPercentilesAndJson:
+    def run_stats(self, serving_setup):
+        config, model, corpus = serving_setup
+        requests = synthetic_request_trace(
+            corpus, n_requests=8, rate_per_s=800.0, prompt_len=PROMPT_LEN,
+            max_new_tokens=(4, 8), seed=61,
+        )
+        pool = make_pool(config, pages=64, page_tokens=8)
+        return ServingEngine(model, pool, prefill_chunk=8).run(requests)
+
+    def test_p99_reported_alongside_p50_p95(self, serving_setup):
+        stats = self.run_stats(serving_setup)
+        assert stats.queue_wait_p99 >= stats.queue_wait_p95
+        assert stats.ttft_p99 >= stats.ttft_p95 >= stats.ttft_p50 > 0
+        assert (
+            stats.decode_latency_p99
+            >= stats.decode_latency_p95
+            >= stats.decode_latency_p50
+            > 0
+        )
+        assert "p50/p95/p99" in str(stats.table())
+
+    def test_to_json_roundtrips_scalars_without_records(self, serving_setup):
+        import json
+
+        stats = self.run_stats(serving_setup)
+        payload = json.loads(stats.to_json())
+        assert payload == stats.to_dict()
+        assert "records" not in payload
+        assert payload["n_requests"] == stats.n_requests
+        assert payload["ttft_p99"] == stats.ttft_p99
+        assert payload["throughput_tps"] == pytest.approx(
+            stats.throughput_tps
+        )
 
 
 class TestCostModelAndClock:
