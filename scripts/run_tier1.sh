@@ -13,4 +13,5 @@ python -m pytest -q -m smoke tests/test_serving.py \
     tests/test_cluster.py \
     benchmarks/bench_serving_throughput.py \
     benchmarks/bench_decode_step.py \
-    benchmarks/bench_cluster_scaling.py
+    benchmarks/bench_cluster_scaling.py \
+    benchmarks/bench_preemption.py

@@ -19,8 +19,11 @@ served with chunked prefill (32-token chunks; pass ``--prefill-chunk
 the trace across N replicas (:mod:`repro.cluster`) with a pluggable
 policy over a sharded KV pool; ``--drain-at TIME:REPLICA`` retires a
 replica mid-run and requeues its in-flight requests through the
-router.  Both serving subcommands accept ``--stats-json PATH`` to
-archive the report as machine-readable JSON.
+router.  Both serving subcommands accept ``--admission optimistic``
+(admit against actual pool usage plus ``--headroom-pages``, preempting
+under pressure with ``--preempt-policy``; see
+:mod:`repro.serving.preemption`) and ``--stats-json PATH`` to archive
+the report as machine-readable JSON.
 """
 
 from __future__ import annotations
@@ -177,6 +180,9 @@ def _serve(args) -> int:
         engine = ServingEngine(
             model, pool, pruning=mode_pruning, prefill_chunk=prefill_chunk,
             attention_backend=args.attention_backend,
+            admission=args.admission,
+            preempt_policy=args.preempt_policy,
+            headroom_pages=args.headroom_pages,
         )
         stats = engine.run(requests)
         throughputs[mode] = stats.throughput_tps
@@ -296,6 +302,9 @@ def _serve_cluster(args) -> int:
         pruning=engine_pruning,
         prefill_chunk=prefill_chunk,
         attention_backend=args.attention_backend,
+        admission=args.admission,
+        preempt_policy=args.preempt_policy,
+        headroom_pages=args.headroom_pages,
         drain_events=_parse_retire_events(args.drain_at, "--drain-at"),
         fail_events=_parse_retire_events(args.fail_at, "--fail-at"),
     )
@@ -324,6 +333,30 @@ def _add_serving_flags(parser) -> None:
                              "across the live batch (default); 'looped' "
                              "keeps the per-sequence oracle (bit-identical "
                              "tokens, slower wall clock)")
+    parser.add_argument("--admission", choices=("reserve", "optimistic"),
+                        default="reserve",
+                        help="'reserve' bills each request its worst-case "
+                             "schedule-bound KV reservation for its whole "
+                             "lifetime (default); 'optimistic' admits "
+                             "against actual pool usage plus "
+                             "--headroom-pages and preempts under pressure "
+                             "(recompute-on-preempt: greedy replay is "
+                             "bit-identical, so preemption costs latency, "
+                             "never tokens)")
+    parser.add_argument("--preempt-policy",
+                        choices=("lowest_priority", "most_pages",
+                                 "latest_arrival"),
+                        default="lowest_priority",
+                        help="victim selection under pool pressure "
+                             "(optimistic admission only)")
+    parser.add_argument("--headroom-pages", type=int, default=12,
+                        help="pool pages kept unbilled at optimistic "
+                             "admission — slack for resident sequences' "
+                             "decode growth before preemption steps in.  "
+                             "0 is fully optimistic and can thrash on "
+                             "preemption recompute (see the ROADMAP "
+                             "ceiling note); the default matches the "
+                             "benchmarked sweet spot")
     parser.add_argument("--pool-kib", type=int, default=768,
                         help="total KV memory-pool budget in KiB (split "
                              "evenly across replicas in serve-cluster)")

@@ -18,7 +18,23 @@ independently), and merges three globally ordered event streams:
   router.  Records reset to their pre-admission state; greedy decoding
   is deterministic, so requeued requests commit the same token streams
   on their new replica, and the drain penalty lands where it belongs —
-  in the queue-wait and TTFT tails.
+  in the queue-wait and TTFT tails.  A requeued (or late-arriving)
+  request that fits *no surviving replica* — admission-time validation
+  only saw the replicas alive at start — is failed cleanly: its record
+  is marked :attr:`~repro.serving.request.RequestStatus.FAILED`, its
+  pages are already back in the ledger (the drain released them), and
+  the run completes with the failure counted instead of dead-looping
+  or crashing mid-flight.
+
+Replicas forward the engine's admission mode: with
+``admission="optimistic"`` every replica admits against its shard's
+*actual* usage plus headroom and preempts under pressure
+(recompute-on-preempt; see :mod:`repro.serving.preemption`).  The
+router prices each placement with the per-request bill that mode will
+actually charge (:meth:`~repro.serving.engine.ServingEngine.
+placement_pages_estimate`), while its load terms — free reservation
+pages, outstanding page-seconds — read per-sequence reservations that
+under optimistic admission track actual usage.
 
 With one replica and no drains, the event loop degenerates to exactly
 the plain engine's ``run()`` (which is itself built on the same
@@ -36,7 +52,7 @@ from ..config import PruningConfig, QuantConfig
 from ..nn.transformer import TransformerModel
 from ..serving.engine import ServingEngine
 from ..serving.memory_pool import PoolExhausted
-from ..serving.request import Request, RequestRecord
+from ..serving.request import Request, RequestRecord, RequestStatus
 from ..serving.stats import CostModel
 from .router import Replica, ClusterRouter
 from .sharded_pool import ShardedKVPool
@@ -57,8 +73,9 @@ class ClusterEngine:
             per-request via :attr:`~repro.serving.request.Request.
             pruning`).
         quant / cost_model / prefill_chunk / attention_backend /
-        sampler: forwarded to every replica's engine, identical
-            semantics to :class:`~repro.serving.engine.ServingEngine`.
+        admission / preempt_policy / headroom_pages / sampler:
+            forwarded to every replica's engine, identical semantics
+            to :class:`~repro.serving.engine.ServingEngine`.
         drain_events: ``(time, replica_index)`` pairs — the replica is
             gracefully drained at that simulated time.
         fail_events: like ``drain_events`` but flags the replica as
@@ -76,6 +93,9 @@ class ClusterEngine:
         cost_model: Optional[CostModel] = None,
         prefill_chunk: Optional[int] = None,
         attention_backend: str = "packed",
+        admission: str = "reserve",
+        preempt_policy: str = "lowest_priority",
+        headroom_pages: int = 0,
         sampler=None,
         router: Optional[ClusterRouter] = None,
         drain_events: Sequence[Tuple[float, int]] = (),
@@ -83,6 +103,7 @@ class ClusterEngine:
     ):
         self.model = model
         self.pool = pool
+        self.admission = admission
         self.router = router if router is not None else ClusterRouter(policy)
         self.replicas: List[Replica] = [
             Replica(
@@ -96,6 +117,9 @@ class ClusterEngine:
                     sampler=sampler,
                     prefill_chunk=prefill_chunk,
                     attention_backend=attention_backend,
+                    admission=admission,
+                    preempt_policy=preempt_policy,
+                    headroom_pages=headroom_pages,
                     name=f"replica{i}",
                 ),
                 shard=pool.shard(i),
@@ -113,6 +137,10 @@ class ClusterEngine:
             raise ValueError("each replica can be drained/failed once")
         self._retire_events = sorted(events)
         self.n_requeued = 0
+        #: Request ids failed cleanly because no surviving replica
+        #: could ever hold their reservation (mid-run drains strand
+        #: work that admission-time validation accepted).
+        self.failed_requests: List[int] = []
 
     # ------------------------------------------------------------------
     def run(self, requests: Sequence[Request]) -> ClusterStats:
@@ -129,7 +157,7 @@ class ClusterEngine:
                     f"max_seq_len is {max_seq_len}"
                 )
             if not any(
-                self._ever_fits(request, replica)
+                replica.engine.can_ever_admit(request)
                 for replica in self.replicas
                 if self.pool.is_active(replica.index)
             ):
@@ -192,6 +220,7 @@ class ClusterEngine:
         )
         return ClusterStats.from_run(
             policy=self.router.policy,
+            admission=self.admission,
             records=[records[i] for i in sorted(records)],
             replica_stats=replica_stats,
             makespan_s=makespan,
@@ -210,6 +239,7 @@ class ClusterEngine:
                 self.pool.is_failed(i) for i in range(self.pool.n_replicas)
             ),
             n_requeued=self.n_requeued,
+            n_failed_requests=len(self.failed_requests),
             routed_counts=[
                 self.router.routed_counts.get(i, 0)
                 for i in range(self.pool.n_replicas)
@@ -217,28 +247,37 @@ class ClusterEngine:
         )
 
     # ------------------------------------------------------------------
-    def _ever_fits(self, request: Request, replica: Replica) -> bool:
-        need = replica.shard.reservation_pages(
-            request.prompt_len, request.max_new_tokens,
-            replica.engine.pruning_of(request),
-        )
-        return need <= replica.shard.n_pages
-
     def _route(
         self,
         request: Request,
         record: RequestRecord,
         available: float,
-    ) -> None:
+    ) -> bool:
+        """Place one request on an active replica, or fail it cleanly.
+
+        Returns ``False`` when no surviving replica can ever hold the
+        request (every fitting shard was drained mid-run, or the whole
+        fleet retired).  The request's pages are already back in the
+        ledger — a drain releases before requeueing — so the record is
+        marked FAILED and kept for the report, the ledger audit stays
+        clean, and the event loop moves on instead of raising with
+        other requests still in flight.
+        """
         active = [
             r for r in self.replicas if self.pool.is_active(r.index)
         ]
-        if not active:
-            raise PoolExhausted(
-                "all replicas drained or failed with requests outstanding"
-            )
-        replica = self.router.choose(request, active)
+        replica = None
+        if active:
+            try:
+                replica = self.router.choose(request, active)
+            except PoolExhausted:
+                replica = None
+        if replica is None:
+            record.status = RequestStatus.FAILED
+            self.failed_requests.append(request.request_id)
+            return False
         replica.engine.submit(request, record, available_time=available)
+        return True
 
     def _retire_replica(self, idx: int, t: float, kind: str) -> None:
         """Drain or fail a replica at simulated time ``t``; requeue.

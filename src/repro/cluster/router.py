@@ -80,17 +80,27 @@ class ClusterRouter:
     def choose(self, request: Request, replicas: Sequence[Replica]) -> Replica:
         """Pick the replica this request is placed on.
 
-        ``replicas`` must be the *active* set; replicas whose shard can
-        never hold the request's worst-case reservation are excluded.
+        ``replicas`` must be the *active* set.  One
+        :meth:`~repro.serving.engine.ServingEngine.
+        placement_pages_estimate` call per replica both filters
+        (``None``: that engine can never admit the request — worst-case
+        reservation beyond the shard, or an optimistic floor plus
+        headroom that can never fit) and prices the placement (the
+        exact per-request page bill admission will charge in the
+        replica's mode).  Load sensitivity under optimistic admission
+        comes from the backlog terms the pruning-aware key adds —
+        outstanding page-seconds and free reservation pages read
+        per-sequence reservations that track *actual* usage there.
         Raises :class:`PoolExhausted` when no active replica can ever
         serve the request.
         """
         candidates = [
-            (r, need)
-            for r, need in (
-                (r, self._need_pages(request, r)) for r in replicas
+            (r, est)
+            for r, est in (
+                (r, r.engine.placement_pages_estimate(request))
+                for r in replicas
             )
-            if need <= r.shard.n_pages
+            if est is not None
         ]
         if not candidates:
             raise PoolExhausted(
@@ -115,14 +125,6 @@ class ClusterRouter:
             self.routed_counts.get(chosen.index, 0) + 1
         )
         return chosen
-
-    @staticmethod
-    def _need_pages(request: Request, replica: Replica) -> int:
-        return replica.shard.reservation_pages(
-            request.prompt_len,
-            request.max_new_tokens,
-            replica.engine.pruning_of(request),
-        )
 
     @staticmethod
     def _pruning_aware_key(

@@ -177,6 +177,16 @@ class ShardedKVPool:
         return sum(shard.reclaimed_tokens for shard in self.shards)
 
     @property
+    def n_preempted(self) -> int:
+        """Fleet-wide preemptions (optimistic admission pool pressure)."""
+        return sum(shard.n_preempted for shard in self.shards)
+
+    @property
+    def preempted_pages(self) -> int:
+        """Pages returned to the ledger by preemption victims."""
+        return sum(shard.preempted_pages for shard in self.shards)
+
+    @property
     def n_sequences(self) -> int:
         return sum(shard.n_sequences for shard in self.shards)
 
@@ -191,6 +201,7 @@ class ShardedKVPool:
                 "reserved": shard.reserved_pages,
                 "allocated": shard.allocated_pages,
                 "reclaimed": shard.reclaimed_pages,
+                "preempted": shard.n_preempted,
                 "sequences": sorted(shard.tracked_sequences),
             }
             for i, shard in enumerate(self.shards)
@@ -205,8 +216,13 @@ class ShardedKVPool:
     def audit(self) -> None:
         """Enforce the global-ledger invariants; raises on violation.
 
+        * every shard passes its own internal audit
+          (:meth:`~repro.serving.memory_pool.KVMemoryPool.audit` —
+          allocations and reservations fit, reserve-mode accounts never
+          outgrow their bound, optimistic accounts bill exactly
+          ``max(floor, allocated)``);
         * a sequence id is billed by at most one shard (no
-          double-billed pages after a drain requeue);
+          double-billed pages after a drain requeue or a preemption);
         * each shard's reservation total equals the sum of its
           per-sequence accounts;
         * retired (drained/failed) shards hold zero reservations and
@@ -214,6 +230,7 @@ class ShardedKVPool:
         """
         owners: Dict[int, int] = {}
         for i, shard in enumerate(self.shards):
+            shard.audit()
             for seq_id in shard.tracked_sequences:
                 if seq_id in owners:
                     raise PoolExhausted(

@@ -17,7 +17,7 @@ from typing import Dict, List, Optional
 
 from ..eval.reporting import Table
 from ..serving.request import RequestRecord
-from ..serving.stats import ServingStats
+from ..serving.stats import ServingStats, format_quantiles
 
 __all__ = ["ClusterStats"]
 
@@ -40,6 +40,9 @@ class ClusterStats:
     #: Fleet-level aggregate over every request record (percentiles
     #: recomputed from pooled samples, not averaged).
     fleet: ServingStats
+    #: Requests failed cleanly because no surviving replica could ever
+    #: hold them (mid-run drains stranded their reservation size).
+    n_failed_requests: int = 0
     #: Each replica's own ServingStats, as reported by its engine.
     replicas: List[ServingStats] = field(default_factory=list)
 
@@ -60,11 +63,14 @@ class ClusterStats:
         n_failed: int,
         n_requeued: int,
         routed_counts: List[int],
+        n_failed_requests: int = 0,
+        admission: str = "reserve",
     ) -> "ClusterStats":
         modes = {s.mode for s in replica_stats}
         mode = modes.pop() if len(modes) == 1 else "mixed"
         fleet = ServingStats.from_run(
             mode=f"cluster/{mode}/{policy}",
+            admission=admission,
             records=records,
             makespan_s=makespan_s,
             batch_sizes=[],
@@ -90,6 +96,7 @@ class ClusterStats:
             n_requeued=n_requeued,
             routed_counts=list(routed_counts),
             fleet=fleet,
+            n_failed_requests=n_failed_requests,
             replicas=list(replica_stats),
         )
 
@@ -104,6 +111,7 @@ class ClusterStats:
             "n_drained": self.n_drained,
             "n_failed": self.n_failed,
             "n_requeued": self.n_requeued,
+            "n_failed_requests": self.n_failed_requests,
             "routed_counts": list(self.routed_counts),
             "fleet": self.fleet.to_dict(),
             "replicas": [s.to_dict() for s in self.replicas],
@@ -130,18 +138,22 @@ class ClusterStats:
         t.add_row("makespan (s)", f"{f.makespan_s:.3f}")
         t.add_row("fleet throughput (tok/s)", f"{f.throughput_tps:.1f}")
         t.add_row("queue wait p50/p95/p99 (ms)",
-                  f"{f.queue_wait_p50 * ms:.1f} / "
-                  f"{f.queue_wait_p95 * ms:.1f} / "
-                  f"{f.queue_wait_p99 * ms:.1f}")
+                  format_quantiles((f.queue_wait_p50, f.queue_wait_p95,
+                                    f.queue_wait_p99), ms, ".1f"))
         t.add_row("time-to-first-token p50/p95/p99 (ms)",
-                  f"{f.ttft_p50 * ms:.1f} / {f.ttft_p95 * ms:.1f} / "
-                  f"{f.ttft_p99 * ms:.1f}")
+                  format_quantiles((f.ttft_p50, f.ttft_p95, f.ttft_p99),
+                                   ms, ".1f"))
         t.add_row("decode latency p50/p95/p99 (ms/tok)",
-                  f"{f.decode_latency_p50 * ms:.2f} / "
-                  f"{f.decode_latency_p95 * ms:.2f} / "
-                  f"{f.decode_latency_p99 * ms:.2f}")
+                  format_quantiles((f.decode_latency_p50,
+                                    f.decode_latency_p95,
+                                    f.decode_latency_p99), ms, ".2f"))
         t.add_row("fleet resident sequences (mean)",
                   f"{f.mean_batch_size:.2f}")
+        if f.admission != "reserve":
+            t.add_row("admission mode", f.admission)
+        if f.n_preemptions:
+            t.add_row("preemptions across fleet (recomputed tokens)",
+                      f"{f.n_preemptions} ({f.recompute_tokens})")
         t.add_row("global pool pages (x tokens/page)",
                   f"{f.pool_pages} x {f.pool_page_tokens}")
         t.add_row("global occupancy mean/peak",
@@ -154,11 +166,15 @@ class ClusterStats:
                   f"({self.n_drained} drained, {self.n_failed} failed)")
         if self.n_requeued:
             t.add_row("requests requeued by drains", str(self.n_requeued))
+        if self.n_failed_requests:
+            t.add_row("requests failed (never placeable)",
+                      str(self.n_failed_requests))
         for i, s in enumerate(self.replicas):
+            ttft_p95 = format_quantiles((s.ttft_p95,), ms, ".1f")
             t.add_row(
                 f"replica {i}",
                 f"{s.n_requests} reqs, {s.throughput_tps:.0f} tok/s, "
-                f"ttft p95 {s.ttft_p95 * ms:.1f} ms, "
+                f"ttft p95 {ttft_p95} ms, "
                 f"occ peak {s.occupancy_peak:.0%}",
             )
         t.add_note(

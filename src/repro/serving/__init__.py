@@ -17,7 +17,14 @@ Layers of the subsystem
 * :mod:`~repro.serving.memory_pool` — :class:`KVMemoryPool`: fixed-size
   pages per layer, schedule-aware worst-case reservations for admission
   control, chunk-by-chunk page growth while a prompt prefills, and page
-  reclamation as cascade pruning evicts columns.
+  reclamation as cascade pruning evicts columns.  A second, *optimistic*
+  admission plane bills actual usage instead of the worst case (see
+  "Admission modes & preemption" below).
+* :mod:`~repro.serving.preemption` — deterministic victim selection
+  (:class:`~repro.serving.preemption.PreemptionPolicy`) for
+  optimistic-admission pool pressure: ``lowest_priority``,
+  ``most_pages``, or ``latest_arrival``, all skipping victims the
+  livelock guard protects.
 * :mod:`~repro.serving.engine` — :class:`ServingEngine`: a three-phase
   mixed-step scheduler.  Each iteration ingests arrivals, **reserves**
   pool pages for every queue-head request that fits (no prompt work
@@ -69,6 +76,51 @@ state, not on the preallocated headroom.
 Chunked dense prefill reserves the full prompt width up front and pads
 K/V with zero-copy views (:meth:`~repro.nn.kv_cache.LayerKVCache.
 padded_to`) rather than per-chunk concatenations.
+
+Admission modes & preemption
+----------------------------
+
+``ServingEngine(admission=...)`` selects how requests are billed
+against the pool:
+
+* ``"reserve"`` (default) — the PR-1 contract: a request reserves its
+  schedule-bound *worst-case* pages at admission and holds that
+  reservation until it retires.  Nothing can ever be forced out of
+  memory, but pages reclaimed by mid-generation pruning cannot admit
+  new work that was refused at reservation time — under load the
+  engine idles capacity the cascade schedule provably freed.
+* ``"optimistic"`` — admission bills only the request's post-prefill
+  prompt footprint plus a configurable ``headroom_pages`` against the
+  pool's *actual* usage (optimistic accounts track
+  ``max(prompt floor, allocated)`` and shrink as pruning evicts, so
+  reclaimed pages become admissible capacity immediately).  Future
+  decode growth is deliberately unbilled; when it materializes and the
+  next step's projected growth would overflow the pool, the engine
+  **preempts**: a victim chosen by the ``preempt_policy``
+  (``lowest_priority`` / ``most_pages`` / ``latest_arrival``,
+  :mod:`repro.serving.preemption`) releases its pages and requeues for
+  **recompute-on-preempt**.  Greedy decoding replays a bit-identical
+  stream, so preemption costs latency, never tokens — the same
+  invariant cluster drains established.  Safety properties:
+
+  - a preempted request is *protected* until it commits new work (a
+    prefill chunk or decode token), so no request is preempted twice
+    without progress — the livelock guard;
+  - a lone resident sequence is never preempted: ``submit`` still
+    validates that the worst-case bound fits the whole pool, so the
+    last sequence standing always runs to completion;
+  - the pool audits its ledger (``KVMemoryPool.audit``) after every
+    preemption cycle, and preemption counters
+    (``ServingStats.n_preemptions`` / ``recompute_tokens``,
+    per-request on :class:`RequestRecord`) keep the recompute cost
+    visible in the report.
+
+``benchmarks/bench_preemption.py`` sweeps both admission modes at a
+fixed pool budget on a pruning-heavy trace: optimistic admission +
+preemption strictly improves throughput and TTFT p95 over
+reservation-only admission, with bit-identical per-request outputs.
+The CLI surfaces all of it: ``repro serve --admission optimistic
+--preempt-policy most_pages --headroom-pages 8``.
 
 Quick start
 -----------
@@ -155,6 +207,7 @@ surface (``--drain-at TIME:REPLICA`` exercises mid-run drains).
 """
 
 from .engine import (
+    ADMISSION_MODES,
     LiveSequence,
     PrefillingSequence,
     ServingEngine,
@@ -166,6 +219,12 @@ from .memory_pool import (
     prefill_kv_lengths,
     pruned_kv_bounds,
 )
+from .preemption import (
+    PREEMPTION_POLICIES,
+    PreemptionCandidate,
+    PreemptionEvent,
+    PreemptionPolicy,
+)
 from .request import (
     INHERIT_PRUNING,
     Request,
@@ -176,9 +235,14 @@ from .request import (
 from .stats import CostModel, ServingStats, SimulatedClock
 
 __all__ = [
+    "ADMISSION_MODES",
     "INHERIT_PRUNING",
     "LiveSequence",
+    "PREEMPTION_POLICIES",
     "PrefillingSequence",
+    "PreemptionCandidate",
+    "PreemptionEvent",
+    "PreemptionPolicy",
     "ServingEngine",
     "greedy_sampler",
     "KVMemoryPool",

@@ -39,6 +39,33 @@ After every step the pool is synced against each executor's real
 per-layer cache lengths, so columns evicted by cascade token pruning
 drain whole pages back to the free list mid-flight.
 
+Admission modes and preemption
+------------------------------
+
+Admission is two-mode (``ServingEngine(admission=...)``):
+
+* ``"reserve"`` (default) — the request is billed its schedule-bound
+  *worst-case* page reservation from admission to retirement.  Safe by
+  construction, but pages reclaimed by mid-generation pruning cannot
+  admit new work already refused at reservation time, so under load
+  the engine idles capacity the pruning schedule provably freed.
+* ``"optimistic"`` — admission checks the request's post-prefill
+  prompt footprint plus a configurable ``headroom_pages`` against the
+  pool's *actual* usage; future decode growth is deliberately
+  unbilled.  Safety moves to run time: before every step the engine
+  projects each resident sequence's growth
+  (:meth:`~repro.serving.memory_pool.KVMemoryPool.pressure_pages`)
+  and, under pressure, **preempts** a victim — releases its pages,
+  requeues it, and recomputes it from scratch on readmission
+  (``recompute-on-preempt``).  Greedy decoding makes the replayed
+  stream bit-identical, so preemption costs latency, never tokens —
+  the same invariant cluster drains rely on.  Victim selection is
+  policy-pluggable (:mod:`repro.serving.preemption`), a preempted
+  request is protected from re-victimization until it commits new
+  work (livelock guard), and a lone resident sequence is never
+  preempted (its worst-case bound fits the whole pool, enforced at
+  submit).  The pool audits itself after every preemption cycle.
+
 Stepwise driving (cluster mode)
 -------------------------------
 
@@ -90,6 +117,11 @@ from ..nn.transformer import (
 )
 from .memory_pool import KVMemoryPool, PoolExhausted, prefill_kv_lengths, \
     pruned_kv_bounds
+from .preemption import (
+    PreemptionCandidate,
+    PreemptionEvent,
+    PreemptionPolicy,
+)
 from .request import (
     INHERIT_PRUNING,
     Request,
@@ -100,12 +132,15 @@ from .request import (
 from .stats import CostModel, ServingStats, SimulatedClock
 
 __all__ = [
+    "ADMISSION_MODES",
     "LiveSequence",
     "PrefillingSequence",
     "ScheduledSequence",
     "ServingEngine",
     "greedy_sampler",
 ]
+
+ADMISSION_MODES = ("reserve", "optimistic")
 
 
 def greedy_sampler(logits: np.ndarray) -> int:
@@ -138,6 +173,10 @@ class LiveSequence(ScheduledSequence):
     #: inter-token decode-latency metric, which therefore *includes*
     #: any stall between this sequence's consecutive tokens).
     last_commit_time: float = 0.0
+    #: Per-layer schedule bounds (:func:`pruned_kv_bounds`), filled
+    #: lazily by the optimistic pressure projection — constant per
+    #: request, so the schedule replays once, not every step.
+    kv_bounds: Optional[List[int]] = None
 
 
 @dataclass
@@ -191,6 +230,19 @@ class ServingEngine:
             ``run_layer`` hot path (the bit-identity oracle —
             both backends commit identical token streams and identical
             simulated-clock stats, the packed one in less wall time).
+        admission: ``"reserve"`` (default) bills every request its
+            worst-case schedule-bound reservation for its whole
+            lifetime; ``"optimistic"`` admits against actual pool usage
+            plus ``headroom_pages`` and relies on preemption under
+            pressure (see the module docstring).
+        preempt_policy: victim selection under pool pressure —
+            ``"lowest_priority"``, ``"most_pages"``, or
+            ``"latest_arrival"`` (:mod:`repro.serving.preemption`).
+            Only consulted in optimistic mode.
+        headroom_pages: pages that must stay unbilled for a request to
+            be admitted optimistically — slack that absorbs resident
+            sequences' decode growth before preemption has to step in
+            (0 = fully optimistic).
         executor_factory: override the per-request executor (tests).
             When set, it wins over per-request pruning overrides.
         name: label for cluster replicas (defaults to ``"engine"``).
@@ -206,6 +258,9 @@ class ServingEngine:
         sampler: Optional[Callable[[np.ndarray], int]] = None,
         prefill_chunk: Optional[int] = None,
         attention_backend: str = "packed",
+        admission: str = "reserve",
+        preempt_policy: str = "lowest_priority",
+        headroom_pages: int = 0,
         executor_factory: Optional[Callable[[], AttentionExecutor]] = None,
         name: str = "engine",
     ):
@@ -220,6 +275,13 @@ class ServingEngine:
                 f"unknown attention_backend {attention_backend!r}; "
                 f"choose from {ATTENTION_BACKENDS}"
             )
+        if admission not in ADMISSION_MODES:
+            raise ValueError(
+                f"unknown admission mode {admission!r}; choose from "
+                f"{ADMISSION_MODES}"
+            )
+        if headroom_pages < 0:
+            raise ValueError("headroom_pages must be >= 0")
         self.model = model
         self.pool = pool
         self.pruning = pruning
@@ -228,6 +290,9 @@ class ServingEngine:
         self.sampler = sampler or greedy_sampler
         self.prefill_chunk = prefill_chunk
         self.attention_backend = attention_backend
+        self.admission = admission
+        self.preemption = PreemptionPolicy(preempt_policy)
+        self.headroom_pages = int(headroom_pages)
         self.name = name
         self._backend = (
             PackedDecodeBackend(model) if attention_backend == "packed" else None
@@ -242,6 +307,9 @@ class ServingEngine:
         self._records: Dict[int, RequestRecord] = {}
         self._batch_sizes: List[int] = []
         self._occupancy_samples: List[float] = []
+        #: Every preemption this run, in order (tests assert the
+        #: livelock guard on it; reports aggregate from the records).
+        self.preemption_log: List[PreemptionEvent] = []
 
     @property
     def mode(self) -> str:
@@ -313,15 +381,33 @@ class ServingEngine:
                 f"tokens (prompt + max_new), model max_seq_len is "
                 f"{max_seq_len}"
             )
+        pruning = self.pruning_of(request)
         need = self.pool.reservation_pages(
-            request.prompt_len, request.max_new_tokens,
-            self.pruning_of(request),
+            request.prompt_len, request.max_new_tokens, pruning,
         )
+        # Even optimistic mode needs the worst-case bound to fit the
+        # whole pool: preemption can evict every *other* sequence, but
+        # a lone resident sequence must be able to run to completion.
         if need > self.pool.n_pages:
             raise PoolExhausted(
                 f"request {request.request_id} needs {need} pages, pool "
                 f"holds {self.pool.n_pages}: it can never be admitted"
             )
+        if self.admission == "optimistic":
+            floor = self.pool.optimistic_floor_pages(
+                request.prompt_len, pruning
+            )
+            if floor + self.headroom_pages > self.pool.n_pages:
+                raise PoolExhausted(
+                    f"request {request.request_id} needs {floor} prompt "
+                    f"pages plus {self.headroom_pages} headroom, pool "
+                    f"holds {self.pool.n_pages}: it can never be admitted "
+                    f"optimistically"
+                )
+
+    def can_ever_admit(self, request: Request) -> bool:
+        """Whether this engine could ever serve the request (routing)."""
+        return self.placement_pages_estimate(request) is not None
 
     def start(self, clock: Optional[SimulatedClock] = None) -> None:
         """Open a stepwise run (fresh clock, empty pending/record state)."""
@@ -332,6 +418,7 @@ class ServingEngine:
         self._records = {}
         self._batch_sizes = []
         self._occupancy_samples = []
+        self.preemption_log = []
 
     def submit(
         self,
@@ -379,6 +466,8 @@ class ServingEngine:
         before = clock.now
         self._ingest(clock.now)
         self._admit_ready(clock)
+        if self.admission == "optimistic" and (self.live or self.prefilling):
+            self._relieve_pressure(clock)
         if not self.live and not self.prefilling:
             if self._pending:
                 target = min(entry.available for entry in self._pending)
@@ -432,6 +521,7 @@ class ServingEngine:
         records = [self._records[i] for i in sorted(self._records)]
         return ServingStats.from_run(
             mode=self.mode,
+            admission=self.admission,
             records=records,
             makespan_s=self.clock.now,
             batch_sizes=self._batch_sizes,
@@ -446,6 +536,36 @@ class ServingEngine:
     # ------------------------------------------------------------------
     # Routing cost estimates (used by repro.cluster policies)
     # ------------------------------------------------------------------
+    def placement_pages_estimate(self, request: Request) -> Optional[int]:
+        """Pages a placement would charge this pool, or ``None`` if never.
+
+        Feasibility defers entirely to :meth:`validate_request` — the
+        same check :meth:`submit` will run — so the cluster router's
+        filter can never accept a replica whose submit would then
+        reject (the two cannot drift apart).  A non-``None`` result is
+        the exact page bill admission will apply: the worst-case
+        schedule-bound reservation in reserve mode, the optimistic
+        prompt floor plus headroom in optimistic mode.  Note the bill
+        is a per-request quantity: the *load sensitivity* of a routing
+        score comes from the backlog terms
+        (:meth:`outstanding_flops`, :meth:`outstanding_page_seconds`,
+        the shard's free pages), which under optimistic admission read
+        reservations that track actual usage.
+        """
+        try:
+            self.validate_request(request)
+        except (ValueError, PoolExhausted):
+            return None
+        pruning = self.pruning_of(request)
+        if self.admission == "reserve":
+            return self.pool.reservation_pages(
+                request.prompt_len, request.max_new_tokens, pruning
+            )
+        return (
+            self.pool.optimistic_floor_pages(request.prompt_len, pruning)
+            + self.headroom_pages
+        )
+
     def request_flops_estimate(self, request: Request) -> float:
         """Schedule-bound FLOPs to serve one request end to end.
 
@@ -587,10 +707,7 @@ class ServingEngine:
         """Backfill the live batch from the queue while the pool fits."""
         while self.queue:
             request = self.queue.peek()
-            if not self.pool.can_admit(
-                request.prompt_len, request.max_new_tokens,
-                self.pruning_of(request),
-            ):
+            if not self._fits_now(request):
                 break  # head-of-line blocking: keep admission order fair
             self.queue.pop()
             record = self._records[request.request_id]
@@ -598,6 +715,37 @@ class ServingEngine:
                 self._admit(request, clock, record)
             else:
                 self._reserve(request, clock, record)
+
+    def _fits_now(self, request: Request) -> bool:
+        """Admission check for the current mode.
+
+        Reserve mode gates on the worst-case schedule bound; optimistic
+        mode gates on the prompt footprint plus headroom against actual
+        billed usage — which is what lets pages reclaimed by pruning
+        admit new work mid-run instead of idling until a reservation
+        retires.
+        """
+        pruning = self.pruning_of(request)
+        if self.admission == "reserve":
+            return self.pool.can_admit(
+                request.prompt_len, request.max_new_tokens, pruning
+            )
+        return self.pool.can_admit_optimistic(
+            request.prompt_len, pruning, self.headroom_pages
+        )
+
+    def _pool_admit(self, request: Request) -> None:
+        pruning = self.pruning_of(request)
+        if self.admission == "reserve":
+            self.pool.admit(
+                request.request_id, request.prompt_len,
+                request.max_new_tokens, pruning,
+            )
+        else:
+            self.pool.admit_optimistic(
+                request.request_id, request.prompt_len, pruning,
+                headroom_pages=self.headroom_pages,
+            )
 
     def _reserve(
         self,
@@ -612,10 +760,7 @@ class ServingEngine:
         simulated time and never stalls the live batch.
         """
         pruning = self.pruning_of(request)
-        self.pool.admit(
-            request.request_id, request.prompt_len, request.max_new_tokens,
-            pruning,
-        )
+        self._pool_admit(request)
         record.status = RequestStatus.RUNNING
         record.admit_time = clock.now
         executor = self._make_executor(pruning)
@@ -636,10 +781,7 @@ class ServingEngine:
         every live sequence waits out the full prompt duration.
         """
         pruning = self.pruning_of(request)
-        self.pool.admit(
-            request.request_id, request.prompt_len, request.max_new_tokens,
-            pruning,
-        )
+        self._pool_admit(request)
         record.status = RequestStatus.RUNNING
         record.admit_time = clock.now
         executor = self._make_executor(pruning)
@@ -650,8 +792,10 @@ class ServingEngine:
             )
         )
         self._sync_pool(request.request_id, executor)
+        self.pool.finish_prefill(request.request_id)
         first = self.sampler(logits)
         record.token_ids.append(first)
+        record.preempt_protected = False
         record.first_token_time = clock.now
         seq = LiveSequence(
             record=record,
@@ -726,9 +870,12 @@ class ServingEngine:
         still_prefilling: List[PrefillingSequence] = []
         for (seq, _, _), logits in zip(spans, chunk_logits):
             self._sync_prefill_pool(seq)
+            # Committing a chunk is progress: the livelock guard lifts.
+            seq.record.preempt_protected = False
             if not seq.state.done:
                 still_prefilling.append(seq)
                 continue
+            self.pool.finish_prefill(seq.seq_id)
             first = self.sampler(logits)
             seq.record.token_ids.append(first)
             seq.record.first_token_time = clock.now
@@ -774,6 +921,7 @@ class ServingEngine:
             self._sync_pool(seq.seq_id, seq.executor)
             token = self.sampler(logits[row])
             seq.record.token_ids.append(token)
+            seq.record.preempt_protected = False
             seq.record.token_latencies.append(
                 clock.now - seq.last_commit_time
             )
@@ -789,6 +937,24 @@ class ServingEngine:
     def _sync_pool(self, seq_id: int, executor: AttentionExecutor) -> None:
         lengths = executor.kv_lengths()
         if lengths:  # executors without a KV cache have nothing to page
+            self._pool_sync(seq_id, lengths)
+
+    def _pool_sync(self, seq_id: int, lengths: List[int]) -> None:
+        """Commit real cache lengths to the pool.
+
+        In optimistic mode the commit goes through
+        :meth:`KVMemoryPool.try_grow`: the pre-step pressure relief
+        projects a strict upper bound on this growth, so a refusal here
+        means the projection (not the pool) is broken — surface it
+        loudly rather than drop live KV state.
+        """
+        if self.admission == "optimistic":
+            if not self.pool.try_grow(seq_id, lengths):
+                raise PoolExhausted(
+                    f"sequence {seq_id} outgrew the pool after pressure "
+                    f"relief; the step projection under-counted its growth"
+                )
+        else:
             self.pool.sync(seq_id, lengths)
 
     def _sync_prefill_pool(self, seq: PrefillingSequence) -> None:
@@ -803,13 +969,128 @@ class ServingEngine:
         if state.executor.supports_incremental_prefill or state.done:
             self._sync_pool(seq.seq_id, state.executor)
         else:
-            self.pool.sync(
+            self._pool_sync(
                 seq.seq_id,
                 prefill_kv_lengths(
                     seq.pruning, self.model.config.n_layers,
                     state.prompt_len, state.n_committed,
                 ),
             )
+
+    # ------------------------------------------------------------------
+    # Preemption (optimistic admission's run-time safety)
+    # ------------------------------------------------------------------
+    def _step_projections(self) -> Dict[int, List[int]]:
+        """Upper-bound per-layer KV lengths after the upcoming step.
+
+        Live sequences append at most one column per layer (pruning can
+        only shrink below that), capped at the per-layer schedule bound
+        so a sequence at its decode cap never projects past its own
+        worst case — which keeps a lone resident sequence's projection
+        within the pool no matter how tight the budget.  Prefilling
+        sequences commit their next chunk, modeled with the same
+        :func:`prefill_kv_lengths` cap the pool is billed with.
+        """
+        n_layers = self.model.config.n_layers
+        projections: Dict[int, List[int]] = {}
+        for seq in self.live:
+            if seq.kv_bounds is None:
+                seq.kv_bounds = pruned_kv_bounds(
+                    self.pruning_of(seq.request), n_layers,
+                    seq.request.prompt_len, seq.request.max_new_tokens,
+                )
+            projections[seq.seq_id] = [
+                min(length + 1, bound)
+                for length, bound in zip(
+                    seq.executor.kv_lengths(), seq.kv_bounds
+                )
+            ]
+        for seq in self.prefilling:
+            state = seq.state
+            end = (
+                state.next_span(self.prefill_chunk)[1]
+                if self.prefill_chunk is not None
+                else state.prompt_len
+            )
+            if state.executor.supports_incremental_prefill:
+                projections[seq.seq_id] = [end] * n_layers
+            else:
+                projections[seq.seq_id] = prefill_kv_lengths(
+                    seq.pruning, n_layers, state.prompt_len, end
+                )
+        return projections
+
+    def _relieve_pressure(self, clock: SimulatedClock) -> int:
+        """Preempt victims until the next step's projected growth fits.
+
+        Optimistic admission means reservations no longer bound
+        allocations, so before any model work runs the engine projects
+        every resident sequence's post-step KV lengths and, while the
+        projection overflows the pool, releases a victim's pages and
+        requeues it for recompute-on-preempt.  Greedy decoding replays
+        an identical stream, so preemption costs latency, never tokens.
+        Victims are protected from re-selection until they commit new
+        work (livelock guard), and a lone resident sequence is never
+        preempted — its worst-case bound fits the whole pool
+        (:meth:`validate_request`).  Returns the number of victims;
+        the pool audits itself after any preemption.
+        """
+        projections = self._step_projections()
+        n_preempted = 0
+        while self.pool.pressure_pages(projections) > 0:
+            victim = self._select_victim()
+            if victim is None:
+                raise PoolExhausted(
+                    "pool pressure with no preemptable sequence: every "
+                    "resident sequence is protected by the livelock "
+                    "guard or running alone"
+                )
+            self._preempt(victim, clock)
+            projections.pop(victim.seq_id, None)
+            n_preempted += 1
+        if n_preempted:
+            self.pool.audit()
+        return n_preempted
+
+    def _select_victim(self) -> Optional[ScheduledSequence]:
+        residents: List[ScheduledSequence] = list(self.live)
+        residents.extend(self.prefilling)
+        if len(residents) <= 1:
+            return None
+        chosen = self.preemption.select([
+            PreemptionCandidate(
+                seq_id=seq.seq_id,
+                priority=seq.request.priority,
+                arrival_time=seq.request.arrival_time,
+                # Reserved, not allocated: what the ledger regains —
+                # a mid-prefill victim frees its whole promised floor.
+                pages=self.pool.reserved_pages_of(seq.seq_id),
+                protected=seq.record.preempt_protected,
+            )
+            for seq in residents
+        ])
+        if chosen is None:
+            return None
+        return next(s for s in residents if s.seq_id == chosen.seq_id)
+
+    def _preempt(self, seq: ScheduledSequence, clock: SimulatedClock) -> None:
+        """Evict one resident sequence and requeue it for recompute."""
+        if isinstance(seq, LiveSequence):
+            self.live.remove(seq)
+            work = seq.request.prompt_len + seq.record.n_generated
+        else:
+            self.prefilling.remove(seq)
+            work = seq.state.n_committed
+        pages = self.pool.preempt_release(seq.seq_id)
+        seq.record.reset_for_preempt(recompute_tokens=work)
+        self.queue.push(seq.request)
+        self.preemption_log.append(PreemptionEvent(
+            time=clock.now,
+            request_id=seq.seq_id,
+            pages_freed=pages,
+            work_tokens=work,
+            policy=self.preemption.policy,
+        ))
 
     def _retire(self, seq: LiveSequence, clock: SimulatedClock) -> None:
         seq.record.status = RequestStatus.FINISHED

@@ -23,13 +23,31 @@ Two accounting planes:
 Admission control blocks (the request waits in the queue) whenever the
 reservation would overflow the budget, so the pool can never be forced
 to drop live KV state mid-decode.
+
+Optimistic admission
+--------------------
+
+Worst-case reservations are safe but pessimistic: cascade pruning
+shrinks the *actual* KV footprint well below the schedule bound, and
+pages reclaimed mid-generation drain back to the free list yet cannot
+admit work already refused at reservation time.  The optimistic plane
+(:meth:`KVMemoryPool.admit_optimistic`) bills a sequence only for its
+post-prefill prompt footprint (a floor that covers the in-flight
+prefill's committed growth) and thereafter for the pages it *actually*
+holds — the account's ``reserved_pages`` tracks
+``max(floor, allocated)`` and shrinks as pruning evicts columns, so
+reclaimed pages become admissible capacity immediately.  Safety moves
+from admission time to run time: the serving engine projects each
+step's growth (:meth:`KVMemoryPool.pressure_pages`), preempts victims
+under pressure (:meth:`KVMemoryPool.preempt_release`), and uses
+:meth:`KVMemoryPool.try_grow` as the commit-time backstop.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from ..config import ModelConfig, PruningConfig
 from ..core import schedule as sched
@@ -101,8 +119,18 @@ def prefill_kv_lengths(
 
 @dataclass
 class _SequenceAccount:
+    #: Pages billed against admission.  Reserve-mode accounts fix this
+    #: at the schedule-bound worst case for the sequence's lifetime;
+    #: optimistic accounts keep it at ``max(floor_pages, allocated)``,
+    #: updated on every :meth:`KVMemoryPool.sync`.
     reserved_pages: int
     allocated_per_layer: List[int] = field(default_factory=list)
+    optimistic: bool = False
+    #: Optimistic accounts only: the post-prefill prompt footprint,
+    #: held while the prompt is still committing (its growth is already
+    #: promised) and cleared by :meth:`KVMemoryPool.finish_prefill` so
+    #: decode-time billing follows actual usage.
+    floor_pages: int = 0
 
     @property
     def allocated_pages(self) -> int:
@@ -144,6 +172,8 @@ class KVMemoryPool:
         self.reclaimed_pages = 0
         self.reclaimed_tokens = 0
         self.peak_allocated_pages = 0
+        self.n_preempted = 0
+        self.preempted_pages = 0
 
     # ------------------------------------------------------------------
     # Page arithmetic
@@ -162,6 +192,23 @@ class KVMemoryPool:
             pruning, self.model.n_layers, prompt_len, max_new_tokens
         )
         return sum(self.pages_for_tokens(b) for b in bounds)
+
+    def optimistic_floor_pages(
+        self,
+        prompt_len: int,
+        pruning: Optional[PruningConfig] = None,
+    ) -> int:
+        """Post-prefill prompt footprint: the optimistic admission bill.
+
+        Unlike :meth:`reservation_pages` this excludes the decode
+        budget entirely — future generation growth is covered by the
+        headroom the caller admits with, and by preemption when the
+        optimism turns out wrong.
+        """
+        lengths = prefill_kv_lengths(
+            pruning, self.model.n_layers, prompt_len, prompt_len
+        )
+        return sum(self.pages_for_tokens(length) for length in lengths)
 
     # ------------------------------------------------------------------
     # Occupancy views
@@ -200,6 +247,10 @@ class KVMemoryPool:
     def reserved_pages_of(self, seq_id: int) -> int:
         """Pages reserved by one live sequence (ledger audits)."""
         return self._account(seq_id).reserved_pages
+
+    def allocated_pages_of(self, seq_id: int) -> int:
+        """Pages actually backing one live sequence's cache columns."""
+        return self._account(seq_id).allocated_pages
 
     # ------------------------------------------------------------------
     # Admission / lifecycle
@@ -244,6 +295,70 @@ class KVMemoryPool:
         )
         return need
 
+    def can_admit_optimistic(
+        self,
+        prompt_len: int,
+        pruning: Optional[PruningConfig] = None,
+        headroom_pages: int = 0,
+    ) -> bool:
+        need = self.optimistic_floor_pages(prompt_len, pruning)
+        return need + headroom_pages <= self.free_reservation_pages
+
+    def admit_optimistic(
+        self,
+        seq_id: int,
+        prompt_len: int,
+        pruning: Optional[PruningConfig] = None,
+        headroom_pages: int = 0,
+    ) -> int:
+        """Admit against actual usage: bill only the prompt footprint.
+
+        The sequence's account reserves its post-prefill prompt pages
+        as a floor while the prompt commits; afterwards (once the
+        caller signals :meth:`finish_prefill`) the reservation tracks
+        the pages actually allocated, shrinking as cascade pruning
+        evicts columns.  ``headroom_pages`` must also be free at
+        admission — slack that absorbs the decode growth of the
+        sequences already resident before preemption has to step in.
+        Returns the floor; raises :class:`PoolExhausted` when it does
+        not fit (callers use :meth:`can_admit_optimistic` first).
+        """
+        if seq_id in self._accounts:
+            raise ValueError(f"sequence {seq_id} already admitted")
+        if headroom_pages < 0:
+            raise ValueError("headroom_pages must be >= 0")
+        need = self.optimistic_floor_pages(prompt_len, pruning)
+        if need + headroom_pages > self.n_pages:
+            raise PoolExhausted(
+                f"request needs {need} prompt pages plus {headroom_pages} "
+                f"headroom but the pool only has {self.n_pages}"
+            )
+        if need + headroom_pages > self.free_reservation_pages:
+            raise PoolExhausted(
+                f"request needs {need} prompt pages plus {headroom_pages} "
+                f"headroom, only {self.free_reservation_pages} unreserved"
+            )
+        self._accounts[seq_id] = _SequenceAccount(
+            reserved_pages=need,
+            allocated_per_layer=[0] * self.model.n_layers,
+            optimistic=True,
+            floor_pages=need,
+        )
+        return need
+
+    def finish_prefill(self, seq_id: int) -> None:
+        """Drop a sequence's prompt floor once its prefill committed.
+
+        From here an optimistic account is billed for its *actual*
+        pages only, so columns evicted by cascade pruning immediately
+        become admissible capacity.  No-op for reserve-mode accounts
+        (their worst-case reservation is immutable by design).
+        """
+        account = self._account(seq_id)
+        account.floor_pages = 0
+        if account.optimistic:
+            account.reserved_pages = account.allocated_pages
+
     def sync(self, seq_id: int, kv_lengths: List[int]) -> int:
         """Match a sequence's pages to its executor's real cache lengths.
 
@@ -261,6 +376,10 @@ class KVMemoryPool:
             if delta < 0:
                 freed -= delta
             account.allocated_per_layer[layer] = pages
+        if account.optimistic:
+            account.reserved_pages = max(
+                account.floor_pages, account.allocated_pages
+            )
         if freed:
             self.reclaimed_pages += freed
         if self.allocated_pages > self.n_pages:
@@ -273,6 +392,77 @@ class KVMemoryPool:
         )
         return freed
 
+    def _projected_reserved(
+        self, account: _SequenceAccount, projected_pages: int
+    ) -> int:
+        """What the account would reserve at the projected allocation.
+
+        Optimistic accounts bill ``max(floor, allocated)``, so a
+        mid-prefill sequence's *promised* prompt pages count even while
+        its allocation is still catching up — growth that only checked
+        allocations could eat pages the floor has already promised,
+        pushing total reservations past the pool (the invariant
+        :meth:`audit` enforces).  Reserve-mode reservations are
+        immutable regardless of allocation.
+        """
+        if account.optimistic:
+            return max(account.floor_pages, projected_pages)
+        return account.reserved_pages
+
+    def try_grow(self, seq_id: int, kv_lengths: List[int]) -> bool:
+        """Attempt to sync a sequence's pages; ``False`` means pressure.
+
+        The commit-time counterpart of :meth:`pressure_pages`: when the
+        requested lengths would push total *reservations* — other
+        accounts' ``max(floor, allocated)`` plus this sequence's
+        projected bill — past the pool, nothing mutates and the caller
+        gets a pressure signal to act on (preempt a victim, then retry)
+        instead of the hard :class:`PoolExhausted` that :meth:`sync`
+        raises — which, under optimistic admission, would mean dropping
+        live KV state.  Gating on the reserved plane (not just
+        allocations) keeps mid-prefill floors inviolate: every
+        account's allocation is bounded by its reservation, so
+        reservations fitting the pool implies allocations do too.
+        """
+        account = self._account(seq_id)
+        if len(kv_lengths) != self.model.n_layers:
+            raise ValueError("kv_lengths must cover every layer")
+        new_pages = sum(self.pages_for_tokens(length) for length in kv_lengths)
+        others = self.reserved_pages - account.reserved_pages
+        if others + self._projected_reserved(account, new_pages) \
+                > self.n_pages:
+            return False
+        self.sync(seq_id, kv_lengths)
+        return True
+
+    def pressure_pages(
+        self, projections: Mapping[int, Sequence[int]]
+    ) -> int:
+        """Pages the given growth projections would overflow the pool by.
+
+        ``projections`` maps sequence ids to projected per-layer KV
+        lengths (sequences not mentioned are assumed to stay at their
+        current reservation).  Pressure is measured on the *reserved*
+        plane — each account contributes ``max(floor, projected
+        allocation)`` — so pages promised to a mid-prefill sequence are
+        never counted as free for someone else's decode growth.
+        Returns ``0`` when everything fits — the serving engine
+        preempts victims while this is positive, *before* running the
+        step, so optimistic admission never has to drop state it
+        already computed.
+        """
+        total = 0
+        for seq_id, account in self._accounts.items():
+            lengths = projections.get(seq_id)
+            if lengths is None:
+                total += account.reserved_pages
+            else:
+                total += self._projected_reserved(
+                    account,
+                    sum(self.pages_for_tokens(length) for length in lengths),
+                )
+        return max(0, total - self.n_pages)
+
     def note_reclaimed_tokens(self, n_tokens: int) -> None:
         """Record columns evicted by pruning (for the serving report)."""
         self.reclaimed_tokens += int(n_tokens)
@@ -281,6 +471,63 @@ class KVMemoryPool:
         """Drop a finished sequence's reservation and allocations."""
         self._account(seq_id)
         self._accounts.pop(seq_id)
+
+    def preempt_release(self, seq_id: int) -> int:
+        """Release a preemption victim's account; returns pages regained.
+
+        Identical ledger effect to :meth:`release` — the account
+        disappears whole, so a requeued sequence can never be
+        double-billed — plus the cumulative preemption counters the
+        serving report and the sharded ledger surface.  The count is
+        the account's *reserved* pages (``max(floor, allocated)`` for
+        optimistic accounts): that is what the admission plane regains,
+        and for a mid-prefill victim it exceeds the pages physically
+        allocated so far.
+        """
+        account = self._account(seq_id)
+        freed = account.reserved_pages
+        self.n_preempted += 1
+        self.preempted_pages += freed
+        self._accounts.pop(seq_id)
+        return freed
+
+    def audit(self) -> None:
+        """Enforce the pool invariants; raises :class:`PoolExhausted`.
+
+        * total allocations and total reservations fit the pool;
+        * reserve-mode accounts never allocate beyond their immutable
+          worst-case reservation;
+        * optimistic accounts bill exactly ``max(floor, allocated)``.
+
+        The serving engine runs this after every preemption cycle, and
+        the sharded cluster ledger audits every shard through it.
+        """
+        if self.allocated_pages > self.n_pages:
+            raise PoolExhausted(
+                f"audit: allocations ({self.allocated_pages} pages) "
+                f"overflow the pool ({self.n_pages})"
+            )
+        if self.reserved_pages > self.n_pages:
+            raise PoolExhausted(
+                f"audit: reservations ({self.reserved_pages} pages) "
+                f"overflow the pool ({self.n_pages})"
+            )
+        for seq_id, account in self._accounts.items():
+            if account.optimistic:
+                expected = max(account.floor_pages, account.allocated_pages)
+                if account.reserved_pages != expected:
+                    raise PoolExhausted(
+                        f"audit: optimistic sequence {seq_id} reserves "
+                        f"{account.reserved_pages} pages, expected "
+                        f"{expected} (floor {account.floor_pages}, "
+                        f"allocated {account.allocated_pages})"
+                    )
+            elif account.allocated_pages > account.reserved_pages:
+                raise PoolExhausted(
+                    f"audit: sequence {seq_id} allocates "
+                    f"{account.allocated_pages} pages beyond its "
+                    f"reservation of {account.reserved_pages}"
+                )
 
     def _account(self, seq_id: int) -> _SequenceAccount:
         account = self._accounts.get(seq_id)

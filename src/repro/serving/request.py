@@ -54,6 +54,11 @@ class RequestStatus(Enum):
     QUEUED = "queued"
     RUNNING = "running"
     FINISHED = "finished"
+    #: The request can never be placed again (e.g. every replica whose
+    #: shard could hold its reservation was drained mid-run).  Failed
+    #: requests keep their record — with no admission timestamps — so
+    #: the run's report counts them instead of crashing or dead-looping.
+    FAILED = "failed"
 
 
 @dataclass
@@ -118,6 +123,19 @@ class RequestRecord:
     #: makes decode-latency percentiles sensitive to head-of-line
     #: blocking.  The first token's latency is ``time_to_first_token``.
     token_latencies: List[float] = field(default_factory=list)
+    #: Times this request was preempted (optimistic admission releasing
+    #: its pages under pool pressure).  Cumulative across preempt /
+    #: requeue cycles — :meth:`reset_for_requeue` does *not* clear it.
+    n_preemptions: int = 0
+    #: Prompt and decode tokens discarded by preemptions and recomputed
+    #: from scratch on readmission.  Greedy decoding replays the exact
+    #: same stream, so this is pure latency cost, never token loss.
+    recompute_tokens: int = 0
+    #: Livelock guard: set when the request is preempted, cleared the
+    #: next time it commits any work (a prefill chunk or a decode
+    #: token).  A protected request is never selected as a preemption
+    #: victim, so no request can be preempted twice without progress.
+    preempt_protected: bool = False
 
     @property
     def queue_wait(self) -> float:
@@ -151,6 +169,21 @@ class RequestRecord:
         self.finish_time = None
         self.token_ids.clear()
         self.token_latencies.clear()
+
+    def reset_for_preempt(self, recompute_tokens: int) -> None:
+        """Return to the queue after a preemption, keeping the tally.
+
+        Lifecycle state resets exactly like a drain requeue (greedy
+        decoding guarantees the replayed stream is bit-identical), but
+        the preemption counters accumulate: ``recompute_tokens`` is the
+        work discarded this time (committed prompt tokens plus decode
+        tokens), and the livelock-guard flag protects the request from
+        being victimized again before it makes progress.
+        """
+        self.n_preemptions += 1
+        self.recompute_tokens += int(recompute_tokens)
+        self.preempt_protected = True
+        self.reset_for_requeue()
 
 
 class RequestQueue:

@@ -16,6 +16,7 @@ same philosophy as the repo's analytic traces).  The cost model charges
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass, field, fields
 from typing import List, Optional, Sequence
 
@@ -26,7 +27,12 @@ from ..core import schedule as sched
 from ..eval.reporting import Table
 from .request import RequestRecord
 
-__all__ = ["SimulatedClock", "CostModel", "ServingStats"]
+__all__ = [
+    "SimulatedClock",
+    "CostModel",
+    "ServingStats",
+    "format_quantiles",
+]
 
 
 class SimulatedClock:
@@ -189,9 +195,26 @@ class CostModel:
 
 
 def _percentile(samples: Sequence[float], q: float) -> float:
+    # No samples means the quantile is *unknown*, not zero: a run where
+    # nothing completed must not report perfect p50/p95/p99 latency.
+    # NaN propagates honestly; to_dict()/to_json() render it as null
+    # and table() as "n/a".
     if not samples:
-        return 0.0
+        return float("nan")
     return float(np.percentile(np.asarray(samples, dtype=np.float64), q))
+
+
+def format_quantiles(
+    values: Sequence[float], scale: float = 1e3, fmt: str = ".1f"
+) -> str:
+    """Render a p50/p95/p99 triple, showing NaN (no samples) as n/a."""
+    return " / ".join(
+        "n/a" if math.isnan(v) else f"{v * scale:{fmt}}" for v in values
+    )
+
+
+def _null_if_nan(value):
+    return None if isinstance(value, float) and math.isnan(value) else value
 
 
 @dataclass
@@ -222,6 +245,13 @@ class ServingStats:
     #: Records that never reached admission (partial / truncated runs).
     #: They are skipped — not crashed on — when aggregating latencies.
     n_unadmitted: int = 0
+    #: Admission mode the engine ran under (``reserve``/``optimistic``).
+    admission: str = "reserve"
+    #: Preemptions across the run (optimistic admission under pool
+    #: pressure) and the tokens recomputed after them — latency paid,
+    #: never tokens lost (greedy replay is bit-identical).
+    n_preemptions: int = 0
+    recompute_tokens: int = 0
     records: List[RequestRecord] = field(default_factory=list)
 
     @staticmethod
@@ -236,6 +266,7 @@ class ServingStats:
         occupancy_peak: float,
         reclaimed_pages: int,
         reclaimed_tokens: int,
+        admission: str = "reserve",
     ) -> "ServingStats":
         # A record that never reached admission (a partial run cut short
         # by an error or an interrupted trace) has no queue_wait/TTFT;
@@ -274,6 +305,9 @@ class ServingStats:
             reclaimed_pages=reclaimed_pages,
             reclaimed_tokens=reclaimed_tokens,
             n_unadmitted=len(records) - len(admitted),
+            admission=admission,
+            n_preemptions=sum(r.n_preemptions for r in records),
+            recompute_tokens=sum(r.recompute_tokens for r in records),
             records=records,
         )
 
@@ -281,10 +315,12 @@ class ServingStats:
         """All scalar metrics as a plain dict (no per-request records).
 
         Benchmarks and the cluster aggregator consume this instead of
-        re-deriving percentiles from :attr:`records` by hand.
+        re-deriving percentiles from :attr:`records` by hand.  Unknown
+        percentiles (NaN: no samples) become ``None`` so the dict
+        serializes to strict JSON (``null``), never a bare ``NaN``.
         """
         return {
-            f.name: getattr(self, f.name)
+            f.name: _null_if_nan(getattr(self, f.name))
             for f in fields(self)
             if f.name != "records"
         }
@@ -307,17 +343,24 @@ class ServingStats:
         t.add_row("makespan (s)", f"{self.makespan_s:.3f}")
         t.add_row("throughput (tok/s)", f"{self.throughput_tps:.1f}")
         t.add_row("queue wait p50/p95/p99 (ms)",
-                  f"{self.queue_wait_p50 * ms:.1f} / "
-                  f"{self.queue_wait_p95 * ms:.1f} / "
-                  f"{self.queue_wait_p99 * ms:.1f}")
+                  format_quantiles((self.queue_wait_p50,
+                                    self.queue_wait_p95,
+                                    self.queue_wait_p99), ms, ".1f"))
         t.add_row("time-to-first-token p50/p95/p99 (ms)",
-                  f"{self.ttft_p50 * ms:.1f} / {self.ttft_p95 * ms:.1f} / "
-                  f"{self.ttft_p99 * ms:.1f}")
+                  format_quantiles((self.ttft_p50, self.ttft_p95,
+                                    self.ttft_p99), ms, ".1f"))
         t.add_row("decode latency p50/p95/p99 (ms/tok)",
-                  f"{self.decode_latency_p50 * ms:.2f} / "
-                  f"{self.decode_latency_p95 * ms:.2f} / "
-                  f"{self.decode_latency_p99 * ms:.2f}")
+                  format_quantiles((self.decode_latency_p50,
+                                    self.decode_latency_p95,
+                                    self.decode_latency_p99), ms, ".2f"))
         t.add_row("mean live batch", f"{self.mean_batch_size:.2f}")
+        if self.admission != "reserve":
+            t.add_row("admission mode", self.admission)
+        if self.n_preemptions:
+            t.add_row("preemptions (recompute-on-preempt)",
+                      str(self.n_preemptions))
+            t.add_row("tokens recomputed after preemption",
+                      str(self.recompute_tokens))
         t.add_row("pool pages (x tokens/page)",
                   f"{self.pool_pages} x {self.pool_page_tokens}")
         t.add_row("pool occupancy mean/peak",

@@ -24,6 +24,7 @@ from .tasks import (
     make_regression_dataset,
 )
 from .traffic import (
+    SEED_SCHEMES,
     TrafficClass,
     heterogeneous_request_trace,
     poisson_arrival_times,
@@ -50,6 +51,7 @@ __all__ = [
     "make_regression_dataset",
     "poisson_arrival_times",
     "synthetic_request_trace",
+    "SEED_SCHEMES",
     "TrafficClass",
     "heterogeneous_request_trace",
     "CONTENT_EXEMPLARS",

@@ -17,6 +17,7 @@ from repro.serving import (
     KVMemoryPool,
     PoolExhausted,
     Request,
+    RequestStatus,
     ServingEngine,
 )
 from repro.workloads import (
@@ -281,20 +282,21 @@ class TestClusterRouter:
                               pruning=AGGRESSIVE)
         idle = replicas[0]
         dense_key = router._pruning_aware_key(
-            dense, idle, ClusterRouter._need_pages(dense, idle))
+            dense, idle, idle.engine.placement_pages_estimate(dense))
         pruned_key = router._pruning_aware_key(
-            pruned, idle, ClusterRouter._need_pages(pruned, idle))
+            pruned, idle, idle.engine.placement_pages_estimate(pruned))
         # Same prompt and budget: the pruned request's schedule-bound
         # cost (pages and FLOPs) is strictly cheaper.
         assert pruned_key[0] < dense_key[0]
-        assert ClusterRouter._need_pages(pruned, idle) < \
-            ClusterRouter._need_pages(dense, idle)
+        assert idle.engine.placement_pages_estimate(pruned) < \
+            idle.engine.placement_pages_estimate(dense)
         # Backlog raises the same request's score on a busier replica.
         replicas[1].engine.submit(
             self.request(config, rid=95, prompt_len=40, max_new=40)
         )
+        busy = replicas[1]
         busy_key = router._pruning_aware_key(
-            dense, replicas[1], ClusterRouter._need_pages(dense, replicas[1]))
+            dense, busy, busy.engine.placement_pages_estimate(dense))
         assert busy_key[0] > dense_key[0]
 
 
@@ -470,14 +472,70 @@ class TestClusterEngine:
             for r in stats.fleet.records
         )
 
-    def test_draining_every_replica_raises(self, cluster_setup):
+    def test_draining_every_replica_fails_requests_cleanly(
+        self, cluster_setup
+    ):
+        """A fleet-wide drain must not crash or dead-loop: work that no
+        surviving replica can take is failed cleanly, its ledger pages
+        stay released, and the report counts the failures.  (This used
+        to raise PoolExhausted mid-run, losing every other record.)"""
         config, model, corpus = cluster_setup
         requests = skewed_requests(config, corpus, n=6, rate=2000.0)
-        with pytest.raises(PoolExhausted, match="all replicas"):
-            self.run_cluster(
-                cluster_setup, requests, n_replicas=2,
-                drain_events=[(1e-4, 0), (2e-4, 1)],
-            )
+        stats, pool = self.run_cluster(
+            cluster_setup, requests, n_replicas=2,
+            drain_events=[(1e-4, 0), (2e-4, 1)],
+        )
+        pool.audit()
+        assert stats.n_failed_requests > 0
+        assert stats.n_failed_requests == stats.fleet.n_unadmitted
+        failed = [
+            r for r in stats.fleet.records
+            if r.status is RequestStatus.FAILED
+        ]
+        assert len(failed) == stats.n_failed_requests
+        assert all(r.admit_time is None and not r.token_ids for r in failed)
+
+    def test_never_placeable_requeue_fails_cleanly(self, cluster_setup):
+        """Regression: draining the only shard big enough for an
+        in-flight request used to crash the run (or leak its pages)
+        when the requeue fit no surviving replica.  The request must
+        fail cleanly, its ledger pages must return, and every other
+        request must still be served to completion."""
+        config, model, corpus = cluster_setup
+        # Replica 0 is the only shard that can hold the big request.
+        pool = ShardedKVPool(
+            config,
+            replica_budgets_bytes=[
+                page_budget(config, 64), page_budget(config, 24),
+            ],
+            page_tokens=8,
+        )
+        small = [
+            Request(i, lm_prompts(corpus, 8, 1, seed=30 + i)[0],
+                    max_new_tokens=4, arrival_time=i * 1e-5)
+            for i in range(4)
+        ]
+        big = Request(4, lm_prompts(corpus, 40, 1, seed=40)[0],
+                      max_new_tokens=20, arrival_time=2e-5)
+        cluster = ClusterEngine(
+            model, pool, policy="round_robin", prefill_chunk=8,
+            drain_events=[(1e-4, 0)],
+        )
+        stats = cluster.run(small + [big])
+        pool.audit()
+        assert cluster.failed_requests == [4]
+        assert stats.n_failed_requests == 1
+        big_record = next(
+            r for r in stats.fleet.records if r.request.request_id == 4
+        )
+        assert big_record.status is RequestStatus.FAILED
+        assert big_record.admit_time is None and not big_record.token_ids
+        # The retired shard holds nothing and every small request is
+        # fully served despite the drain.
+        assert pool.shard(0).n_sequences == 0
+        for r in stats.fleet.records:
+            if r.request.request_id != 4:
+                assert r.n_generated == r.request.max_new_tokens
 
     def test_retire_event_validation(self, cluster_setup):
         config, model, corpus = cluster_setup

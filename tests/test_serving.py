@@ -654,6 +654,56 @@ class TestStatsPercentilesAndJson:
             stats.throughput_tps
         )
 
+    def empty_run_stats(self):
+        """A run where nothing completed: zero records, zero samples."""
+        return ServingStats.from_run(
+            mode="dense", records=[], makespan_s=0.0, batch_sizes=[],
+            occupancy_samples=[], pool_pages=8, pool_page_tokens=8,
+            occupancy_peak=0.0, reclaimed_pages=0, reclaimed_tokens=0,
+        )
+
+    def test_empty_samples_report_nan_not_zero(self):
+        """Regression: _percentile returned 0.0 for empty samples, so a
+        run where nothing completed reported *perfect* p50/p95/p99
+        latency.  The honest answer is unknown — NaN."""
+        stats = self.empty_run_stats()
+        for name in (
+            "queue_wait_p50", "queue_wait_p95", "queue_wait_p99",
+            "ttft_p50", "ttft_p95", "ttft_p99",
+            "decode_latency_p50", "decode_latency_p95",
+            "decode_latency_p99",
+        ):
+            assert np.isnan(getattr(stats, name)), name
+
+    def test_nan_percentiles_render_as_null_and_na(self):
+        import json
+        import math
+
+        stats = self.empty_run_stats()
+        payload = stats.to_dict()
+        assert payload["ttft_p95"] is None
+        assert payload["queue_wait_p99"] is None
+        # Strict JSON: null, never a bare NaN token.
+        decoded = json.loads(stats.to_json())
+        assert decoded["decode_latency_p50"] is None
+        rendered = str(stats.table())
+        assert "n/a / n/a / n/a" in rendered
+        assert "nan" not in rendered
+        # A run *with* samples keeps real numbers end to end.
+        full = ServingStats.from_run(
+            mode="dense",
+            records=[],
+            makespan_s=1.0,
+            batch_sizes=[2],
+            occupancy_samples=[0.5],
+            pool_pages=8,
+            pool_page_tokens=8,
+            occupancy_peak=0.5,
+            reclaimed_pages=0,
+            reclaimed_tokens=0,
+        )
+        assert not math.isnan(full.occupancy_mean)
+
 
 class TestCostModelAndClock:
     def test_clock_is_monotone(self):
