@@ -15,3 +15,16 @@ python -m pytest -q -m smoke tests/test_serving.py \
     benchmarks/bench_decode_step.py \
     benchmarks/bench_cluster_scaling.py \
     benchmarks/bench_preemption.py
+
+# Traced serving smoke: one fully-instrumented run through the CLI,
+# archived under benchmarks/results/ so CI uploads the trace and
+# metrics artifacts, then rendered by trace-report as a format check.
+mkdir -p benchmarks/results/telemetry
+python -m repro.cli serve --mode spatten --requests 8 --layers 2 \
+    --audit-every 4 --profile \
+    --trace-out benchmarks/results/telemetry/serve_trace.json \
+    --metrics-out benchmarks/results/telemetry/serve_metrics.jsonl \
+    --prom-out benchmarks/results/telemetry/serve_metrics.prom \
+    --stats-json benchmarks/results/telemetry/serve_stats.json
+python -m repro.cli trace-report \
+    benchmarks/results/telemetry/serve_trace.json

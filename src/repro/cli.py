@@ -24,6 +24,35 @@ router.  Both serving subcommands accept ``--admission optimistic``
 under pressure with ``--preempt-policy``; see
 :mod:`repro.serving.preemption`) and ``--stats-json PATH`` to archive
 the report as machine-readable JSON.
+
+Observability (``repro.telemetry``) is off by default and adds zero
+overhead until asked for.  Both serving subcommands take:
+
+* ``--trace-out PATH`` — Chrome trace-event JSON of the whole run
+  (request lifecycle spans, pool/router/ledger instants, batch and KV
+  counter tracks); open in ``chrome://tracing`` or Perfetto, or feed
+  it to ``repro trace-report``.
+* ``--metrics-out PATH`` — JSONL time-series, one sample per engine
+  step (batch size, pool occupancy, pruning savings, step FLOPs,
+  backlog).
+* ``--prom-out PATH`` — final counter/gauge/histogram state in
+  Prometheus text exposition format.
+* ``--profile`` — wall-clock hot-path profile of the packed decode
+  backend, printed after the report (wall time, *not* simulated time;
+  excluded from the deterministic artifacts above).
+* ``--audit-every N`` — run the KV pool's invariant audit every N
+  engine steps (fleet-ledger audit in serve-cluster), surfaced as the
+  ``repro_pool_audits_total`` counter.
+
+Every PATH accepts ``-`` for stdout (single-mode runs only — ``serve
+--mode both`` writes one file per mode by suffixing the mode before
+the extension: ``trace.json`` becomes ``trace.dense.json`` and
+``trace.spatten.json``).  ``--stats-json -`` streams the report JSON
+to stdout the same way.  Trace and metrics files are timestamped by
+the *simulated* clock, so identical runs produce byte-identical
+artifacts.  ``repro trace-report PATH`` renders a per-phase time
+breakdown, the pruning-savings timeline, and a preemption/requeue
+storm table from a trace file without a browser.
 """
 
 from __future__ import annotations
@@ -123,6 +152,18 @@ def serve_command(args) -> int:
         return 2
 
 
+def trace_report_command(args) -> int:
+    """Render an analysis report from a saved Chrome trace file."""
+    from .telemetry import trace_report
+
+    try:
+        print(trace_report(args.path))
+    except (OSError, ValueError) as exc:
+        print(f"trace-report: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def serve_cluster_command(args) -> int:
     """Serve a trace across N replicas behind the cluster router."""
     from .serving import PoolExhausted
@@ -132,6 +173,101 @@ def serve_cluster_command(args) -> int:
     except (ValueError, PoolExhausted) as exc:
         print(f"serve-cluster: {exc}", file=sys.stderr)
         return 2
+
+
+def _telemetry_requested(args) -> bool:
+    return bool(
+        args.trace_out or args.metrics_out or args.prom_out or args.profile
+        or args.audit_every
+    )
+
+
+def _build_telemetry(args):
+    """Construct a Telemetry sink from the CLI flags, or None when off.
+
+    ``--audit-every`` alone does not build one: the audit cadence works
+    telemetry-free (the engine counts steps regardless), it just loses
+    its counter.
+    """
+    if not (args.trace_out or args.metrics_out or args.prom_out
+            or args.profile):
+        return None
+    from .telemetry import Telemetry
+
+    return Telemetry(
+        trace=bool(args.trace_out),
+        metrics=bool(args.metrics_out or args.prom_out),
+        profile=bool(args.profile),
+    )
+
+
+def _sink_path(path, mode, multi_mode: bool):
+    """Resolve one artifact path for one mode of a (possibly 2-mode) run.
+
+    Multi-mode runs suffix the mode before the extension
+    (``trace.json`` -> ``trace.dense.json``); ``-`` (stdout) cannot be
+    shared by two modes and is rejected up front by
+    :func:`_check_stdout_sinks`.
+    """
+    if path is None or not multi_mode:
+        return path
+    root, _, ext = path.rpartition(".")
+    return f"{root}.{mode}.{ext}" if root else f"{path}.{mode}"
+
+
+def _check_stdout_sinks(args, multi_mode: bool) -> None:
+    if not multi_mode:
+        return
+    stdout_flags = [
+        flag
+        for flag, value in (
+            ("--trace-out", args.trace_out),
+            ("--metrics-out", args.metrics_out),
+            ("--prom-out", args.prom_out),
+            ("--stats-json", args.stats_json),
+        )
+        if value == "-"
+    ]
+    if stdout_flags:
+        raise ValueError(
+            f"{', '.join(stdout_flags)}: '-' (stdout) only works with a "
+            f"single mode; --mode both would interleave two documents "
+            f"(pick --mode dense or --mode spatten, or give a file path)"
+        )
+
+
+def _write_telemetry(args, telemetry, mode, multi_mode: bool) -> None:
+    """Flush one run's telemetry artifacts to their sinks."""
+    if telemetry is None:
+        return
+    from .telemetry import (
+        chrome_trace_json,
+        metrics_jsonl,
+        prometheus_text,
+        write_text,
+    )
+
+    if args.trace_out:
+        write_text(
+            _sink_path(args.trace_out, mode, multi_mode),
+            chrome_trace_json(telemetry.tracer),
+            "trace",
+        )
+    if args.metrics_out:
+        write_text(
+            _sink_path(args.metrics_out, mode, multi_mode),
+            metrics_jsonl(telemetry.metrics),
+            "metrics",
+        )
+    if args.prom_out:
+        write_text(
+            _sink_path(args.prom_out, mode, multi_mode),
+            prometheus_text(telemetry.metrics),
+            "prometheus metrics",
+        )
+    if args.profile and telemetry.profiler is not None:
+        print()
+        print(telemetry.profiler.table())
 
 
 def _serve(args) -> int:
@@ -170,6 +306,8 @@ def _serve(args) -> int:
         else [(args.mode, pruning if args.mode == "spatten" else None)]
     )
     prefill_chunk = args.prefill_chunk if args.prefill_chunk != 0 else None
+    multi_mode = len(modes) > 1
+    _check_stdout_sinks(args, multi_mode)
     throughputs = {}
     stats_by_mode = {}
     for mode, mode_pruning in modes:
@@ -177,18 +315,24 @@ def _serve(args) -> int:
             config, budget_bytes=args.pool_kib * 1024,
             page_tokens=args.page_tokens,
         )
+        # One Telemetry per mode: a --mode both run writes one trace /
+        # metrics document per mode instead of interleaving them.
+        telemetry = _build_telemetry(args)
         engine = ServingEngine(
             model, pool, pruning=mode_pruning, prefill_chunk=prefill_chunk,
             attention_backend=args.attention_backend,
             admission=args.admission,
             preempt_policy=args.preempt_policy,
             headroom_pages=args.headroom_pages,
+            telemetry=telemetry,
+            audit_every=args.audit_every,
         )
         stats = engine.run(requests)
         throughputs[mode] = stats.throughput_tps
         stats_by_mode[mode] = stats
         print()
         print(stats.table())
+        _write_telemetry(args, telemetry, mode, multi_mode)
     if len(throughputs) == 2:
         ratio = throughputs["spatten"] / throughputs["dense"]
         print(f"\nspatten/dense throughput at the same pool budget: {ratio:.2f}x")
@@ -203,9 +347,12 @@ def _serve(args) -> int:
 def _write_stats_json(path: str, payload: dict) -> None:
     import json
 
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    if path == "-":
+        sys.stdout.write(text)
+        return
     with open(path, "w") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+        fh.write(text)
     print(f"\nstats written to {path}")
 
 
@@ -296,6 +443,7 @@ def _serve_cluster(args) -> int:
             n_replicas=args.replicas, page_tokens=args.page_tokens,
         )
     prefill_chunk = args.prefill_chunk if args.prefill_chunk != 0 else None
+    telemetry = _build_telemetry(args)
     cluster = ClusterEngine(
         model, pool,
         policy=args.policy,
@@ -307,10 +455,13 @@ def _serve_cluster(args) -> int:
         headroom_pages=args.headroom_pages,
         drain_events=_parse_retire_events(args.drain_at, "--drain-at"),
         fail_events=_parse_retire_events(args.fail_at, "--fail-at"),
+        telemetry=telemetry,
+        audit_every=args.audit_every,
     )
     stats = cluster.run(requests)
     print()
     print(stats.table())
+    _write_telemetry(args, telemetry, "cluster", multi_mode=False)
     if args.stats_json:
         _write_stats_json(args.stats_json, stats.to_dict())
     return 0
@@ -375,7 +526,27 @@ def _add_serving_flags(parser) -> None:
     parser.add_argument("--seed", type=int, default=0,
                         help="trace/model seed")
     parser.add_argument("--stats-json", metavar="PATH", default=None,
-                        help="also write the run's stats report as JSON")
+                        help="also write the run's stats report as JSON "
+                             "('-' streams it to stdout)")
+    parser.add_argument("--trace-out", metavar="PATH", default=None,
+                        help="write a Chrome trace-event JSON of the run "
+                             "(simulated-clock timestamps; open in "
+                             "chrome://tracing / Perfetto or feed to "
+                             "`repro trace-report`; '-' for stdout)")
+    parser.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="write per-step metrics samples as JSONL "
+                             "('-' for stdout)")
+    parser.add_argument("--prom-out", metavar="PATH", default=None,
+                        help="write final metrics in Prometheus text "
+                             "exposition format ('-' for stdout)")
+    parser.add_argument("--profile", action="store_true",
+                        help="profile the packed decode backend's hot "
+                             "path (wall clock, printed after the report)")
+    parser.add_argument("--audit-every", type=int, metavar="N", default=None,
+                        help="run the KV pool invariant audit every N "
+                             "engine steps (global ledger audit in "
+                             "serve-cluster); counted in telemetry as "
+                             "repro_pool_audits_total")
 
 
 def main(argv=None) -> int:
@@ -428,12 +599,20 @@ def main(argv=None) -> int:
     cluster.add_argument("--fail-at", action="append", metavar="TIME:REPLICA",
                          help="like --drain-at but marks the replica failed "
                               "in the fleet report (repeatable)")
+    report = sub.add_parser(
+        "trace-report",
+        help="analyze a trace file written by --trace-out: per-phase time "
+             "breakdown, pruning-savings timeline, preemption/requeue storms",
+    )
+    report.add_argument("path", help="Chrome trace-event JSON file")
     args = parser.parse_args(argv)
 
     if args.command == "serve":
         return serve_command(args)
     if args.command == "serve-cluster":
         return serve_cluster_command(args)
+    if args.command == "trace-report":
+        return trace_report_command(args)
 
     if args.command == "list":
         for name in EXPERIMENTS:

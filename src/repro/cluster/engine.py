@@ -54,6 +54,7 @@ from ..serving.engine import ServingEngine
 from ..serving.memory_pool import PoolExhausted
 from ..serving.request import Request, RequestRecord, RequestStatus
 from ..serving.stats import CostModel
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from .router import Replica, ClusterRouter
 from .sharded_pool import ShardedKVPool
 from .stats import ClusterStats
@@ -81,6 +82,16 @@ class ClusterEngine:
         fail_events: like ``drain_events`` but flags the replica as
             failed in the fleet report (ledger semantics identical:
             pages must return via requeue either way).
+        telemetry: shared :class:`repro.telemetry.Telemetry` sinks.
+            Every replica engine emits into the same tracer/registry
+            under its own ``replicaN`` process name; the cluster adds
+            fleet-level events — scored router decisions, ledger
+            drain/fail transitions, global occupancy counters — under
+            the ``fleet`` process.  ``None`` (default) is fully inert.
+        audit_every: run the *global* ledger audit
+            (:meth:`ShardedKVPool.audit`) every N replica step events,
+            surfaced as ``repro_pool_audits_total{engine="fleet"}``.
+            Replica engines keep their default audit behaviour.
     """
 
     def __init__(
@@ -100,11 +111,20 @@ class ClusterEngine:
         router: Optional[ClusterRouter] = None,
         drain_events: Sequence[Tuple[float, int]] = (),
         fail_events: Sequence[Tuple[float, int]] = (),
+        telemetry: Optional[Telemetry] = None,
+        audit_every: Optional[int] = None,
     ):
+        if audit_every is not None and audit_every < 1:
+            raise ValueError("audit_every must be >= 1, or None to disable")
         self.model = model
         self.pool = pool
         self.admission = admission
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.audit_every = audit_every
         self.router = router if router is not None else ClusterRouter(policy)
+        if self.telemetry.active:
+            self.router.observer = self
+            self.pool.observer = self
         self.replicas: List[Replica] = [
             Replica(
                 index=i,
@@ -121,6 +141,7 @@ class ClusterEngine:
                     preempt_policy=preempt_policy,
                     headroom_pages=headroom_pages,
                     name=f"replica{i}",
+                    telemetry=telemetry,
                 ),
                 shard=pool.shard(i),
             )
@@ -137,6 +158,12 @@ class ClusterEngine:
             raise ValueError("each replica can be drained/failed once")
         self._retire_events = sorted(events)
         self.n_requeued = 0
+        # Fleet telemetry bookkeeping: the simulated time of the event
+        # being processed (router/ledger observer callbacks have no
+        # time argument of their own) and the replica-step counter the
+        # periodic global audit runs on.
+        self._event_time = 0.0
+        self._steps = 0
         #: Request ids failed cleanly because no surviving replica
         #: could ever hold their reservation (mid-run drains strand
         #: work that admission-time validation accepted).
@@ -197,6 +224,7 @@ class ClusterEngine:
                 self._retire_replica(idx, t, kind)
             elif t_arrival <= t_step:
                 request = arrivals.popleft()
+                self._event_time = request.arrival_time
                 self._route(
                     request, records[request.request_id],
                     available=request.arrival_time,
@@ -212,6 +240,8 @@ class ClusterEngine:
                 occupancy_samples.append(occ)
                 occupancy_peak = max(occupancy_peak, occ)
                 last_event_time = max(last_event_time, replica.engine.now)
+                self._event_time = replica.engine.now
+                self._note_fleet_step(replica.engine.now)
 
         self.pool.audit()
         replica_stats = [r.engine.finish() for r in self.replicas]
@@ -267,6 +297,7 @@ class ClusterEngine:
             r for r in self.replicas if self.pool.is_active(r.index)
         ]
         replica = None
+        self._event_time = available
         if active:
             try:
                 replica = self.router.choose(request, active)
@@ -275,6 +306,16 @@ class ClusterEngine:
         if replica is None:
             record.status = RequestStatus.FAILED
             self.failed_requests.append(request.request_id)
+            tel = self.telemetry
+            if tel.tracer is not None:
+                tel.tracer.instant(
+                    "route_failed", available, "fleet", "router",
+                    request_id=request.request_id,
+                )
+            if tel.metrics is not None:
+                tel.metrics.counter(
+                    "repro_requests_failed_total", engine="fleet"
+                ).inc()
             return False
         replica.engine.submit(request, record, available_time=available)
         return True
@@ -294,6 +335,7 @@ class ClusterEngine:
         already at or past the drain time).
         """
         replica = self.replicas[idx]
+        self._event_time = t
         if kind == "fail":
             self.pool.fail(idx)
         else:
@@ -301,5 +343,88 @@ class ClusterEngine:
         requeued = replica.engine.drain()
         self.n_requeued += len(requeued)
         available = max(t, replica.engine.now)
+        tel = self.telemetry
+        if tel.tracer is not None:
+            tel.tracer.instant(
+                f"replica_{kind}", available, "fleet", "scheduler",
+                replica=idx, n_requeued=len(requeued),
+            )
+        if tel.metrics is not None:
+            tel.metrics.counter(
+                "repro_replica_retirements_total", engine="fleet", kind=kind
+            ).inc()
+            tel.metrics.counter(
+                "repro_requests_requeued_total", engine="fleet"
+            ).inc(len(requeued))
         for request, record in requeued:
             self._route(request, record, available=available)
+
+    # ------------------------------------------------------------------
+    # Fleet telemetry (router / ledger observer hooks + step samples)
+    # ------------------------------------------------------------------
+    def route_decision(self, request: Request, scored, chosen) -> None:
+        """Observer hook the router calls with its scored candidates.
+
+        ``scored`` is ``(replica, pages_estimate, score)`` per active
+        candidate; the score is the policy's sort key (``None`` for
+        round-robin).  Recorded under the ``fleet`` process so a trace
+        shows *why* each request landed where it did.
+        """
+        tel = self.telemetry
+        if tel.tracer is not None:
+            args = {
+                f"replica{r.index}": (
+                    est if score is None else round(float(score), 9)
+                )
+                for r, est, score in scored
+            }
+            tel.tracer.instant(
+                "routed", self._event_time, "fleet", "router",
+                request_id=request.request_id, chosen=chosen.index,
+                policy=self.router.policy, **args,
+            )
+        if tel.metrics is not None:
+            tel.metrics.counter(
+                "repro_requests_routed_total", engine="fleet",
+                replica=str(chosen.index),
+            ).inc()
+
+    def ledger_transition(self, replica: int, kind: str) -> None:
+        """Observer hook the sharded ledger calls on drain/fail."""
+        tel = self.telemetry
+        if tel.tracer is not None:
+            tel.tracer.instant(
+                f"ledger_{kind}", self._event_time, "fleet", "ledger",
+                replica=replica,
+            )
+        if tel.metrics is not None:
+            tel.metrics.counter(
+                "repro_ledger_transitions_total", engine="fleet", kind=kind
+            ).inc()
+
+    def _note_fleet_step(self, now: float) -> None:
+        """Per-replica-step fleet bookkeeping: periodic global audit
+        plus a fleet-wide pool counter sample."""
+        self._steps += 1
+        tel = self.telemetry
+        if self.audit_every and self._steps % self.audit_every == 0:
+            self.pool.audit()
+            if tel.metrics is not None:
+                tel.metrics.counter(
+                    "repro_pool_audits_total", engine="fleet"
+                ).inc()
+        if tel.tracer is not None:
+            tel.tracer.counter(
+                "fleet_pool", now, "fleet",
+                allocated_pages=self.pool.allocated_pages,
+                reserved_pages=self.pool.reserved_pages,
+                reclaimed_pages=self.pool.reclaimed_pages,
+                active_replicas=self.pool.n_active,
+            )
+        if tel.metrics is not None:
+            tel.metrics.gauge(
+                "repro_pool_allocated_pages", engine="fleet"
+            ).set(self.pool.allocated_pages)
+            tel.metrics.gauge(
+                "repro_active_replicas", engine="fleet"
+            ).set(self.pool.n_active)

@@ -69,6 +69,13 @@ class ClusterRouter:
     policy: str = "round_robin"
     routed_counts: dict = field(default_factory=dict)
     _rr_cursor: int = 0
+    #: Duck-typed observability hook: anything with a
+    #: ``route_decision(request, scored, chosen)`` method (the cluster
+    #: engine, when telemetry is on).  ``scored`` is the candidate list
+    #: as ``(replica, pages_estimate, score)`` triples — the score is
+    #: the policy's sort key (``None`` for round-robin, which does not
+    #: score).
+    observer: object = None
 
     def __post_init__(self) -> None:
         if self.policy not in ROUTING_POLICIES:
@@ -108,22 +115,33 @@ class ClusterRouter:
                 f"(needs more pages than any remaining shard holds)"
             )
         if self.policy == "round_robin":
+            scored = [(r, est, None) for r, est in candidates]
             chosen = candidates[self._rr_cursor % len(candidates)][0]
             self._rr_cursor += 1
         elif self.policy == "least_loaded":
+            # Score = pages free on the shard (higher is better; the
+            # policy minimizes its negation, ties on replica index).
+            scored = [
+                (r, est, float(r.shard.free_reservation_pages))
+                for r, est in candidates
+            ]
             chosen = min(
-                candidates,
-                key=lambda cn: (-cn[0].shard.free_reservation_pages,
-                                cn[0].index),
+                scored, key=lambda cn: (-cn[2], cn[0].index)
             )[0]
         else:  # pruning_aware
-            chosen = min(
-                candidates,
-                key=lambda cn: self._pruning_aware_key(request, *cn),
-            )[0]
+            # Score = projected bottleneck delay in seconds (lower is
+            # better); computed once per candidate and reused for both
+            # the choice and the observer record.
+            scored = [
+                (r, est, self._pruning_aware_key(request, r, est)[0])
+                for r, est in candidates
+            ]
+            chosen = min(scored, key=lambda cn: (cn[2], cn[0].index))[0]
         self.routed_counts[chosen.index] = (
             self.routed_counts.get(chosen.index, 0) + 1
         )
+        if self.observer is not None:
+            self.observer.route_decision(request, scored, chosen)
         return chosen
 
     @staticmethod

@@ -77,6 +77,11 @@ class ShardedKVPool:
         ]
         self._active = [True] * len(self.shards)
         self._failed = [False] * len(self.shards)
+        #: Duck-typed observability hook: anything with a
+        #: ``ledger_transition(replica, kind)`` method (the cluster
+        #: engine, when telemetry is on).  Same no-import pattern as
+        #: :attr:`KVMemoryPool.observer`.
+        self.observer = None
 
     # ------------------------------------------------------------------
     # Shard access / lifecycle
@@ -116,6 +121,8 @@ class ShardedKVPool:
         if not self._active[replica]:
             raise ValueError(f"replica {replica} already drained or failed")
         self._active[replica] = False
+        if self.observer is not None:
+            self.observer.ledger_transition(replica, "drain")
 
     def fail(self, replica: int) -> None:
         """Abruptly retire a shard (simulated replica failure).
@@ -126,6 +133,8 @@ class ShardedKVPool:
         """
         self.drain(replica)
         self._failed[replica] = True
+        if self.observer is not None:
+            self.observer.ledger_transition(replica, "fail")
 
     def _check_index(self, replica: int) -> int:
         if not 0 <= replica < len(self.shards):

@@ -17,7 +17,11 @@ from typing import Dict, List, Optional
 
 from ..eval.reporting import Table
 from ..serving.request import RequestRecord
-from ..serving.stats import ServingStats, format_quantiles
+from ..serving.stats import (
+    STATS_SCHEMA_VERSION,
+    ServingStats,
+    format_quantiles,
+)
 
 __all__ = ["ClusterStats"]
 
@@ -105,6 +109,7 @@ class ClusterStats:
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
         return {
+            "schema_version": STATS_SCHEMA_VERSION,
             "policy": self.policy,
             "n_replicas": self.n_replicas,
             "n_active_replicas": self.n_active_replicas,

@@ -111,6 +111,11 @@ class PackedDecodeBackend:
         self._denom = np.zeros((0, cfg.n_heads, 1, 1))
         self._head_out = np.zeros((0, cfg.n_heads, 1, cfg.head_dim))
         self._merged = np.zeros((0, 1, d))
+        #: Optional :class:`repro.telemetry.HotPathProfiler` measuring
+        #: real wall-clock time per stage (the serving engine attaches
+        #: it when profiling is requested).  ``None`` costs one ``is
+        #: None`` check per stage — the hot path stays unchanged.
+        self.profiler = None
 
     # ------------------------------------------------------------------
     # Scratch management
@@ -164,8 +169,12 @@ class PackedDecodeBackend:
         # Fused batched QKV projection.  The gufunc computes each [1, d]
         # slice with the single-row kernel, so row i is bit-identical to
         # the looped path's x[i:i+1] @ w projections.
+        prof = self.profiler
+        t0 = prof.start() if prof is not None else 0.0
         qkv = np.matmul(x[:, None, :], self._wqkv[layer_idx])
         qkv += self._bqkv[layer_idx]
+        if prof is not None:
+            prof.stop("decode_qkv_proj", t0)
 
         merged = self._merged_scratch(batch)
         dense_rows: List[Tuple[int, np.ndarray, object]] = []
@@ -189,28 +198,40 @@ class PackedDecodeBackend:
                 )
                 dense_rows.append((i, q, cache))
             elif style == "custom":
+                t0 = prof.start() if prof is not None else 0.0
                 merged[i] = executor.decode_attend_packed(
                     layer_idx, model, q, k_new, v_new, positions[i : i + 1]
                 )
+                if prof is not None:
+                    prof.stop("decode_custom_core", t0)
             else:
                 raise ValueError(
                     f"unknown packed_decode_style {style!r} from "
                     f"{type(executor).__name__}"
                 )
         if dense_rows:
+            t0 = prof.start() if prof is not None else 0.0
             self._dense_core(dense_rows, merged, head_dim)
+            if prof is not None:
+                prof.stop("decode_dense_core", t0)
 
         # Fused batched output FC over every packed sequence's merged
         # head features (row blocks are independent, so each row equals
         # the looped [1, h*D] @ wo product).
+        t0 = prof.start() if prof is not None else 0.0
         weights = model.attention(layer_idx).weights
         out = np.matmul(merged, weights.wo)
         out += weights.bo
         attn_out = out[:, 0, :]
+        if prof is not None:
+            prof.stop("decode_output_fc", t0)
         for i in fallback_rows:
+            t0 = prof.start() if prof is not None else 0.0
             attn_out[i] = executors[i].run_layer(
                 layer_idx, model, x[i : i + 1], positions[i : i + 1], "decode"
             ).output[0]
+            if prof is not None:
+                prof.stop("decode_fallback", t0)
         return attn_out
 
     def _dense_core(
@@ -282,6 +303,8 @@ class PackedDecodeBackend:
                 "PackedDecodeBackend is bound to a different model; create "
                 "one backend per TransformerModel"
             )
+        prof = self.profiler
+        t0 = prof.start() if prof is not None else 0.0
         eligible = [
             i for i, executor in zip(order, executors)
             if executor.packed_decode_style == "dense"
@@ -302,6 +325,8 @@ class PackedDecodeBackend:
             proj = rows[i] @ wqkv
             proj += bqkv
             projected[i] = self._split_qkv(proj)
+        if prof is not None:
+            prof.stop("prefill_chunk_proj", t0)
         return projected
 
     def _split_qkv(

@@ -204,6 +204,47 @@ package; the engine exposes the hooks it drives:
 ``benchmarks/bench_cluster_scaling.py`` sweeps replica count × routing
 policy at a fixed total budget; ``repro serve-cluster`` is the CLI
 surface (``--drain-at TIME:REPLICA`` exercises mid-run drains).
+
+Observability
+-------------
+
+:mod:`repro.telemetry` instruments every layer above without changing
+any of it.  ``ServingEngine(telemetry=Telemetry())`` (and the same
+keyword on :class:`repro.cluster.ClusterEngine`) turns on three
+independent sinks:
+
+* **Tracing** — a :class:`~repro.telemetry.Tracer` records the full
+  request lifecycle on the *simulated* clock: a ``queued`` span from
+  submission to admission, a ``prefill`` span per chunked prefill, a
+  ``decode`` span to retirement, with ``preempted`` / ``requeued`` /
+  ``drained`` outcomes when those paths fire.  Pool transactions
+  (admit / sync / release / preempt-release), router decisions with
+  per-replica scores, and sharded-ledger drain/fail transitions land
+  on their own tracks.  :func:`~repro.telemetry.chrome_trace_json`
+  exports Chrome trace-event JSON for ``chrome://tracing`` /
+  Perfetto; ``repro trace-report PATH`` renders a terminal report
+  (per-phase time breakdown, pruning-savings timeline,
+  preemption/requeue storms) from the same file.
+* **Metrics** — a :class:`~repro.telemetry.MetricsRegistry` samples
+  every engine step (live batch, pool occupancy, step FLOPs, backlog,
+  and the *pruning savings* series: schedule-bound worst-case pages
+  minus live usage — the capacity the cascade schedule freed) and
+  keeps Prometheus-style counters/gauges/histograms.  Export as JSONL
+  time-series (:func:`~repro.telemetry.metrics_jsonl`) or Prometheus
+  text exposition (:func:`~repro.telemetry.prometheus_text`).
+* **Profiling** — :class:`~repro.telemetry.HotPathProfiler` times the
+  packed decode backend's stages in *wall-clock* seconds (QKV
+  projection, attention core, output FC).  Deliberately separate from
+  the simulated clock and excluded from the deterministic artifacts.
+
+Two invariants the test suite enforces (``tests/test_telemetry.py``):
+telemetry is **inert** — on or off, token streams and stats are
+bit-identical (the default ``NULL_TELEMETRY`` sink costs nothing on
+the hot path) — and trace/metrics exports are **byte-deterministic**
+across identical runs, because every timestamp comes from the
+simulated clock.  ``audit_every=N`` (CLI ``--audit-every``)
+additionally runs the pool's ledger audit every N steps, counted as
+``repro_pool_audits_total``.
 """
 
 from .engine import (

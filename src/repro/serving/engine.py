@@ -115,6 +115,7 @@ from ..nn.transformer import (
     PrefillState,
     TransformerModel,
 )
+from ..telemetry import NULL_TELEMETRY, Telemetry
 from .memory_pool import KVMemoryPool, PoolExhausted, prefill_kv_lengths, \
     pruned_kv_bounds
 from .preemption import (
@@ -141,6 +142,15 @@ __all__ = [
 ]
 
 ADMISSION_MODES = ("reserve", "optimistic")
+
+#: Histogram buckets for simulated step durations (seconds).
+STEP_SECONDS_BUCKETS = (
+    1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0,
+)
+#: Histogram buckets for per-step arithmetic (FLOPs).
+STEP_FLOPS_BUCKETS = (
+    1e5, 3e5, 1e6, 3e6, 1e7, 3e7, 1e8, 3e8, 1e9, 3e9, 1e10,
+)
 
 
 def greedy_sampler(logits: np.ndarray) -> int:
@@ -246,6 +256,18 @@ class ServingEngine:
         executor_factory: override the per-request executor (tests).
             When set, it wins over per-request pruning overrides.
         name: label for cluster replicas (defaults to ``"engine"``).
+        telemetry: :class:`repro.telemetry.Telemetry` sinks this engine
+            emits to — request lifecycle spans, pool ledger events, and
+            per-step metric samples (see the package guide).  ``None``
+            (the default) installs the inert
+            :data:`~repro.telemetry.NULL_TELEMETRY`, whose ``active``
+            flag short-circuits every emission site before any event is
+            built, so a telemetry-off run is bit-identical to one built
+            before telemetry existed.
+        audit_every: run :meth:`KVMemoryPool.audit` every N engine
+            steps (surfaced as the ``repro_pool_audits_total`` counter
+            when metrics are on).  ``None`` (default) keeps the PR-5
+            behaviour: audits only after preemption cycles.
     """
 
     def __init__(
@@ -263,6 +285,8 @@ class ServingEngine:
         headroom_pages: int = 0,
         executor_factory: Optional[Callable[[], AttentionExecutor]] = None,
         name: str = "engine",
+        telemetry: Optional[Telemetry] = None,
+        audit_every: Optional[int] = None,
     ):
         if not model.config.causal:
             raise ValueError("serving requires a causal (GPT-style) model")
@@ -282,6 +306,8 @@ class ServingEngine:
             )
         if headroom_pages < 0:
             raise ValueError("headroom_pages must be >= 0")
+        if audit_every is not None and audit_every < 1:
+            raise ValueError("audit_every must be >= 1, or None to disable")
         self.model = model
         self.pool = pool
         self.pruning = pruning
@@ -294,6 +320,8 @@ class ServingEngine:
         self.preemption = PreemptionPolicy(preempt_policy)
         self.headroom_pages = int(headroom_pages)
         self.name = name
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.audit_every = audit_every
         self._backend = (
             PackedDecodeBackend(model) if attention_backend == "packed" else None
         )
@@ -310,6 +338,15 @@ class ServingEngine:
         #: Every preemption this run, in order (tests assert the
         #: livelock guard on it; reports aggregate from the records).
         self.preemption_log: List[PreemptionEvent] = []
+        # Telemetry bookkeeping (only populated when telemetry.active).
+        self._steps = 0
+        #: When each waiting request last entered the queue (drives the
+        #: ``queued`` lifecycle span; reset on preempt-requeue).
+        self._queue_entered: Dict[int, float] = {}
+        #: Worst-case schedule-bound pages of every resident sequence —
+        #: the minuend of the pruning-savings gauge (bound minus pages
+        #: actually allocated).
+        self._bound_pages: Dict[int, int] = {}
 
     @property
     def mode(self) -> str:
@@ -419,6 +456,13 @@ class ServingEngine:
         self._batch_sizes = []
         self._occupancy_samples = []
         self.preemption_log = []
+        self._steps = 0
+        self._queue_entered = {}
+        self._bound_pages = {}
+        if self.telemetry.active:
+            self.pool.observer = self
+        if self._backend is not None:
+            self._backend.profiler = self.telemetry.profiler
 
     def submit(
         self,
@@ -449,6 +493,21 @@ class ServingEngine:
             else max(float(available_time), request.arrival_time)
         )
         self._pending.append(_PendingArrival(available, request))
+        tel = self.telemetry
+        if tel.active:
+            self._queue_entered[request.request_id] = available
+            if tel.tracer is not None:
+                tel.tracer.instant(
+                    "submitted", available, self.name,
+                    f"req {request.request_id}",
+                    prompt_len=request.prompt_len,
+                    max_new_tokens=request.max_new_tokens,
+                    priority=request.priority,
+                )
+            if tel.metrics is not None:
+                tel.metrics.counter(
+                    "repro_requests_submitted_total", engine=self.name
+                ).inc()
         return record
 
     def step(self, horizon: Optional[float] = None) -> float:
@@ -499,17 +558,21 @@ class ServingEngine:
         """
         requeued: List[Tuple[Request, RequestRecord]] = []
         for entry in self._pending:
+            self._note_drained(self._records[entry.request.request_id])
             requeued.append((entry.request, self._records.pop(
                 entry.request.request_id)))
         self._pending = []
         for request in self.queue.drain():
+            self._note_drained(self._records[request.request_id])
             requeued.append((request, self._records.pop(request.request_id)))
         for seq in self.prefilling:
+            self._note_drained(seq.record)
             self.pool.release(seq.seq_id)
             seq.record.reset_for_requeue()
             requeued.append((seq.request, self._records.pop(seq.seq_id)))
         self.prefilling = []
         for seq in self.live:
+            self._note_drained(seq.record)
             self.pool.release(seq.seq_id)
             seq.record.reset_for_requeue()
             requeued.append((seq.request, self._records.pop(seq.seq_id)))
@@ -763,6 +826,7 @@ class ServingEngine:
         self._pool_admit(request)
         record.status = RequestStatus.RUNNING
         record.admit_time = clock.now
+        self._note_admitted(request, clock.now)
         executor = self._make_executor(pruning)
         state = self.model.prefill_begin(request.prompt_ids, executor)
         self.prefilling.append(
@@ -784,6 +848,7 @@ class ServingEngine:
         self._pool_admit(request)
         record.status = RequestStatus.RUNNING
         record.admit_time = clock.now
+        self._note_admitted(request, clock.now)
         executor = self._make_executor(pruning)
         logits = self.model.prefill(request.prompt_ids, executor)
         clock.advance(
@@ -797,6 +862,7 @@ class ServingEngine:
         record.token_ids.append(first)
         record.preempt_protected = False
         record.first_token_time = clock.now
+        self._note_promoted(record, clock.now)
         seq = LiveSequence(
             record=record,
             executor=executor,
@@ -818,9 +884,11 @@ class ServingEngine:
             [seq.executor for seq in batch],
             backend=self._backend,
         )
-        dt = self.cost.step_time(self._decode_flops(batch), len(batch))
+        decode_flops = self._decode_flops(batch)
+        dt = self.cost.step_time(decode_flops, len(batch))
         clock.advance(dt)
         self.live = self._commit_decode(batch, logits, clock)
+        self._note_step(clock.now, dt, 0.0, decode_flops, 0, len(batch))
         return dt
 
     def _mixed_step(self, clock: SimulatedClock) -> float:
@@ -858,9 +926,9 @@ class ServingEngine:
             if prefills
             else []
         )
+        decode_flops = self._decode_flops(decode_batch)
         dt = self.cost.mixed_step_time(
-            prefill_flops, self._decode_flops(decode_batch),
-            len(prefills), len(decode_batch),
+            prefill_flops, decode_flops, len(prefills), len(decode_batch),
         )
         clock.advance(dt)
 
@@ -879,6 +947,7 @@ class ServingEngine:
             first = self.sampler(logits)
             seq.record.token_ids.append(first)
             seq.record.first_token_time = clock.now
+            self._note_promoted(seq.record, clock.now)
             live = LiveSequence(
                 record=seq.record,
                 executor=seq.state.executor,
@@ -898,6 +967,10 @@ class ServingEngine:
             else []
         )
         self.live = still_live + promoted
+        self._note_step(
+            clock.now, dt, prefill_flops, decode_flops,
+            len(prefills), len(decode_batch),
+        )
         return dt
 
     def _decode_flops(self, batch: Sequence[LiveSequence]) -> float:
@@ -921,6 +994,7 @@ class ServingEngine:
             self._sync_pool(seq.seq_id, seq.executor)
             token = self.sampler(logits[row])
             seq.record.token_ids.append(token)
+            self._count_token()
             seq.record.preempt_protected = False
             seq.record.token_latencies.append(
                 clock.now - seq.last_commit_time
@@ -1082,6 +1156,7 @@ class ServingEngine:
             self.prefilling.remove(seq)
             work = seq.state.n_committed
         pages = self.pool.preempt_release(seq.seq_id)
+        self._note_preempted(seq.record, clock.now, pages, work)
         seq.record.reset_for_preempt(recompute_tokens=work)
         self.queue.push(seq.request)
         self.preemption_log.append(PreemptionEvent(
@@ -1097,6 +1172,250 @@ class ServingEngine:
         seq.record.finish_time = clock.now
         self.pool.note_reclaimed_tokens(seq.executor.evicted_kv_tokens)
         self.pool.release(seq.seq_id)
+        self._note_retired(seq.record, clock.now)
+
+    # ------------------------------------------------------------------
+    # Telemetry emission (every site guards on the null sink first)
+    # ------------------------------------------------------------------
+    def _track(self, request_id: int) -> str:
+        return f"req {request_id}"
+
+    def pool_event(self, kind: str, seq_id: int, **info) -> None:
+        """Observer hook the pool calls on ledger mutations.
+
+        Installed by :meth:`start` only when telemetry is active, so an
+        inert engine never pays for it (the pool's own guard is a
+        single ``is None`` check).
+        """
+        tel = self.telemetry
+        if tel.tracer is not None:
+            tel.tracer.instant(
+                f"pool_{kind}", self.now, self.name, "pool",
+                seq_id=seq_id, **info,
+            )
+        if tel.metrics is not None:
+            tel.metrics.counter(
+                "repro_pool_events_total", engine=self.name, kind=kind
+            ).inc()
+
+    def _note_admitted(self, request: Request, now: float) -> None:
+        tel = self.telemetry
+        if not tel.active:
+            return
+        rid = request.request_id
+        bound = self.pool.reservation_pages(
+            request.prompt_len, request.max_new_tokens,
+            self.pruning_of(request),
+        )
+        self._bound_pages[rid] = bound
+        entered = self._queue_entered.pop(rid, now)
+        if tel.tracer is not None:
+            track = self._track(rid)
+            tel.tracer.span(
+                "queued", entered, now, self.name, track,
+                outcome="admitted",
+            )
+            tel.tracer.instant(
+                "admitted", now, self.name, track,
+                bound_pages=bound, admission=self.admission,
+                billed_pages=self.pool.reserved_pages_of(rid),
+            )
+        if tel.metrics is not None:
+            tel.metrics.counter(
+                "repro_requests_admitted_total", engine=self.name
+            ).inc()
+
+    def _note_promoted(self, record: RequestRecord, now: float) -> None:
+        """The sequence's final prefill chunk committed its first token."""
+        self._count_token()
+        tel = self.telemetry
+        if tel.tracer is not None:
+            track = self._track(record.request.request_id)
+            tel.tracer.span(
+                "prefill", record.admit_time, now, self.name, track,
+                outcome="promoted",
+            )
+            tel.tracer.instant("promoted", now, self.name, track)
+
+    def _count_token(self) -> None:
+        tel = self.telemetry
+        if tel.metrics is not None:
+            tel.metrics.counter(
+                "repro_tokens_total", engine=self.name
+            ).inc()
+
+    def _note_retired(self, record: RequestRecord, now: float) -> None:
+        tel = self.telemetry
+        if not tel.active:
+            return
+        rid = record.request.request_id
+        self._bound_pages.pop(rid, None)
+        self._queue_entered.pop(rid, None)
+        if tel.tracer is not None:
+            track = self._track(rid)
+            tel.tracer.span(
+                "decode", record.first_token_time, now, self.name, track,
+                outcome="finished",
+            )
+            tel.tracer.instant(
+                "finished", now, self.name, track,
+                n_tokens=record.n_generated,
+                n_preemptions=record.n_preemptions,
+            )
+        if tel.metrics is not None:
+            tel.metrics.counter(
+                "repro_requests_finished_total", engine=self.name
+            ).inc()
+
+    def _note_preempted(
+        self, record: RequestRecord, now: float, pages: int, work: int
+    ) -> None:
+        """Called *before* the record resets (the span needs its times)."""
+        tel = self.telemetry
+        if not tel.active:
+            return
+        rid = record.request.request_id
+        self._bound_pages.pop(rid, None)
+        self._queue_entered[rid] = now  # back to the queue from here
+        if tel.tracer is not None:
+            track = self._track(rid)
+            if record.first_token_time is not None:
+                tel.tracer.span(
+                    "decode", record.first_token_time, now, self.name,
+                    track, outcome="preempted",
+                )
+            elif record.admit_time is not None:
+                tel.tracer.span(
+                    "prefill", record.admit_time, now, self.name, track,
+                    outcome="preempted",
+                )
+            tel.tracer.instant(
+                "preempted", now, self.name, track, pages_freed=pages,
+                work_tokens=work, policy=self.preemption.policy,
+            )
+            tel.tracer.instant("requeued", now, self.name, track)
+        if tel.metrics is not None:
+            tel.metrics.counter(
+                "repro_preemptions_total", engine=self.name
+            ).inc()
+
+    def _note_drained(self, record: RequestRecord) -> None:
+        """Called *before* the record resets for its requeue."""
+        tel = self.telemetry
+        if not tel.active:
+            return
+        rid = record.request.request_id
+        self._bound_pages.pop(rid, None)
+        self._queue_entered.pop(rid, None)
+        if tel.tracer is None:
+            return
+        now = self.now
+        track = self._track(rid)
+        if record.first_token_time is not None:
+            tel.tracer.span(
+                "decode", record.first_token_time, now, self.name, track,
+                outcome="drained",
+            )
+        elif record.admit_time is not None:
+            tel.tracer.span(
+                "prefill", record.admit_time, now, self.name, track,
+                outcome="drained",
+            )
+
+    def _pruning_savings(self) -> int:
+        """Pages the cascade schedules have freed vs. their worst case.
+
+        The schedule-bound reservation of every resident sequence minus
+        the pages actually backing live columns — the capacity pruning
+        is provably saving right now.
+        """
+        return max(
+            0, sum(self._bound_pages.values()) - self.pool.allocated_pages
+        )
+
+    def _note_step(
+        self,
+        now: float,
+        dt: float,
+        prefill_flops: float,
+        decode_flops: float,
+        n_prefill: int,
+        n_decode: int,
+    ) -> None:
+        """Per-step bookkeeping: periodic audits plus one metrics/trace
+        sample.  Runs after the step's commits, so pool gauges reflect
+        the post-step ledger."""
+        self._steps += 1
+        tel = self.telemetry
+        if self.audit_every and self._steps % self.audit_every == 0:
+            self.pool.audit()
+            if tel.metrics is not None:
+                tel.metrics.counter(
+                    "repro_pool_audits_total", engine=self.name
+                ).inc()
+        if not tel.active:
+            return
+        pool = self.pool
+        savings = self._pruning_savings()
+        queued = len(self.queue) + len(self._pending)
+        step_flops = prefill_flops + decode_flops
+        if tel.metrics is not None:
+            m = tel.metrics
+            m.counter("repro_steps_total", engine=self.name).inc()
+            m.histogram(
+                "repro_step_seconds", STEP_SECONDS_BUCKETS,
+                engine=self.name,
+            ).observe(dt)
+            m.histogram(
+                "repro_step_flops", STEP_FLOPS_BUCKETS, engine=self.name,
+            ).observe(step_flops)
+            m.gauge("repro_live_sequences", engine=self.name).set(n_decode)
+            m.gauge(
+                "repro_prefilling_sequences", engine=self.name
+            ).set(n_prefill)
+            m.gauge("repro_queued_requests", engine=self.name).set(queued)
+            m.gauge(
+                "repro_pool_allocated_pages", engine=self.name
+            ).set(pool.allocated_pages)
+            m.gauge(
+                "repro_pool_reserved_pages", engine=self.name
+            ).set(pool.reserved_pages)
+            m.gauge(
+                "repro_pruning_saved_pages", engine=self.name
+            ).set(savings)
+            m.record_sample({
+                "t": now,
+                "engine": self.name,
+                "step_seconds": dt,
+                "step_flops": step_flops,
+                "prefill_flops": prefill_flops,
+                "decode_flops": decode_flops,
+                "live": n_decode,
+                "prefilling": n_prefill,
+                "queued": queued,
+                "allocated_pages": pool.allocated_pages,
+                "reserved_pages": pool.reserved_pages,
+                "reclaimed_pages": pool.reclaimed_pages,
+                "saved_pages": savings,
+                "backlog_flops": self.outstanding_flops(),
+            })
+        if tel.tracer is not None:
+            t = tel.tracer
+            t.counter(
+                "batch", now, self.name,
+                live=n_decode, prefilling=n_prefill, queued=queued,
+            )
+            t.counter(
+                "kv_pool", now, self.name,
+                allocated_pages=pool.allocated_pages,
+                reserved_pages=pool.reserved_pages,
+                reclaimed_pages=pool.reclaimed_pages,
+                saved_pages=savings,
+            )
+            t.counter(
+                "step_flops", now, self.name,
+                prefill=prefill_flops, decode=decode_flops,
+            )
 
     # ------------------------------------------------------------------
     # Run loop

@@ -174,6 +174,17 @@ class KVMemoryPool:
         self.peak_allocated_pages = 0
         self.n_preempted = 0
         self.preempted_pages = 0
+        #: Duck-typed observability hook: anything with a
+        #: ``pool_event(kind, seq_id, **info)`` method (the serving
+        #: engine, when telemetry is on).  Kept as an attribute rather
+        #: than an import so the pool has no dependency on
+        #: :mod:`repro.telemetry`; ``None`` (the default) costs one
+        #: ``is None`` check per ledger mutation.
+        self.observer = None
+
+    def _notify(self, kind: str, seq_id: int, **info) -> None:
+        if self.observer is not None:
+            self.observer.pool_event(kind, seq_id, **info)
 
     # ------------------------------------------------------------------
     # Page arithmetic
@@ -293,6 +304,7 @@ class KVMemoryPool:
             reserved_pages=need,
             allocated_per_layer=[0] * self.model.n_layers,
         )
+        self._notify("admit", seq_id, pages=need, optimistic=False)
         return need
 
     def can_admit_optimistic(
@@ -344,6 +356,7 @@ class KVMemoryPool:
             optimistic=True,
             floor_pages=need,
         )
+        self._notify("admit", seq_id, pages=need, optimistic=True)
         return need
 
     def finish_prefill(self, seq_id: int) -> None:
@@ -370,11 +383,14 @@ class KVMemoryPool:
         if len(kv_lengths) != self.model.n_layers:
             raise ValueError("kv_lengths must cover every layer")
         freed = 0
+        grown = 0
         for layer, length in enumerate(kv_lengths):
             pages = self.pages_for_tokens(length)
             delta = pages - account.allocated_per_layer[layer]
             if delta < 0:
                 freed -= delta
+            else:
+                grown += delta
             account.allocated_per_layer[layer] = pages
         if account.optimistic:
             account.reserved_pages = max(
@@ -390,6 +406,8 @@ class KVMemoryPool:
         self.peak_allocated_pages = max(
             self.peak_allocated_pages, self.allocated_pages
         )
+        if grown or freed:  # quiet syncs stay out of the trace
+            self._notify("sync", seq_id, grown=grown, freed=freed)
         return freed
 
     def _projected_reserved(
@@ -469,8 +487,9 @@ class KVMemoryPool:
 
     def release(self, seq_id: int) -> None:
         """Drop a finished sequence's reservation and allocations."""
-        self._account(seq_id)
+        account = self._account(seq_id)
         self._accounts.pop(seq_id)
+        self._notify("release", seq_id, pages=account.reserved_pages)
 
     def preempt_release(self, seq_id: int) -> int:
         """Release a preemption victim's account; returns pages regained.
@@ -489,6 +508,7 @@ class KVMemoryPool:
         self.n_preempted += 1
         self.preempted_pages += freed
         self._accounts.pop(seq_id)
+        self._notify("preempt_release", seq_id, pages=freed)
         return freed
 
     def audit(self) -> None:

@@ -31,6 +31,7 @@ __all__ = [
     "SimulatedClock",
     "CostModel",
     "ServingStats",
+    "STATS_SCHEMA_VERSION",
     "format_quantiles",
 ]
 
@@ -217,6 +218,14 @@ def _null_if_nan(value):
     return None if isinstance(value, float) and math.isnan(value) else value
 
 
+#: Version of the JSON document :meth:`ServingStats.to_dict` (and the
+#: cluster aggregate built on it) emits.  Bump when a field is renamed,
+#: removed, or changes meaning — *adding* fields is backward-compatible
+#: and does not bump.  Consumers parsing ``--stats-json`` output should
+#: check this before anything else.
+STATS_SCHEMA_VERSION = 1
+
+
 @dataclass
 class ServingStats:
     """Aggregate report of one serving run (simulated-clock units)."""
@@ -318,12 +327,17 @@ class ServingStats:
         re-deriving percentiles from :attr:`records` by hand.  Unknown
         percentiles (NaN: no samples) become ``None`` so the dict
         serializes to strict JSON (``null``), never a bare ``NaN``.
+        The dict carries ``schema_version``
+        (:data:`STATS_SCHEMA_VERSION`) so downstream dashboards can
+        detect incompatible changes instead of silently misreading.
         """
-        return {
+        out = {
             f.name: _null_if_nan(getattr(self, f.name))
             for f in fields(self)
             if f.name != "records"
         }
+        out["schema_version"] = STATS_SCHEMA_VERSION
+        return out
 
     def to_json(self, indent: Optional[int] = 2) -> str:
         """The scalar metrics as a JSON document (see :meth:`to_dict`)."""

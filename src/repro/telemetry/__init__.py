@@ -1,0 +1,136 @@
+"""repro.telemetry — deterministic observability for the serving fleet.
+
+Package guide
+=============
+
+The serving stack (PRs 1-5) runs on a simulated clock, which makes a
+run a *reproducible schedule*: the same trace in always yields the same
+admissions, preemptions, and token streams out.  This package turns
+that property into observability artifacts that are themselves
+reproducible:
+
+``tracer``
+    :class:`Tracer` — span/instant/counter events on the simulated
+    timeline.  The serving engine emits each request's lifecycle
+    (``queued`` → ``admitted`` → ``prefill`` → ``promoted`` →
+    ``decode`` → ``finished`` / ``preempted`` / ``drained``), the KV
+    pool emits alloc/evict/preempt events through its observer hook,
+    the cluster router emits per-replica scored decisions, and the
+    sharded ledger emits drain/fail transitions.
+
+``metrics``
+    :class:`MetricsRegistry` — Prometheus-style counters, gauges, and
+    histograms plus a per-step time series (live batch size, pool
+    occupancy, pruning savings, step FLOPs, backlog).  Exports as JSONL
+    (:func:`metrics_jsonl`) and text exposition
+    (:func:`prometheus_text`).
+
+``profiler``
+    :class:`HotPathProfiler` — the one *wall-clock* component,
+    instrumenting the ``PackedDecodeBackend`` stages.  Kept out of the
+    deterministic artifacts on purpose.
+
+``export``
+    :func:`chrome_trace_json` — Chrome trace-event / Perfetto JSON,
+    byte-identical across identical runs.
+
+``report``
+    :func:`trace_report` — the ``repro trace-report`` summarizer:
+    per-phase time breakdown, pruning-savings timeline, preemption and
+    requeue storms.
+
+The facade
+==========
+
+Emitters take a single :class:`Telemetry` object::
+
+    tel = Telemetry(trace=True, metrics=True, profile=False)
+    engine = ServingEngine(..., telemetry=tel)
+    ...
+    write_text("trace.json", chrome_trace_json(tel.tracer), "trace")
+
+With telemetry off (the default everywhere), emitters receive
+:data:`NULL_TELEMETRY`, whose ``active`` flag is ``False``.  Every
+hot-path emission site is guarded by that flag *before* building any
+event payload, so disabled telemetry costs one attribute check and
+allocates nothing — the inertness tests pin bit-identical token
+streams with telemetry on vs. off.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .export import (
+    chrome_trace,
+    chrome_trace_json,
+    metrics_jsonl,
+    prometheus_text,
+    write_text,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profiler import HotPathProfiler
+from .report import load_chrome_trace, trace_report, validate_chrome_trace
+from .tracer import TraceEvent, Tracer
+
+__all__ = [
+    "Telemetry",
+    "NULL_TELEMETRY",
+    "Tracer",
+    "TraceEvent",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HotPathProfiler",
+    "chrome_trace",
+    "chrome_trace_json",
+    "metrics_jsonl",
+    "prometheus_text",
+    "write_text",
+    "validate_chrome_trace",
+    "load_chrome_trace",
+    "trace_report",
+]
+
+
+class Telemetry:
+    """Bundle of sinks an emitter writes to.
+
+    Each component is ``None`` when its flag is off; ``active`` is the
+    single guard hot paths check before emitting trace events or metric
+    samples.  The profiler is intentionally excluded from ``active`` —
+    it hooks the backend directly and does not affect event emission.
+    """
+
+    __slots__ = ("tracer", "metrics", "profiler")
+
+    def __init__(
+        self,
+        trace: bool = True,
+        metrics: bool = True,
+        profile: bool = False,
+    ) -> None:
+        self.tracer: Optional[Tracer] = Tracer() if trace else None
+        self.metrics: Optional[MetricsRegistry] = (
+            MetricsRegistry() if metrics else None
+        )
+        self.profiler: Optional[HotPathProfiler] = (
+            HotPathProfiler() if profile else None
+        )
+
+    @property
+    def active(self) -> bool:
+        """True when trace events or metric samples should be emitted."""
+        return self.tracer is not None or self.metrics is not None
+
+    def __repr__(self) -> str:
+        return (
+            f"Telemetry(trace={self.tracer is not None}, "
+            f"metrics={self.metrics is not None}, "
+            f"profile={self.profiler is not None})"
+        )
+
+
+#: Shared inert instance — the default ``telemetry`` everywhere.
+NULL_TELEMETRY = Telemetry(trace=False, metrics=False, profile=False)

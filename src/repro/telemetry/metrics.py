@@ -1,0 +1,213 @@
+"""Metrics registry: counters, gauges, histograms, and time series.
+
+The registry follows the Prometheus data model — named metrics with a
+label set, three instrument types — but is sampled on the *simulated*
+clock, so the exported artifacts are deterministic:
+
+* :meth:`MetricsRegistry.to_jsonl` — the per-step time series (one JSON
+  object per engine step per emitter) for dashboards and offline
+  analysis;
+* :meth:`MetricsRegistry.prometheus_text` — the end-of-run state of
+  every instrument in the Prometheus text exposition format, so a
+  scrape endpoint (or just a file diff) sees the familiar
+  ``name{label="..."} value`` lines.
+
+Instruments are get-or-create: ``registry.counter("repro_x_total",
+engine="replica0")`` returns the same :class:`Counter` every call, so
+emitters never need to coordinate registration.  All mutation is plain
+``float``/``int`` arithmetic — no allocation beyond the first call —
+and a disabled telemetry facade never constructs a registry at all, so
+the hot path stays allocation-free when observability is off.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+
+def _fmt_number(value: float) -> str:
+    """Deterministic Prometheus-style number rendering."""
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if value != value:
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    as_int = int(value)
+    if as_int == value:
+        return str(as_int)
+    return repr(value)
+
+
+def _label_suffix(labels: Tuple[Tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return "{" + inner + "}"
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count (`..._total` by convention)."""
+
+    name: str
+    labels: Tuple[Tuple[str, str], ...] = ()
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A value that can go up and down (batch size, occupancy)."""
+
+    name: str
+    labels: Tuple[Tuple[str, str], ...] = ()
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+@dataclass
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics).
+
+    ``buckets`` are upper bounds; an implicit ``+Inf`` bucket always
+    exists.  ``bucket_counts[i]`` counts observations ``<= buckets[i]``
+    *non*-cumulatively in storage; the exposition renders the standard
+    cumulative ``le`` series plus ``_sum`` and ``_count``.
+    """
+
+    name: str
+    buckets: Tuple[float, ...]
+    labels: Tuple[Tuple[str, str], ...] = ()
+    bucket_counts: List[int] = field(default_factory=list)
+    sum: float = 0.0
+    count: int = 0
+
+    def __post_init__(self) -> None:
+        if list(self.buckets) != sorted(self.buckets):
+            raise ValueError("histogram buckets must be sorted ascending")
+        if not self.bucket_counts:
+            self.bucket_counts = [0] * (len(self.buckets) + 1)
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+
+class MetricsRegistry:
+    """Get-or-create instrument registry plus the step time series."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], object] = {}
+        #: Per-step samples appended by emitters (dicts with at least a
+        #: ``t`` key); exported verbatim as JSONL, in emission order.
+        self.samples: List[Dict[str, object]] = []
+
+    # ------------------------------------------------------------------
+    # Instruments
+    # ------------------------------------------------------------------
+    def _get(self, cls, name: str, labels: Dict[str, str], **kwargs):
+        key = (name, tuple(sorted(labels.items())))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name=name, labels=key[1], **kwargs)
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(
+        self, name: str, buckets: Sequence[float], **labels: str
+    ) -> Histogram:
+        return self._get(Histogram, name, labels, buckets=tuple(buckets))
+
+    # ------------------------------------------------------------------
+    # Time series
+    # ------------------------------------------------------------------
+    def record_sample(self, sample: Dict[str, object]) -> None:
+        """Append one time-series row (must carry a ``t`` key)."""
+        if "t" not in sample:
+            raise ValueError("metric samples must carry a 't' timestamp")
+        self.samples.append(sample)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_jsonl(self) -> str:
+        """The time series as JSON Lines (one row per sample)."""
+        return "".join(
+            json.dumps(row, sort_keys=True, separators=(",", ":")) + "\n"
+            for row in self.samples
+        )
+
+    def prometheus_text(self) -> str:
+        """End-of-run instrument state, Prometheus text exposition.
+
+        Deterministic: metrics sort by (name, labels) and numbers render
+        through one fixed formatter, so two identical runs produce
+        byte-identical dumps.
+        """
+        by_name: Dict[str, List[object]] = {}
+        for (name, _), metric in sorted(self._metrics.items()):
+            by_name.setdefault(name, []).append(metric)
+        lines: List[str] = []
+        for name, metrics in by_name.items():
+            kind = type(metrics[0]).__name__.lower()
+            lines.append(f"# TYPE {name} {kind}")
+            for metric in metrics:
+                suffix = _label_suffix(metric.labels)
+                if isinstance(metric, Histogram):
+                    cumulative = 0
+                    for bound, count in zip(
+                        metric.buckets, metric.bucket_counts
+                    ):
+                        cumulative += count
+                        le = _label_suffix(
+                            metric.labels + (("le", _fmt_number(bound)),)
+                        )
+                        lines.append(f"{name}_bucket{le} {cumulative}")
+                    cumulative += metric.bucket_counts[-1]
+                    le = _label_suffix(metric.labels + (("le", "+Inf"),))
+                    lines.append(f"{name}_bucket{le} {cumulative}")
+                    lines.append(
+                        f"{name}_sum{suffix} {_fmt_number(metric.sum)}"
+                    )
+                    lines.append(f"{name}_count{suffix} {metric.count}")
+                else:
+                    lines.append(
+                        f"{name}{suffix} {_fmt_number(metric.value)}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,146 @@
+"""Deterministic span/event tracing keyed to the simulated clock.
+
+The serving stack runs on a *simulated* clock
+(:class:`repro.serving.stats.SimulatedClock`), so every timestamp the
+tracer records is a deterministic function of the trace being served —
+two identical runs emit byte-identical trace files, which is what makes
+traces testable artifacts instead of debugging one-offs.
+
+Three event shapes, mirroring the Chrome trace-event model the exporter
+(:mod:`repro.telemetry.export`) targets:
+
+* **instant** — a point event: a request was admitted, a page was
+  evicted, a router decision landed;
+* **span** — a closed interval: one request's ``queued`` / ``prefill``
+  / ``decode`` phase, with its outcome (``finished`` / ``preempted`` /
+  ``drained``) in the args;
+* **counter** — a sampled time series: live batch size, pool pages,
+  pruning savings — rendered as stacked counter tracks by Chrome's
+  ``about:tracing`` / Perfetto.
+
+Events carry a ``process`` (the engine or replica name, or ``fleet``
+for cluster-level events) and a ``track`` (one per request, plus the
+``pool`` / ``router`` / ``scheduler`` bookkeeping tracks), which the
+exporter maps onto Chrome's pid/tid axes so a multi-replica run renders
+as one lane per replica with one row per request.
+
+The tracer itself never touches the wall clock and never samples
+anything on its own — emitters (the serving engine, the cluster driver,
+the pool observer hooks) push events at the simulated times they
+happen.  Wall-clock hot-path costs live in the separate
+:class:`~repro.telemetry.profiler.HotPathProfiler`, deliberately *not*
+in the trace, so trace bytes stay deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Tuple
+
+__all__ = ["TraceEvent", "Tracer"]
+
+#: Event kinds the tracer records (see module docstring).
+EVENT_KINDS = ("instant", "span", "counter")
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace event on the simulated timeline.
+
+    Attributes:
+        kind: ``"instant"``, ``"span"``, or ``"counter"``.
+        name: event name (``admitted``, ``prefill``, ``kv_pool``, ...).
+        t: simulated-clock timestamp in seconds (span start).
+        process: emitting engine/replica name (``fleet`` for
+            cluster-global events).
+        track: logical row within the process — one per request
+            (``req 7``) plus bookkeeping tracks (``pool``, ``router``,
+            ``scheduler``).  Counters ignore the track.
+        dur: span duration in simulated seconds (0 for non-spans).
+        args: JSON-serializable payload, stored as a sorted item tuple
+            so events hash/compare deterministically.
+    """
+
+    kind: str
+    name: str
+    t: float
+    process: str
+    track: str
+    dur: float = 0.0
+    args: Tuple[Tuple[str, object], ...] = ()
+
+    @property
+    def args_dict(self) -> Dict[str, object]:
+        return dict(self.args)
+
+
+def _freeze_args(args: Mapping[str, object]) -> Tuple[Tuple[str, object], ...]:
+    return tuple(sorted(args.items()))
+
+
+@dataclass
+class Tracer:
+    """Append-only event log over the simulated clock.
+
+    One tracer spans one run — in cluster mode every replica engine
+    shares it, labelling events with its own ``process`` name.  Events
+    are kept in emission order, which for a deterministic run is itself
+    deterministic; the Chrome exporter preserves it (viewers sort by
+    timestamp anyway).
+    """
+
+    events: List[TraceEvent] = field(default_factory=list)
+
+    def instant(
+        self, name: str, t: float, process: str, track: str, **args
+    ) -> None:
+        """Record a point event at simulated time ``t``."""
+        self.events.append(TraceEvent(
+            kind="instant", name=name, t=float(t), process=process,
+            track=track, args=_freeze_args(args),
+        ))
+
+    def span(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        process: str,
+        track: str,
+        **args,
+    ) -> None:
+        """Record a closed interval ``[start, end]`` (simulated s)."""
+        start, end = float(start), float(end)
+        if end < start:
+            raise ValueError(
+                f"span {name!r} ends before it starts ({end} < {start})"
+            )
+        self.events.append(TraceEvent(
+            kind="span", name=name, t=start, process=process, track=track,
+            dur=end - start, args=_freeze_args(args),
+        ))
+
+    def counter(self, name: str, t: float, process: str, **values) -> None:
+        """Record one sample of a (multi-series) counter track."""
+        self.events.append(TraceEvent(
+            kind="counter", name=name, t=float(t), process=process,
+            track="counters", args=_freeze_args(values),
+        ))
+
+    # ------------------------------------------------------------------
+    # Read-side helpers (tests and the trace report)
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def named(self, name: str) -> List[TraceEvent]:
+        """Every event with the given name, in emission order."""
+        return [e for e in self.events if e.name == name]
+
+    @property
+    def processes(self) -> List[str]:
+        """Distinct process names, in first-appearance order."""
+        seen: Dict[str, None] = {}
+        for event in self.events:
+            seen.setdefault(event.process, None)
+        return list(seen)
