@@ -7,6 +7,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+# Static-analysis gate: the tree must carry zero unsuppressed lint
+# violations (determinism, clock-domain, accounting, drift rules —
+# see the "Static analysis" section of the serving guide).  The JSON
+# report lands in benchmarks/results/ so CI uploads it as an artifact.
+mkdir -p benchmarks/results
+python -m repro.cli lint --out benchmarks/results/lint_report.json
+
 python -m pytest -x -q "$@"
 python -m pytest -q -m smoke tests/test_serving.py \
     tests/test_packed_decode.py \

@@ -1,0 +1,102 @@
+"""Clock-domain manifest for the serving stack.
+
+The repo runs on two clocks.  The *simulated* clock
+(:class:`repro.serving.stats.SimulatedClock`) drives every serving and
+cluster artifact — stats, traces, metrics — and is what makes identical
+runs byte-identical.  The *wall* clock exists in exactly one sanctioned
+place: :mod:`repro.telemetry.profiler`, whose job is to measure real
+Python/BLAS time and whose output is deliberately kept out of the
+deterministic artifacts.
+
+Every module therefore lives in one of three clock domains:
+
+* ``simulated`` — produces or consumes simulated-clock state; must
+  never read the wall clock (rule ``det-wallclock``) nor import a
+  ``wall`` module (rule ``clock-domain-import``);
+* ``wall`` — the sanctioned wall-clock modules; exempt from
+  ``det-wallclock``, but barred from importing ``simulated`` modules so
+  nondeterministic timings can never leak into deterministic state;
+* ``neutral`` — everything else (pure math, configs, reporting, the
+  CLI operator surface, package aggregation ``__init__``\\ s).  Neutral
+  modules may import either side; wall-clock *calls* in neutral
+  modules still need a per-line ``# repro: allow[det-wallclock]``.
+
+The mapping uses longest-dotted-prefix matching, so one entry can
+cover a package and a deeper entry can carve out an exception —
+``repro.telemetry`` is neutral (the bundle ``__init__`` aggregates both
+sides) while ``repro.telemetry.tracer`` is simulated and
+``repro.telemetry.profiler`` is wall.
+
+Adding a module to the serving stack?  If it touches the simulated
+clock or its artifacts, list it (or its package) here as ``simulated``;
+new wall-clock users need an explicit ``wall`` entry, which is the
+manifest's whole point — wall time is opt-in, reviewed, and fenced.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+__all__ = [
+    "CLOCK_DOMAINS",
+    "DEFAULT_DOMAIN",
+    "DOMAINS",
+    "domain_of",
+    "domain_match",
+    "wall_clock_allowed",
+]
+
+DOMAINS = ("simulated", "wall", "neutral")
+
+DEFAULT_DOMAIN = "neutral"
+
+#: Longest-prefix map of dotted module names to clock domains.
+CLOCK_DOMAINS: Dict[str, str] = {
+    # The serving stack runs entirely on the simulated clock.
+    "repro.serving": "simulated",
+    "repro.cluster": "simulated",
+    # Arrival traces are simulated-clock timestamps.
+    "repro.workloads.traffic": "simulated",
+    # The telemetry bundle __init__ aggregates both sides (it builds
+    # the profiler only when asked); the deterministic sinks are
+    # simulated, the profiler is the one sanctioned wall-clock module.
+    "repro.telemetry": "neutral",
+    "repro.telemetry.tracer": "simulated",
+    "repro.telemetry.metrics": "simulated",
+    "repro.telemetry.profiler": "wall",
+    "repro.telemetry.export": "neutral",
+    "repro.telemetry.report": "neutral",
+    # Operator surface: prints wall-clock progress (per-line allowed),
+    # imports both serving and telemetry.
+    "repro.cli": "neutral",
+}
+
+
+def domain_match(module_name: str) -> Tuple[str, int]:
+    """(domain, matched-prefix length) for a dotted module name.
+
+    The length lets callers prefer a more specific resolution — e.g.
+    ``from repro.telemetry import profiler`` should bind to the
+    ``repro.telemetry.profiler`` entry, not the package's.
+    """
+    best_domain, best_len = DEFAULT_DOMAIN, 0
+    parts = module_name.split(".")
+    for i in range(len(parts), 0, -1):
+        prefix = ".".join(parts[:i])
+        domain = CLOCK_DOMAINS.get(prefix)
+        if domain is not None:
+            best_domain, best_len = domain, i
+            break
+    return best_domain, best_len
+
+
+def domain_of(module_name: Optional[str]) -> str:
+    """Clock domain of a dotted module name (``neutral`` by default)."""
+    if not module_name:
+        return DEFAULT_DOMAIN
+    return domain_match(module_name)[0]
+
+
+def wall_clock_allowed(module_name: Optional[str]) -> bool:
+    """Whether a module is sanctioned to read the wall clock."""
+    return domain_of(module_name) == "wall"

@@ -1,0 +1,79 @@
+"""Text and JSON reporters for lint results.
+
+Both renderings are fully deterministic: findings arrive sorted by
+(path, line, rule, message) from the engine, paths are repo-relative,
+and nothing timestamps the report — so the JSON document is
+byte-identical across identical runs, which CI relies on when it
+archives ``lint_report.json`` as a build artifact.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .engine import LintResult
+
+__all__ = ["render_text", "render_json", "REPORT_FORMAT_VERSION"]
+
+#: Bump when the JSON report's shape changes incompatibly.
+REPORT_FORMAT_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    """Human-readable report: one line per unsuppressed finding."""
+    lines = []
+    for finding in result.parse_errors:
+        lines.append(
+            f"{finding.path}:{finding.line}: [{finding.rule}] "
+            f"{finding.message}"
+        )
+    for finding in result.unsuppressed:
+        lines.append(
+            f"{finding.path}:{finding.line}: [{finding.rule}] "
+            f"{finding.message}"
+        )
+    n_bad = len(result.unsuppressed) + len(result.parse_errors)
+    n_sup = len(result.suppressed)
+    summary = (
+        f"repro lint: {n_bad} finding(s) in {result.n_files} file(s) "
+        f"scanned ({n_sup} suppressed, {len(result.rules)} rules)"
+    )
+    if lines:
+        lines.append("")
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report (stable key order, repo-relative paths)."""
+    def finding_row(finding, with_reason=False):
+        row = {
+            "family": finding.family,
+            "line": finding.line,
+            "message": finding.message,
+            "path": finding.path,
+            "rule": finding.rule,
+        }
+        if with_reason:
+            row["reason"] = finding.reason
+        return row
+
+    doc = {
+        "tool": "repro.analysis",
+        "format_version": REPORT_FORMAT_VERSION,
+        "rules": list(result.rules),
+        "summary": {
+            "files_scanned": result.n_files,
+            "findings": len(result.unsuppressed),
+            "parse_errors": len(result.parse_errors),
+            "suppressed": len(result.suppressed),
+        },
+        "findings": [
+            finding_row(f)
+            for f in result.parse_errors + result.unsuppressed
+        ],
+        "suppressed": [
+            finding_row(f, with_reason=True) for f in result.suppressed
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,257 @@
+"""Accounting-contract rule family for the KV page ledgers.
+
+The serving stack's second hand-enforced contract is conservation of
+pages in the :class:`~repro.serving.memory_pool.KVMemoryPool` and
+:class:`~repro.cluster.sharded_pool.ShardedKVPool` ledgers.  Two
+properties keep that contract auditable, and these rules enforce both
+statically by cross-referencing the AST of ``src/`` against ``tests/``:
+
+* ``acct-observer-notify`` — every *public* method that mutates page
+  accounts (the ``_accounts`` map, an account's ``reserved_pages`` /
+  ``floor_pages`` / ``allocated_per_layer`` fields, or the sharded
+  ledger's ``_active`` / ``_failed`` state) must notify the
+  observability hook (``self._notify`` / ``self.observer``), directly
+  or through another method of the same class.  A silent mutation is a
+  ledger transition telemetry cannot see — exactly the class of bug the
+  PR-6 pool-event tracks exist to catch.
+* ``acct-audit-test`` — every such mutating method must be exercised by
+  at least one test file that also calls ``.audit()``, so each ledger
+  transition runs under the invariant checker somewhere in the suite.
+  The check is name-level: a test file counts if it calls both the
+  method and ``audit`` anywhere (the pools' audits are cheap enough
+  that audit-adjacent coverage is the repo's testing idiom).
+
+Both rules are deliberately repo-specific: the classes and their
+account fields are configured below, not discovered, so the rules stay
+precise as the serving stack grows — add new ledger classes to
+``POOL_CLASSES`` when they appear.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .engine import Finding, RepoIndex
+from .registry import Rule, register
+
+__all__ = ["ObserverNotifyRule", "AuditTestRule", "POOL_CLASSES"]
+
+#: Ledger classes under contract: repo-relative file → class name.
+POOL_CLASSES: Dict[str, str] = {
+    "src/repro/serving/memory_pool.py": "KVMemoryPool",
+    "src/repro/cluster/sharded_pool.py": "ShardedKVPool",
+}
+
+#: Attributes whose element/field stores constitute a page-account
+#: mutation.  ``_accounts`` / ``_active`` / ``_failed`` are the ledger
+#: containers; the rest are per-sequence account fields.
+_LEDGER_CONTAINERS = frozenset({"_accounts", "_active", "_failed"})
+_ACCOUNT_FIELDS = frozenset({
+    "reserved_pages", "floor_pages", "allocated_per_layer",
+})
+
+#: Directory whose test files the audit cross-reference scans.
+_TESTS_DIR = "tests"
+
+
+def _attr_name(node: ast.AST) -> Optional[str]:
+    return node.attr if isinstance(node, ast.Attribute) else None
+
+
+def _is_account_store(target: ast.AST) -> bool:
+    """Store target that mutates ledger state.
+
+    ``self._accounts[i] = ...`` / ``self._active[i] = ...`` (subscript
+    into a ledger container), ``account.reserved_pages = ...``
+    (account-field attribute), or ``account.allocated_per_layer[l] =
+    ...`` (subscript into an account field).
+    """
+    if isinstance(target, ast.Subscript):
+        inner = _attr_name(target.value)
+        return inner in _LEDGER_CONTAINERS or inner in _ACCOUNT_FIELDS
+    if isinstance(target, ast.Attribute):
+        return target.attr in _ACCOUNT_FIELDS
+    if isinstance(target, (ast.Tuple, ast.List)):
+        return any(_is_account_store(elt) for elt in target.elts)
+    return False
+
+
+def _mutates_accounts(fn: ast.FunctionDef) -> bool:
+    for node in ast.walk(fn):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            if any(_is_account_store(t) for t in targets):
+                return True
+        elif isinstance(node, ast.Delete):
+            if any(_is_account_store(t) for t in node.targets):
+                return True
+        elif isinstance(node, ast.Call):
+            # self._accounts.pop(...) / del-style container mutation.
+            func = node.func
+            if isinstance(func, ast.Attribute) and func.attr in (
+                "pop", "clear", "setdefault", "update",
+            ):
+                if _attr_name(func.value) in _LEDGER_CONTAINERS:
+                    return True
+    return False
+
+
+def _notifies_directly(fn: ast.FunctionDef) -> bool:
+    """Method body touches the observability hook itself."""
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Attribute) and node.attr in (
+            "_notify", "observer",
+        ):
+            if isinstance(node.value, ast.Name) and node.value.id == "self":
+                return True
+    return False
+
+
+def _self_calls(fn: ast.FunctionDef) -> Set[str]:
+    """Names of same-class methods the body calls via ``self.x(...)``."""
+    calls: Set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute) and \
+                isinstance(node.func.value, ast.Name) and \
+                node.func.value.id == "self":
+            calls.add(node.func.attr)
+    return calls
+
+
+def _is_property(fn: ast.FunctionDef) -> bool:
+    for dec in fn.decorator_list:
+        name = dec.id if isinstance(dec, ast.Name) else _attr_name(dec)
+        if name in ("property", "cached_property", "setter"):
+            return True
+    return False
+
+
+def _class_methods(
+    tree: ast.Module, class_name: str
+) -> Dict[str, ast.FunctionDef]:
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == class_name:
+            return {
+                item.name: item
+                for item in node.body
+                if isinstance(item, ast.FunctionDef)
+            }
+    return {}
+
+
+def _mutating_public_methods(
+    index: RepoIndex,
+) -> Iterator[Tuple[str, str, str, ast.FunctionDef, bool]]:
+    """Yield (relpath, class, method, fn-node, notifies) per contract
+    method across the configured ledger classes.
+
+    ``notifies`` is transitive over same-class calls: ``try_grow``
+    counts because it delegates to ``sync``, which notifies.
+    """
+    for relpath, class_name in sorted(POOL_CLASSES.items()):
+        module = index.module(relpath)
+        if module is None:
+            continue
+        methods = _class_methods(module.tree, class_name)
+        direct = {name: _notifies_directly(fn) for name, fn in methods.items()}
+        # Fixed point: a method notifies if it, or anything it calls on
+        # self (transitively), notifies.
+        notifies = dict(direct)
+        changed = True
+        while changed:
+            changed = False
+            for name, fn in methods.items():
+                if notifies[name]:
+                    continue
+                if any(notifies.get(callee, False)
+                       for callee in _self_calls(fn)):
+                    notifies[name] = True
+                    changed = True
+        for name, fn in sorted(methods.items()):
+            if name.startswith("_") or _is_property(fn):
+                continue
+            if _mutates_accounts(fn) or any(
+                _mutates_accounts(methods[callee])
+                for callee in _self_calls(fn) if callee in methods
+            ):
+                yield relpath, class_name, name, fn, notifies[name]
+
+
+@register
+class ObserverNotifyRule(Rule):
+    rule_id = "acct-observer-notify"
+    family = "accounting"
+    description = (
+        "public ledger method mutates page accounts without notifying "
+        "the observer hook"
+    )
+    anchors = tuple(sorted(POOL_CLASSES))
+
+    def check_repo(self, index: RepoIndex) -> Iterator[Finding]:
+        for relpath, class_name, name, fn, notifies in \
+                _mutating_public_methods(index):
+            if not index.scanned(relpath):
+                continue
+            if not notifies:
+                yield Finding(
+                    rule=self.rule_id,
+                    family=self.family,
+                    path=relpath,
+                    line=fn.lineno,
+                    message=(
+                        f"{class_name}.{name}() mutates page accounts but "
+                        f"never notifies the observer hook "
+                        f"(self._notify/self.observer): this ledger "
+                        f"transition is invisible to telemetry"
+                    ),
+                )
+
+
+@register
+class AuditTestRule(Rule):
+    rule_id = "acct-audit-test"
+    family = "accounting"
+    description = (
+        "public ledger-mutating method not exercised by any test file "
+        "that also asserts audit()"
+    )
+    anchors = tuple(sorted(POOL_CLASSES))
+
+    def check_repo(self, index: RepoIndex) -> Iterator[Finding]:
+        covered = self._audit_covered_methods(index)
+        for relpath, class_name, name, fn, _ in \
+                _mutating_public_methods(index):
+            if not index.scanned(relpath):
+                continue
+            if name not in covered:
+                yield Finding(
+                    rule=self.rule_id,
+                    family=self.family,
+                    path=relpath,
+                    line=fn.lineno,
+                    message=(
+                        f"{class_name}.{name}() mutates page accounts but "
+                        f"no audit()-asserting test under {_TESTS_DIR}/ "
+                        f"calls it: its ledger transition never runs "
+                        f"under the invariant checker"
+                    ),
+                )
+
+    @staticmethod
+    def _audit_covered_methods(index: RepoIndex) -> Set[str]:
+        """Attribute-call names appearing in audit-asserting test files."""
+        covered: Set[str] = set()
+        for test in index.dir_modules(_TESTS_DIR):
+            calls: Set[str] = set()
+            for node in ast.walk(test.tree):
+                if isinstance(node, ast.Call) and \
+                        isinstance(node.func, ast.Attribute):
+                    calls.add(node.func.attr)
+            if "audit" in calls:
+                covered |= calls
+        return covered

@@ -1,0 +1,89 @@
+"""Clock-domain separation rule family.
+
+Backed by the manifest in :mod:`repro.analysis.manifest`: every module
+resolves to a ``simulated`` / ``wall`` / ``neutral`` clock domain by
+longest dotted prefix, and an import edge directly connecting the
+``simulated`` and ``wall`` domains — in either direction — is a
+violation.  This is what keeps serving code from ever importing the
+profiler's wall clock (nondeterminism leaking into artifacts) and the
+profiler from reaching back into simulated-clock state (wall timings
+contaminating deterministic accounting).  Neutral modules (configs,
+reporting, the CLI, package ``__init__`` aggregators) may import either
+side, which is how the :class:`repro.telemetry.Telemetry` bundle can
+construct both a simulated-clock tracer and a wall-clock profiler
+without either importing the other.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Tuple
+
+from .engine import Finding, ModuleInfo
+from .manifest import domain_match, domain_of
+from .registry import Rule, register
+
+__all__ = ["ClockDomainImportRule"]
+
+
+@register
+class ClockDomainImportRule(Rule):
+    rule_id = "clock-domain-import"
+    family = "clock-domain"
+    description = (
+        "import edge directly connecting the 'simulated' and 'wall' "
+        "clock domains (see repro.analysis.manifest)"
+    )
+
+    def check_module(self, module: ModuleInfo, index) -> Iterator[Finding]:
+        my_domain = domain_of(module.module_name)
+        if my_domain == "neutral":
+            return
+        for target, line in self._import_targets(module):
+            target_domain = domain_of(target)
+            if {my_domain, target_domain} == {"simulated", "wall"}:
+                yield Finding(
+                    rule=self.rule_id,
+                    family=self.family,
+                    path=module.relpath,
+                    line=line,
+                    message=(
+                        f"'{module.module_name}' ({my_domain} clock domain) "
+                        f"imports '{target}' ({target_domain} domain): "
+                        f"simulated-clock and wall-clock code must not "
+                        f"touch — route through a neutral module or a "
+                        f"duck-typed hook (see repro.analysis.manifest)"
+                    ),
+                )
+
+    def _import_targets(
+        self, module: ModuleInfo
+    ) -> List[Tuple[str, int]]:
+        """(dotted module, line) per import edge, most specific first.
+
+        For ``from pkg import name`` the imported name may itself be a
+        submodule; when ``pkg.name`` has a more specific manifest entry
+        than ``pkg`` (e.g. ``repro.telemetry.profiler`` inside
+        ``repro.telemetry``), the edge binds to the submodule.
+        """
+        targets: List[Tuple[str, int]] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    targets.append((alias.name, node.lineno))
+            elif isinstance(node, ast.ImportFrom):
+                base = module.resolve_import_base(node)
+                if not base:
+                    continue
+                _, base_len = domain_match(base)
+                for alias in node.names:
+                    if alias.name == "*":
+                        targets.append((base, node.lineno))
+                        continue
+                    candidate = f"{base}.{alias.name}"
+                    _, cand_len = domain_match(candidate)
+                    targets.append(
+                        (candidate if cand_len > base_len else base,
+                         node.lineno)
+                    )
+        return targets

@@ -1,0 +1,38 @@
+"""Lint-hygiene rules: the suppression syntax polices itself.
+
+``lint-suppression`` fires on any ``# repro:`` comment that does not
+parse as ``# repro: allow[rule-id, ...] -- reason`` — including a
+well-formed suppression with the reason missing.  This is what backs
+the repo contract that *every* suppression carries a justification: a
+reason-less ``allow`` still silences its target rule (so the operator
+sees one problem, not two), but the lint stays red until the reason is
+written down.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .engine import Finding, ModuleInfo
+from .registry import Rule, register
+
+__all__ = ["SuppressionHygieneRule"]
+
+
+@register
+class SuppressionHygieneRule(Rule):
+    rule_id = "lint-suppression"
+    family = "lint"
+    description = (
+        "malformed '# repro:' comment or suppression without a reason"
+    )
+
+    def check_module(self, module: ModuleInfo, index) -> Iterator[Finding]:
+        for line, message in module.suppression_problems:
+            yield Finding(
+                rule=self.rule_id,
+                family=self.family,
+                path=module.relpath,
+                line=line,
+                message=message,
+            )

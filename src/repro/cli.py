@@ -19,11 +19,34 @@ served with chunked prefill (32-token chunks; pass ``--prefill-chunk
 the trace across N replicas (:mod:`repro.cluster`) with a pluggable
 policy over a sharded KV pool; ``--drain-at TIME:REPLICA`` retires a
 replica mid-run and requeues its in-flight requests through the
-router.  Both serving subcommands accept ``--admission optimistic``
-(admit against actual pool usage plus ``--headroom-pages``, preempting
-under pressure with ``--preempt-policy``; see
-:mod:`repro.serving.preemption`) and ``--stats-json PATH`` to archive
-the report as machine-readable JSON.
+router, and ``--fail-at`` does the same while marking the replica
+failed in the fleet report.  Both serving subcommands accept
+``--admission optimistic`` (admit against actual pool usage plus
+``--headroom-pages``, preempting under pressure with
+``--preempt-policy``; see :mod:`repro.serving.preemption`) and
+``--stats-json PATH`` to archive the report as machine-readable JSON.
+
+Shared trace/model shape flags: ``--requests`` / ``--rate`` set the
+Poisson arrival trace, ``--prompt-len`` and ``--max-new LO HI`` the
+per-request token shape, ``--priorities`` the number of scheduling
+classes, ``--layers`` the serving model depth, ``--seed`` the
+trace/model seed, and ``--token-keep`` the final-layer keep fraction
+of the cascade schedule (spatten mode).  Pool geometry comes from
+``--pool-kib`` (total budget; ``--replica-budget-kib`` overrides the
+even per-replica split in serve-cluster) and ``--page-tokens`` (KV
+columns per page).  ``--attention-backend {packed,looped}`` selects
+the fused packed decode backend (default) or the per-sequence looped
+oracle; ``serve-cluster --traffic {mixed,uniform}`` picks the skewed
+per-request schedule mix or plain uniform traffic.
+
+``repro lint`` runs the :mod:`repro.analysis` static-analysis pass —
+determinism, clock-domain, page-accounting, and doc/schema drift rules
+— over the tree (default ``src/repro``), exiting 1 on any unsuppressed
+finding.  ``--format json`` switches the console report, ``--out PATH``
+archives the JSON report for CI, ``--rules ID,ID`` restricts the run,
+and ``--list-rules`` prints the catalog.  Tier-1 and CI gate on it; see
+the "Static analysis" section of the serving guide
+(:mod:`repro.serving`) for the rule catalog and suppression syntax.
 
 Observability (``repro.telemetry``) is off by default and adds zero
 overhead until asked for.  Both serving subcommands take:
@@ -173,6 +196,42 @@ def serve_cluster_command(args) -> int:
     except (ValueError, PoolExhausted) as exc:
         print(f"serve-cluster: {exc}", file=sys.stderr)
         return 2
+
+
+def lint_command(args) -> int:
+    """Run the repro.analysis static lint pass over the tree."""
+    from .analysis import (
+        LintEngine,
+        all_rule_classes,
+        render_json,
+        render_text,
+    )
+
+    if args.list_rules:
+        for rule_id, cls in all_rule_classes().items():
+            print(f"{rule_id:24s} [{cls.family}] {cls.description}")
+        return 0
+    try:
+        rules = (
+            [r for r in args.rules.split(",") if r.strip()]
+            if args.rules else None
+        )
+        engine = LintEngine(rules=rules)
+        result = engine.run(args.paths or None)
+    except (OSError, ValueError) as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    rendered = (
+        render_json(result) if args.format == "json" else
+        render_text(result) + "\n"
+    )
+    sys.stdout.write(rendered)
+    if args.out:
+        # The archived report is always the JSON rendering — CI uploads
+        # it as a build artifact regardless of the console format.
+        with open(args.out, "w") as fh:
+            fh.write(render_json(result))
+    return result.exit_code
 
 
 def _telemetry_requested(args) -> bool:
@@ -599,6 +658,23 @@ def main(argv=None) -> int:
     cluster.add_argument("--fail-at", action="append", metavar="TIME:REPLICA",
                          help="like --drain-at but marks the replica failed "
                               "in the fleet report (repeatable)")
+    lint = sub.add_parser(
+        "lint",
+        help="run the repro.analysis determinism/accounting lint pass "
+             "(exit 1 on unsuppressed findings)",
+    )
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files/directories to lint (default: src/repro)")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="console report format")
+    lint.add_argument("--rules", metavar="ID,ID,...", default=None,
+                      help="comma-separated rule ids to run "
+                           "(default: every registered rule)")
+    lint.add_argument("--out", metavar="PATH", default=None,
+                      help="also write the JSON report to PATH "
+                           "(CI archives it as a build artifact)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list registered rules and exit")
     report = sub.add_parser(
         "trace-report",
         help="analyze a trace file written by --trace-out: per-phase time "
@@ -611,6 +687,8 @@ def main(argv=None) -> int:
         return serve_command(args)
     if args.command == "serve-cluster":
         return serve_cluster_command(args)
+    if args.command == "lint":
+        return lint_command(args)
     if args.command == "trace-report":
         return trace_report_command(args)
 
@@ -626,9 +704,13 @@ def main(argv=None) -> int:
         print(f"known: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
     for name in names:
+        # repro: allow[det-wallclock] -- operator-facing progress timing
+        # for `repro run`; printed to the console only, never lands in
+        # a deterministic artifact.
         start = time.time()
         print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
         EXPERIMENTS[name]()
+        # repro: allow[det-wallclock] -- same console-only progress timing
         print(f"[{name} done in {time.time() - start:.1f}s]")
     return 0
 

@@ -245,6 +245,60 @@ across identical runs, because every timestamp comes from the
 simulated clock.  ``audit_every=N`` (CLI ``--audit-every``)
 additionally runs the pool's ledger audit every N steps, counted as
 ``repro_pool_audits_total``.
+
+Static analysis
+---------------
+
+Both contracts above — byte-determinism and ledger conservation — are
+also enforced *before* anything runs, by the :mod:`repro.analysis` lint
+pass.  ``repro lint`` (or ``python -m repro.cli lint``) scans
+``src/repro`` with AST-based rules and exits non-zero on any
+unsuppressed violation; ``scripts/run_tier1.sh`` and CI run it as a
+hard gate ahead of the test suite, archiving the JSON report (CLI
+``--out PATH``, console ``--format json``) under
+``benchmarks/results/lint_report.json``.  Rule catalog:
+
+* **determinism** — ``det-wallclock`` (``time.time`` /
+  ``perf_counter`` / ``datetime.now`` and friends outside the
+  sanctioned wall-clock module, :mod:`repro.telemetry.profiler`);
+  ``det-global-rng`` (bare ``random`` or legacy ``numpy.random.*``
+  global state instead of a seeded ``default_rng`` Generator);
+  ``det-env-read`` (``os.environ`` / ``os.getenv`` feeding behavior
+  that should come from explicit config); ``det-set-order``
+  (iterating a set into ordered output — list/tuple/enumerate/join/
+  for — without ``sorted``).
+* **clock-domain** — ``clock-domain-import``: the manifest in
+  :mod:`repro.analysis.manifest` assigns each module a ``simulated``,
+  ``wall``, or ``neutral`` clock domain by dotted prefix; an import
+  edge directly between the ``simulated`` and ``wall`` domains is a
+  violation (bridge through a ``neutral`` module instead).
+* **accounting** — ``acct-observer-notify``: every public mutating
+  method of ``KVMemoryPool`` / ``ShardedKVPool`` must reach the
+  ``observer`` hook (directly or via a same-class call);
+  ``acct-audit-test``: each such method must be exercised by at least
+  one test that also asserts ``audit()``.
+* **drift** — ``drift-cli-doc``: ``--<name>`` flag tokens in the CLI/guide
+  docstrings must match ``argparse`` definitions in ``repro.cli``,
+  both directions; ``drift-stats-schema``: ``ServingStats`` /
+  ``ClusterStats.to_dict`` keys and ``STATS_SCHEMA_VERSION`` must
+  match the checked-in golden ``benchmarks/results/
+  stats_schema_v1.json`` (``tests/test_analysis.py`` round-trips the
+  same contract at runtime).
+
+Suppressions are explicit and always carry a reason::
+
+    start = time.time()  # repro: allow[det-wallclock] -- console-only
+
+A standalone ``# repro: allow[rule-id] -- reason`` comment covers the
+next code line; ``# repro: allow-file[rule-id] -- reason`` covers the
+whole module.  A suppression without a reason (or a malformed
+``# repro:`` directive) is itself a violation via the self-policing
+``lint-suppression`` rule.  To add a rule: subclass
+:class:`repro.analysis.Rule` in a ``rules_*`` module, decorate with
+``@register``, implement ``check_module(module)`` for per-file checks
+or ``check_repo(index)`` + ``anchors`` for cross-file checks, list the
+module in :func:`repro.analysis.all_rule_classes`, and add a
+fire/stay-silent fixture pair to ``tests/test_analysis.py``.
 """
 
 from .engine import (

@@ -368,9 +368,13 @@ class KVMemoryPool:
         (their worst-case reservation is immutable by design).
         """
         account = self._account(seq_id)
+        freed = account.reserved_pages
         account.floor_pages = 0
         if account.optimistic:
             account.reserved_pages = account.allocated_pages
+        freed -= account.reserved_pages
+        if freed:  # floor drops below allocation: billing actually shrank
+            self._notify("finish_prefill", seq_id, pages=freed)
 
     def sync(self, seq_id: int, kv_lengths: List[int]) -> int:
         """Match a sequence's pages to its executor's real cache lengths.
