@@ -18,10 +18,12 @@ python -m pytest -x -q "$@"
 python -m pytest -q -m smoke tests/test_serving.py \
     tests/test_packed_decode.py \
     tests/test_cluster.py \
+    tests/test_faults.py \
     benchmarks/bench_serving_throughput.py \
     benchmarks/bench_decode_step.py \
     benchmarks/bench_cluster_scaling.py \
-    benchmarks/bench_preemption.py
+    benchmarks/bench_preemption.py \
+    benchmarks/bench_chaos.py
 
 # Traced serving smoke: one fully-instrumented run through the CLI,
 # archived under benchmarks/results/ so CI uploads the trace and

@@ -55,6 +55,9 @@ CLOCK_DOMAINS: Dict[str, str] = {
     # The serving stack runs entirely on the simulated clock.
     "repro.serving": "simulated",
     "repro.cluster": "simulated",
+    # Fault plans, heartbeat detection, and injection all run on the
+    # simulated clock (chaos runs replay byte-identically).
+    "repro.faults": "simulated",
     # Arrival traces are simulated-clock timestamps.
     "repro.workloads.traffic": "simulated",
     # The telemetry bundle __init__ aggregates both sides (it builds

@@ -45,8 +45,11 @@ POOL_CLASSES: Dict[str, str] = {
 
 #: Attributes whose element/field stores constitute a page-account
 #: mutation.  ``_accounts`` / ``_active`` / ``_failed`` are the ledger
-#: containers; the rest are per-sequence account fields.
-_LEDGER_CONTAINERS = frozenset({"_accounts", "_active", "_failed"})
+#: containers, ``_checksums`` is the page-integrity plane kept in
+#: lockstep with them; the rest are per-sequence account fields.
+_LEDGER_CONTAINERS = frozenset(
+    {"_accounts", "_active", "_failed", "_checksums"}
+)
 _ACCOUNT_FIELDS = frozenset({
     "reserved_pages", "floor_pages", "allocated_per_layer",
 })

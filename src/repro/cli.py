@@ -19,8 +19,23 @@ served with chunked prefill (32-token chunks; pass ``--prefill-chunk
 the trace across N replicas (:mod:`repro.cluster`) with a pluggable
 policy over a sharded KV pool; ``--drain-at TIME:REPLICA`` retires a
 replica mid-run and requeues its in-flight requests through the
-router, and ``--fail-at`` does the same while marking the replica
-failed in the fleet report.  Both serving subcommands accept
+router, ``--fail-at`` does the same while marking the replica failed
+in the fleet report, and ``--recover-at`` rejoins a retired replica
+(its empty shard re-registers with the ledger and it takes traffic
+again — drain -> recover -> fail sequences are validated as one
+schedule).  Chaos testing layers on top: ``--chaos-seed N`` generates
+a deterministic fault plan (replica crash/recover cycles, transient
+straggler windows, KV-page corruption strikes) at the
+``--chaos-profile`` intensity (light / moderate / heavy), arms
+heartbeat failure detection with the router's circuit breaker, and
+enables the graceful-degradation ladder (shed best-effort load, then
+escalate queued requests to a more aggressive cascade schedule,
+before the preemption backstop).  ``--deadline-ms`` fails requests
+cleanly past a per-request deadline, and ``--retry-budget`` bounds
+placement retry-with-exponential-backoff when a request momentarily
+fits no active replica (budget exhaustion fails the request — never a
+dead loop).  See the "Fault tolerance & chaos testing" section of the
+serving guide (:mod:`repro.serving`).  Both serving subcommands accept
 ``--admission optimistic`` (admit against actual pool usage plus
 ``--headroom-pages``, preempting under pressure with
 ``--preempt-policy``; see :mod:`repro.serving.preemption`) and
@@ -503,6 +518,26 @@ def _serve_cluster(args) -> int:
         )
     prefill_chunk = args.prefill_chunk if args.prefill_chunk != 0 else None
     telemetry = _build_telemetry(args)
+    fault_plan = None
+    heartbeat_timeout_s = None
+    degradation = None
+    if args.chaos_seed is not None:
+        from .faults import FaultPlan
+        from .serving import DegradationPolicy
+
+        # Plan horizon: the nominal arrival window plus settle time.
+        horizon_s = args.requests / args.rate + 1.0
+        fault_plan = FaultPlan.generate(
+            args.chaos_seed, args.replicas, horizon_s,
+            profile=args.chaos_profile,
+        )
+        heartbeat_timeout_s = fault_plan.heartbeat_timeout_s
+        degradation = DegradationPolicy(
+            reprune=PruningConfig(
+                token_keep_final=max(0.15, args.token_keep - 0.1),
+                head_keep_final=0.625, value_keep=0.9,
+            ),
+        )
     cluster = ClusterEngine(
         model, pool,
         policy=args.policy,
@@ -514,9 +549,21 @@ def _serve_cluster(args) -> int:
         headroom_pages=args.headroom_pages,
         drain_events=_parse_retire_events(args.drain_at, "--drain-at"),
         fail_events=_parse_retire_events(args.fail_at, "--fail-at"),
+        recover_events=_parse_retire_events(args.recover_at, "--recover-at"),
+        fault_plan=fault_plan,
+        heartbeat_timeout_s=heartbeat_timeout_s,
+        deadline_s=args.deadline_ms / 1e3 if args.deadline_ms else None,
+        retry_budget=args.retry_budget,
+        degradation=degradation,
         telemetry=telemetry,
         audit_every=args.audit_every,
     )
+    if fault_plan is not None:
+        counts = ", ".join(
+            f"{kind}={n}" for kind, n in fault_plan.counts().items() if n
+        )
+        print(f"chaos plan (seed {args.chaos_seed}, "
+              f"{args.chaos_profile}): {counts or 'no events'}")
     stats = cluster.run(requests)
     print()
     print(stats.table())
@@ -658,6 +705,31 @@ def main(argv=None) -> int:
     cluster.add_argument("--fail-at", action="append", metavar="TIME:REPLICA",
                          help="like --drain-at but marks the replica failed "
                               "in the fleet report (repeatable)")
+    cluster.add_argument("--recover-at", action="append",
+                         metavar="TIME:REPLICA",
+                         help="rejoin a previously drained/failed replica at "
+                              "a simulated time: its empty shard re-registers "
+                              "with the global ledger and the router places "
+                              "new work on it again (repeatable)")
+    cluster.add_argument("--chaos-seed", type=int, default=None, metavar="N",
+                         help="generate a deterministic fault plan from this "
+                              "seed (crash/recover cycles, straggler windows, "
+                              "KV-page corruption) and arm heartbeat failure "
+                              "detection plus the graceful-degradation "
+                              "ladder; identical seed + profile + fleet "
+                              "shape replays identical faults")
+    cluster.add_argument("--chaos-profile",
+                         choices=("light", "moderate", "heavy"),
+                         default="moderate",
+                         help="fault-plan intensity for --chaos-seed")
+    cluster.add_argument("--deadline-ms", type=float, default=0.0,
+                         help="per-request deadline in simulated ms, "
+                              "measured from arrival; a request not admitted "
+                              "in time fails cleanly (0 disables)")
+    cluster.add_argument("--retry-budget", type=int, default=2,
+                         help="placement retries (exponential backoff) for a "
+                              "request that momentarily fits no active "
+                              "replica; exhaustion fails it cleanly")
     lint = sub.add_parser(
         "lint",
         help="run the repro.analysis determinism/accounting lint pass "

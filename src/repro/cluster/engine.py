@@ -12,19 +12,43 @@ independently), and merges three globally ordered event streams:
   executes its next scheduler iteration; idle replicas jump forward,
   capped at the next global event so no replica leapfrogs an arrival
   or drain it should have witnessed;
-* **drains/fails** — at the scheduled time the replica's shard leaves
-  the active set and everything it had in flight (queued, prefilling,
-  *and* live sequences) releases its pages and re-routes through the
-  router.  Records reset to their pre-admission state; greedy decoding
-  is deterministic, so requeued requests commit the same token streams
-  on their new replica, and the drain penalty lands where it belongs —
-  in the queue-wait and TTFT tails.  A requeued (or late-arriving)
-  request that fits *no surviving replica* — admission-time validation
-  only saw the replicas alive at start — is failed cleanly: its record
-  is marked :attr:`~repro.serving.request.RequestStatus.FAILED`, its
-  pages are already back in the ledger (the drain released them), and
-  the run completes with the failure counted instead of dead-looping
-  or crashing mid-flight.
+* **faults** — a validated, time-ordered schedule of
+  :class:`~repro.faults.FaultEvent` records (scripted ``drain`` /
+  ``fail`` / ``recover`` events plus an optional seeded
+  :class:`~repro.faults.FaultPlan`).  At a drain/fail the replica's
+  shard leaves the active set and everything it had in flight (queued,
+  prefilling, *and* live sequences) releases its pages and re-routes
+  through the router.  Records reset to their pre-admission state;
+  greedy decoding is deterministic, so requeued requests commit the
+  same token streams on their new replica, and the drain penalty lands
+  where it belongs — in the queue-wait and TTFT tails.  A ``recover``
+  re-registers the (empty) shard with the ledger and the replica takes
+  traffic again; ``slow_start``/``slow_end`` bracket a transient
+  straggler window (the replica's step times stretch by the event's
+  factor); ``corrupt`` flips a stored KV-page checksum on the target
+  shard — the owning engine detects the mismatch on its next step and
+  quarantines + recomputes the sequence.  A requeued (or
+  late-arriving) request that fits *no surviving replica* —
+  admission-time validation only saw the replicas alive at start — is
+  retried with exponential backoff while retry budget and deadline
+  remain, then failed cleanly: its record is marked
+  :attr:`~repro.serving.request.RequestStatus.FAILED`, its pages are
+  already back in the ledger (the drain released them), and the run
+  completes with the failure counted instead of dead-looping or
+  crashing mid-flight;
+* **retries** — placements deferred by the bounded
+  retry-with-backoff path above fire at their scheduled time, re-route
+  through the router, and observe any replicas that recovered in the
+  interim (the self-healing path: crash -> requeue -> backoff ->
+  rejoin -> placement succeeds).
+
+When a heartbeat timeout is configured, a
+:class:`~repro.faults.HeartbeatMonitor` watches per-replica step
+activity on the simulated clock and the router's circuit breaker
+(:attr:`~repro.cluster.router.ClusterRouter.breaker_open`) steers new
+placements away from suspected-stale replicas — e.g. a straggler deep
+inside a stretched step — while they lag, without ever blocking
+placement when every candidate is suspected.
 
 Replicas forward the engine's admission mode: with
 ``admission="optimistic"`` every replica admits against its shard's
@@ -44,12 +68,21 @@ same stats.  ``tests/test_cluster.py`` asserts this field by field.
 
 from __future__ import annotations
 
+import heapq
 import math
 from collections import deque
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..config import PruningConfig, QuantConfig
+from ..faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    HeartbeatMonitor,
+    validate_fault_events,
+)
 from ..nn.transformer import TransformerModel
+from ..serving.degradation import DegradationPolicy
 from ..serving.engine import ServingEngine
 from ..serving.memory_pool import PoolExhausted
 from ..serving.request import Request, RequestRecord, RequestStatus
@@ -82,6 +115,37 @@ class ClusterEngine:
         fail_events: like ``drain_events`` but flags the replica as
             failed in the fleet report (ledger semantics identical:
             pages must return via requeue either way).
+        recover_events: ``(time, replica_index)`` pairs — a previously
+            drained/failed replica rejoins the fleet at that time.
+            The combined schedule is validated as one event sequence
+            (:func:`repro.faults.validate_fault_events`): drain ->
+            recover -> fail on one replica is legal, overlapping
+            retire events without an intervening recover are not.
+        fault_plan: a seeded :class:`~repro.faults.FaultPlan` merged
+            into the scripted events (crashes, recoveries, straggler
+            windows, KV-page corruption strikes).
+        heartbeat_timeout_s: enable heartbeat failure detection — a
+            replica whose last observed step activity lags the routing
+            clock by more than this opens its circuit breaker in the
+            router until it is seen alive again.  ``None`` (default)
+            disables the detector.
+        deadline_s: per-request deadline, measured from arrival on the
+            simulated clock.  Forwarded to every replica engine (a
+            queued request past its deadline fails cleanly instead of
+            admitting) and enforced on the cluster retry path (a retry
+            that would fire past the deadline fails the request).
+        retry_budget: placement retries granted to a request that
+            momentarily fits no active replica (fleet-wide crash,
+            every shard full).  Each retry backs off exponentially
+            from ``retry_backoff_s``; exhaustion fails the request
+            cleanly — never a dead loop.  0 (default) preserves
+            fail-immediately semantics.
+        retry_backoff_s: base backoff delay; retry ``k`` fires
+            ``retry_backoff_s * 2**(k-1)`` after the failed attempt.
+        degradation: graceful-degradation ladder forwarded to every
+            replica engine (shed best-effort load, then escalate
+            queued head-of-line requests to a more aggressive cascade
+            schedule, before the preemption backstop).
         telemetry: shared :class:`repro.telemetry.Telemetry` sinks.
             Every replica engine emits into the same tracer/registry
             under its own ``replicaN`` process name; the cluster adds
@@ -111,11 +175,22 @@ class ClusterEngine:
         router: Optional[ClusterRouter] = None,
         drain_events: Sequence[Tuple[float, int]] = (),
         fail_events: Sequence[Tuple[float, int]] = (),
+        recover_events: Sequence[Tuple[float, int]] = (),
+        fault_plan: Optional[FaultPlan] = None,
+        heartbeat_timeout_s: Optional[float] = None,
+        deadline_s: Optional[float] = None,
+        retry_budget: int = 0,
+        retry_backoff_s: float = 0.05,
+        degradation: Optional[DegradationPolicy] = None,
         telemetry: Optional[Telemetry] = None,
         audit_every: Optional[int] = None,
     ):
         if audit_every is not None and audit_every < 1:
             raise ValueError("audit_every must be >= 1, or None to disable")
+        if retry_budget < 0:
+            raise ValueError("retry_budget must be >= 0")
+        if retry_backoff_s <= 0:
+            raise ValueError("retry_backoff_s must be positive")
         self.model = model
         self.pool = pool
         self.admission = admission
@@ -140,6 +215,8 @@ class ClusterEngine:
                     admission=admission,
                     preempt_policy=preempt_policy,
                     headroom_pages=headroom_pages,
+                    deadline_s=deadline_s,
+                    degradation=degradation,
                     name=f"replica{i}",
                     telemetry=telemetry,
                 ),
@@ -147,17 +224,46 @@ class ClusterEngine:
             )
             for i in range(pool.n_replicas)
         ]
-        events = [(float(t), int(idx), "drain") for t, idx in drain_events]
-        events += [(float(t), int(idx), "fail") for t, idx in fail_events]
-        for t, idx, _kind in events:
-            if not 0 <= idx < pool.n_replicas:
-                raise ValueError(f"drain/fail targets unknown replica {idx}")
-            if t < 0:
-                raise ValueError("drain/fail times must be non-negative")
-        if len({idx for _, idx, _ in events}) != len(events):
-            raise ValueError("each replica can be drained/failed once")
-        self._retire_events = sorted(events)
+        events = [
+            FaultEvent(float(t), int(idx), "drain")
+            for t, idx in drain_events
+        ]
+        events += [
+            FaultEvent(float(t), int(idx), "fail") for t, idx in fail_events
+        ]
+        events += [
+            FaultEvent(float(t), int(idx), "recover")
+            for t, idx in recover_events
+        ]
+        if fault_plan is not None:
+            if fault_plan.n_replicas != pool.n_replicas:
+                raise ValueError(
+                    f"fault plan spans {fault_plan.n_replicas} replicas, "
+                    f"fleet has {pool.n_replicas}"
+                )
+            events += list(fault_plan.events)
+        self._fault_events = validate_fault_events(events, pool.n_replicas)
+        self.deadline_s = deadline_s
+        self.retry_budget = retry_budget
+        self.retry_backoff_s = retry_backoff_s
+        self._monitor = (
+            HeartbeatMonitor(heartbeat_timeout_s)
+            if heartbeat_timeout_s is not None else None
+        )
         self.n_requeued = 0
+        self.n_recovered = 0
+        #: Crash-to-rejoin repair times (``recover`` minus the matching
+        #: retire), for the fleet MTTR report.
+        self._mttr_samples: List[float] = []
+        self._down_since: Dict[int, float] = {}
+        #: ``(time, n_active)`` change points of the active-replica
+        #: count, integrated into the availability metric at the end
+        #: of the run (segments past the makespan are clamped off).
+        self._activity_timeline: List[Tuple[float, int]] = []
+        #: Pending placement retries as a ``(retry_at, request_id,
+        #: request, record)`` min-heap (ids are unique, so ordering
+        #: never compares payloads).
+        self._retries: List[tuple] = []
         # Fleet telemetry bookkeeping: the simulated time of the event
         # being processed (router/ledger observer callbacks have no
         # time argument of their own) and the replica-step counter the
@@ -197,31 +303,46 @@ class ClusterEngine:
         }
         for replica in self.replicas:
             replica.engine.start()
+            if self._monitor is not None:
+                self._monitor.note_alive(replica.index, 0.0)
 
         arrivals = deque(
             sorted(requests, key=lambda r: (r.arrival_time, r.request_id))
         )
-        retires = deque(self._retire_events)
+        faults = FaultInjector(self._fault_events, self.pool.n_replicas)
+        self._retries = []
+        self._activity_timeline = [(0.0, self.pool.n_active)]
         occupancy_samples: List[float] = []
         occupancy_peak = 0.0
         last_event_time = 0.0
         inf = math.inf
 
+        # Global event precedence on time ties: fault <= retry <=
+        # arrival <= step.  Faults fire first so a retry or arrival at
+        # the same instant already sees the new fleet shape; steps go
+        # last so no replica leapfrogs an event it should witness.
         while True:
             busy = [r for r in self.replicas if r.engine.has_work]
-            if not arrivals and not retires and not busy:
+            if (not arrivals and not faults and not self._retries
+                    and not busy):
                 break
+            t_fault = faults.next_time
+            t_retry = self._retries[0][0] if self._retries else inf
             t_arrival = arrivals[0].arrival_time if arrivals else inf
-            t_retire = retires[0][0] if retires else inf
             t_step = min(r.engine.now for r in busy) if busy else inf
 
-            if t_retire <= t_arrival and t_retire <= t_step:
-                t, idx, kind = retires.popleft()
-                # Retiring an already-idle replica is an administrative
-                # event: it must not advance any clock or stretch the
-                # makespan (requeued work extends the *receiving*
-                # replicas' timelines instead).
-                self._retire_replica(idx, t, kind)
+            if t_fault <= t_retry and t_fault <= t_arrival \
+                    and t_fault <= t_step:
+                # Fault events are administrative: they must not
+                # advance any clock or stretch the makespan (requeued
+                # work extends the *receiving* replicas' timelines
+                # instead), so they fire even after all work finished.
+                self._fire_fault(faults.pop())
+            elif t_retry <= t_arrival and t_retry <= t_step:
+                t, _rid, request, record = heapq.heappop(self._retries)
+                self._event_time = t
+                self._route(request, record, available=t)
+                last_event_time = max(last_event_time, t)
             elif t_arrival <= t_step:
                 request = arrivals.popleft()
                 self._event_time = request.arrival_time
@@ -231,11 +352,16 @@ class ClusterEngine:
                 )
                 last_event_time = max(last_event_time, request.arrival_time)
             else:
-                horizon = min(t_arrival, t_retire)
+                horizon = min(t_arrival, t_fault, t_retry)
                 replica = min(busy, key=lambda r: (r.engine.now, r.index))
+                step_start = replica.engine.now
                 replica.engine.step(
                     horizon=None if horizon == inf else horizon
                 )
+                if self._monitor is not None:
+                    self._monitor.note_step(
+                        replica.index, step_start, replica.engine.now
+                    )
                 occ = self.pool.global_occupancy
                 occupancy_samples.append(occ)
                 occupancy_peak = max(occupancy_peak, occ)
@@ -247,6 +373,10 @@ class ClusterEngine:
         replica_stats = [r.engine.finish() for r in self.replicas]
         makespan = max(
             [last_event_time] + [r.engine.now for r in self.replicas]
+        )
+        mttr = (
+            sum(self._mttr_samples) / len(self._mttr_samples)
+            if self._mttr_samples else float("nan")
         )
         return ClusterStats.from_run(
             policy=self.router.policy,
@@ -269,11 +399,22 @@ class ClusterEngine:
                 self.pool.is_failed(i) for i in range(self.pool.n_replicas)
             ),
             n_requeued=self.n_requeued,
-            n_failed_requests=len(self.failed_requests),
+            # Count from the records, not self.failed_requests: deadline
+            # expiries and degradation sheds fail requests *inside* a
+            # replica engine, never passing through the router's failure
+            # path.
+            n_failed_requests=sum(
+                r.status is RequestStatus.FAILED for r in records.values()
+            ),
             routed_counts=[
                 self.router.routed_counts.get(i, 0)
                 for i in range(self.pool.n_replicas)
             ],
+            n_recovered=self.n_recovered,
+            n_retries=sum(r.n_retries for r in records.values()),
+            n_breaker_trips=self.router.n_breaker_trips,
+            availability=self._availability(makespan),
+            mttr_s=mttr,
         )
 
     # ------------------------------------------------------------------
@@ -283,11 +424,15 @@ class ClusterEngine:
         record: RequestRecord,
         available: float,
     ) -> bool:
-        """Place one request on an active replica, or fail it cleanly.
+        """Place one request on an active replica, or retry/fail it.
 
-        Returns ``False`` when no surviving replica can ever hold the
-        request (every fitting shard was drained mid-run, or the whole
-        fleet retired).  The request's pages are already back in the
+        Returns ``False`` when no active replica can hold the request
+        right now (every fitting shard was drained mid-run, or the
+        whole fleet retired).  With retry budget left — and the
+        deadline, if any, not yet blown — the placement is re-attempted
+        after an exponential backoff, so work displaced by a crash can
+        land on a replica that recovers in the meantime.  Exhaustion
+        fails the request cleanly: its pages are already back in the
         ledger — a drain releases before requeueing — so the record is
         marked FAILED and kept for the report, the ledger audit stays
         clean, and the event loop moves on instead of raising with
@@ -298,27 +443,228 @@ class ClusterEngine:
         ]
         replica = None
         self._event_time = available
+        if self._monitor is not None:
+            self._update_breaker(available)
         if active:
             try:
                 replica = self.router.choose(request, active)
             except PoolExhausted:
                 replica = None
         if replica is None:
-            record.status = RequestStatus.FAILED
-            self.failed_requests.append(request.request_id)
-            tel = self.telemetry
-            if tel.tracer is not None:
-                tel.tracer.instant(
-                    "route_failed", available, "fleet", "router",
-                    request_id=request.request_id,
-                )
-            if tel.metrics is not None:
-                tel.metrics.counter(
-                    "repro_requests_failed_total", engine="fleet"
-                ).inc()
-            return False
+            return self._handle_unplaced(request, record, available)
         replica.engine.submit(request, record, available_time=available)
         return True
+
+    def _handle_unplaced(
+        self, request: Request, record: RequestRecord, available: float
+    ) -> bool:
+        """Retry-with-backoff bookkeeping for a failed placement."""
+        if record.n_retries < self.retry_budget:
+            record.n_retries += 1
+            retry_at = available + (
+                self.retry_backoff_s * 2.0 ** (record.n_retries - 1)
+            )
+            deadline = (
+                request.arrival_time + self.deadline_s
+                if self.deadline_s is not None else math.inf
+            )
+            if retry_at <= deadline:
+                heapq.heappush(
+                    self._retries,
+                    (retry_at, request.request_id, request, record),
+                )
+                tel = self.telemetry
+                if tel.tracer is not None:
+                    tel.tracer.instant(
+                        "route_retry", available, "fleet", "router",
+                        request_id=request.request_id,
+                        attempt=record.n_retries, retry_at=retry_at,
+                    )
+                if tel.metrics is not None:
+                    tel.metrics.counter(
+                        "repro_route_retries_total", engine="fleet"
+                    ).inc()
+                return False
+            reason = "deadline"
+        elif self.retry_budget > 0:
+            reason = "retry_budget"
+        else:
+            reason = "unplaceable"
+        self._fail_request(request, record, available, reason)
+        return False
+
+    def _fail_request(
+        self,
+        request: Request,
+        record: RequestRecord,
+        t: float,
+        reason: str,
+    ) -> None:
+        record.status = RequestStatus.FAILED
+        record.failure = reason
+        self.failed_requests.append(request.request_id)
+        tel = self.telemetry
+        if tel.tracer is not None:
+            tel.tracer.instant(
+                "route_failed", t, "fleet", "router",
+                request_id=request.request_id, reason=reason,
+            )
+        if tel.metrics is not None:
+            tel.metrics.counter(
+                "repro_requests_failed_total", engine="fleet"
+            ).inc()
+
+    def _update_breaker(self, t: float) -> None:
+        """Reconcile the router's circuit breaker at routing time.
+
+        A replica is suspected when it has work in flight but its last
+        observed step activity lags ``t`` by more than the heartbeat
+        timeout — the signature of a straggler deep inside one
+        stretched step.  Idle replicas are never suspected (no work,
+        no heartbeat to miss).
+        """
+        suspected = {
+            r.index for r in self.replicas
+            if self.pool.is_active(r.index) and r.engine.has_work
+            and self._monitor.suspected(r.index, t)
+        }
+        opened, closed = self.router.update_breaker(suspected)
+        tel = self.telemetry
+        if tel.tracer is not None:
+            for idx in opened:
+                tel.tracer.instant(
+                    "breaker_open", t, "fleet", "router", replica=idx,
+                )
+            for idx in closed:
+                tel.tracer.instant(
+                    "breaker_close", t, "fleet", "router", replica=idx,
+                )
+        if opened and tel.metrics is not None:
+            tel.metrics.counter(
+                "repro_breaker_trips_total", engine="fleet"
+            ).inc(len(opened))
+
+    # ------------------------------------------------------------------
+    # Fault events
+    # ------------------------------------------------------------------
+    def _fire_fault(self, event: FaultEvent) -> None:
+        """Dispatch one fault event at its simulated firing time."""
+        self._event_time = event.time
+        if event.kind in ("drain", "fail"):
+            self._retire_replica(event.replica, event.time, event.kind)
+        elif event.kind == "recover":
+            self._recover_replica(event.replica, event.time)
+        elif event.kind == "slow_start":
+            self._set_straggler(event.replica, event.time, event.factor)
+        elif event.kind == "slow_end":
+            self._set_straggler(event.replica, event.time, 1.0)
+        else:  # corrupt
+            self._inject_corruption(event)
+
+    def _recover_replica(self, idx: int, t: float) -> None:
+        """Rejoin a retired replica at simulated time ``t``.
+
+        The shard re-registers with the global ledger (it must be
+        empty — the retire requeued everything it held) and the router
+        may place new work on it immediately.  The engine is *not*
+        restarted: its records, counters, and clock survive the
+        downtime, so the replica's own report spans the whole run, and
+        an idle rejoined clock does not stretch the makespan (new work
+        jumps it forward exactly like any idle replica).
+        """
+        self.pool.recover(idx)
+        self.n_recovered += 1
+        down = self._down_since.pop(idx, None)
+        if down is not None:
+            self._mttr_samples.append(t - down)
+        self._activity_timeline.append((t, self.pool.n_active))
+        if self._monitor is not None:
+            self._monitor.note_alive(idx, t)
+        tel = self.telemetry
+        if tel.tracer is not None:
+            tel.tracer.instant(
+                "replica_recover", t, "fleet", "scheduler", replica=idx,
+                downtime_s=(None if down is None else round(t - down, 9)),
+            )
+        if tel.metrics is not None:
+            tel.metrics.counter(
+                "repro_replica_recoveries_total", engine="fleet"
+            ).inc()
+
+    def _set_straggler(self, idx: int, t: float, factor: float) -> None:
+        """Open (factor > 1) or close (factor = 1) a straggler window."""
+        self.replicas[idx].engine.set_slowdown(factor)
+        tel = self.telemetry
+        name = "straggler_start" if factor > 1.0 else "straggler_end"
+        if tel.tracer is not None:
+            tel.tracer.instant(
+                name, t, "fleet", "faults", replica=idx, factor=factor,
+            )
+        if factor > 1.0 and tel.metrics is not None:
+            tel.metrics.counter(
+                "repro_straggler_windows_total", engine="fleet"
+            ).inc()
+
+    def _inject_corruption(self, event: FaultEvent) -> None:
+        """Flip one stored KV-page checksum on the target shard.
+
+        The victim is chosen deterministically from the event's
+        ``u_seq``/``u_page`` coordinates over the sequences (sorted by
+        id) and pages resident when the event fires; an empty or
+        retired shard makes the strike a no-op.  Detection is the
+        owning engine's job: its next step sees the pool's corruption
+        counter move, verifies checksums, and quarantines + recomputes
+        the victim (see ``ServingEngine._quarantine_corrupted``).
+        """
+        idx = event.replica
+        shard = self.pool.shard(idx)
+        victim = None
+        if self.pool.is_active(idx):
+            seqs = sorted(shard.tracked_sequences)
+            if seqs:
+                seq_id = seqs[int(event.u_seq * len(seqs))]
+                pairs = [
+                    (layer, page)
+                    for layer, n_pages in enumerate(
+                        shard.allocated_pages_per_layer(seq_id)
+                    )
+                    for page in range(n_pages)
+                ]
+                if pairs:
+                    layer, page = pairs[int(event.u_page * len(pairs))]
+                    shard.corrupt_page(seq_id, layer, page)
+                    victim = (seq_id, layer, page)
+        tel = self.telemetry
+        if tel.tracer is not None:
+            args = {"replica": idx}
+            if victim is not None:
+                args.update(
+                    seq_id=victim[0], layer=victim[1], page=victim[2]
+                )
+            tel.tracer.instant(
+                "corruption_injected" if victim else "corruption_noop",
+                event.time, "fleet", "faults", **args,
+            )
+        if victim is not None and tel.metrics is not None:
+            tel.metrics.counter(
+                "repro_corruptions_injected_total", engine="fleet"
+            ).inc()
+
+    def _availability(self, makespan: float) -> float:
+        """Time-averaged active-replica fraction over the makespan."""
+        if makespan <= 0:
+            return 1.0
+        integral = 0.0
+        last_t, last_n = self._activity_timeline[0]
+        for t, n in self._activity_timeline[1:]:
+            t = min(t, makespan)
+            if t > last_t:
+                integral += last_n * (t - last_t)
+                last_t = t
+            last_n = n
+        if last_t < makespan:
+            integral += last_n * (makespan - last_t)
+        return integral / (self.pool.n_replicas * makespan)
 
     def _retire_replica(self, idx: int, t: float, kind: str) -> None:
         """Drain or fail a replica at simulated time ``t``; requeue.
@@ -340,6 +686,8 @@ class ClusterEngine:
             self.pool.fail(idx)
         else:
             self.pool.drain(idx)
+        self._down_since[idx] = t
+        self._activity_timeline.append((t, self.pool.n_active))
         requeued = replica.engine.drain()
         self.n_requeued += len(requeued)
         available = max(t, replica.engine.now)

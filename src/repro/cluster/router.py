@@ -36,7 +36,7 @@ cost tightly enough to route on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence, Tuple
+from typing import Iterable, Sequence, Set, Tuple
 
 from ..serving.engine import ServingEngine
 from ..serving.memory_pool import KVMemoryPool, PoolExhausted
@@ -69,6 +69,16 @@ class ClusterRouter:
     policy: str = "round_robin"
     routed_counts: dict = field(default_factory=dict)
     _rr_cursor: int = 0
+    #: Circuit breaker: replica indices whose heartbeat is currently
+    #: suspected stale (see :class:`repro.faults.HeartbeatMonitor`).
+    #: :meth:`choose` avoids open-breaker replicas while any healthy
+    #: candidate exists, but falls back to the full candidate set when
+    #: every candidate is suspected — the breaker degrades placement
+    #: quality, never liveness.
+    breaker_open: Set[int] = field(default_factory=set)
+    #: Open transitions (closed -> open) since construction, for the
+    #: fleet report.
+    n_breaker_trips: int = 0
     #: Duck-typed observability hook: anything with a
     #: ``route_decision(request, scored, chosen)`` method (the cluster
     #: engine, when telemetry is on).  ``scored`` is the candidate list
@@ -83,6 +93,23 @@ class ClusterRouter:
                 f"unknown routing policy {self.policy!r}; choose from "
                 f"{ROUTING_POLICIES}"
             )
+
+    def update_breaker(self, suspected: Iterable[int]) -> Tuple[list, list]:
+        """Reconcile the breaker set with the current suspicion verdict.
+
+        ``suspected`` is the set of replica indices whose heartbeat the
+        failure detector currently distrusts.  Returns the transitions
+        as ``(opened, closed)`` index lists (sorted), so the caller can
+        emit one telemetry event per state change instead of one per
+        poll.  Trips (closed -> open) are tallied in
+        :attr:`n_breaker_trips`.
+        """
+        suspected = set(suspected)
+        opened = sorted(suspected - self.breaker_open)
+        closed = sorted(self.breaker_open - suspected)
+        self.n_breaker_trips += len(opened)
+        self.breaker_open = suspected
+        return opened, closed
 
     def choose(self, request: Request, replicas: Sequence[Replica]) -> Replica:
         """Pick the replica this request is placed on.
@@ -114,6 +141,13 @@ class ClusterRouter:
                 f"request {request.request_id} fits no active replica "
                 f"(needs more pages than any remaining shard holds)"
             )
+        if self.breaker_open:
+            healthy = [
+                cn for cn in candidates
+                if cn[0].index not in self.breaker_open
+            ]
+            if healthy:
+                candidates = healthy
         if self.policy == "round_robin":
             scored = [(r, est, None) for r, est in candidates]
             chosen = candidates[self._rr_cursor % len(candidates)][0]

@@ -14,6 +14,9 @@ serving.  The :class:`ShardedKVPool` layers a *global ledger* on top:
 * :meth:`drain` / :meth:`fail` retire a shard from the active set so
   the router stops placing work on it; its in-flight sequences requeue
   through the router (see :class:`repro.cluster.engine.ClusterEngine`);
+  :meth:`recover` re-activates an *empty* retired shard — a crashed
+  replica rejoining the fleet re-registers with the ledger under the
+  same audit that governed its departure;
 * :meth:`audit` enforces the ledger invariants — every live sequence
   is billed by **exactly one** shard, per-shard reservation totals
   equal the sum of their per-sequence accounts, and retired shards
@@ -135,6 +138,30 @@ class ShardedKVPool:
         self._failed[replica] = True
         if self.observer is not None:
             self.observer.ledger_transition(replica, "fail")
+
+    def recover(self, replica: int) -> None:
+        """Re-activate a retired shard (replica rejoin after a crash).
+
+        The shard must be empty — a failed replica's in-flight
+        sequences were requeued (and re-billed elsewhere) when it went
+        down, so a rejoining shard starts from a clean ledger.  The
+        rejoin clears the failed flag: the replica is a full member of
+        the active set again and the router may place new work on it.
+        """
+        replica = self._check_index(replica)
+        if self._active[replica]:
+            raise ValueError(f"replica {replica} is already active")
+        shard = self.shards[replica]
+        if shard.reserved_pages or shard.allocated_pages:
+            raise ValueError(
+                f"replica {replica} cannot rejoin: its shard still holds "
+                f"{shard.reserved_pages} reserved / "
+                f"{shard.allocated_pages} allocated pages"
+            )
+        self._active[replica] = True
+        self._failed[replica] = False
+        if self.observer is not None:
+            self.observer.ledger_transition(replica, "recover")
 
     def _check_index(self, replica: int) -> int:
         if not 0 <= replica < len(self.shards):

@@ -16,10 +16,11 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..eval.reporting import Table
-from ..serving.request import RequestRecord
+from ..serving.request import RequestRecord, RequestStatus
 from ..serving.stats import (
     STATS_SCHEMA_VERSION,
     ServingStats,
+    _null_if_nan,
     format_quantiles,
 )
 
@@ -44,9 +45,22 @@ class ClusterStats:
     #: Fleet-level aggregate over every request record (percentiles
     #: recomputed from pooled samples, not averaged).
     fleet: ServingStats
-    #: Requests failed cleanly because no surviving replica could ever
-    #: hold them (mid-run drains stranded their reservation size).
+    #: Requests failed cleanly: never placeable, retry budget
+    #: exhausted, deadline expired, or shed by the degradation ladder.
     n_failed_requests: int = 0
+    #: Replicas that rejoined the fleet after a drain/fail (chaos runs).
+    n_recovered: int = 0
+    #: Placement retries consumed fleet-wide (retry-with-backoff).
+    n_retries: int = 0
+    #: Circuit-breaker open transitions (heartbeat failure detection).
+    n_breaker_trips: int = 0
+    #: Time-averaged fraction of replicas active over the makespan.
+    availability: float = 1.0
+    #: Tokens delivered to *finished* requests per makespan second —
+    #: the chaos-facing throughput (failed requests contribute zero).
+    goodput_tps: float = 0.0
+    #: Mean crash-to-rejoin repair time; NaN when nothing recovered.
+    mttr_s: float = float("nan")
     #: Each replica's own ServingStats, as reported by its engine.
     replicas: List[ServingStats] = field(default_factory=list)
 
@@ -69,6 +83,11 @@ class ClusterStats:
         routed_counts: List[int],
         n_failed_requests: int = 0,
         admission: str = "reserve",
+        n_recovered: int = 0,
+        n_retries: int = 0,
+        n_breaker_trips: int = 0,
+        availability: float = 1.0,
+        mttr_s: float = float("nan"),
     ) -> "ClusterStats":
         modes = {s.mode for s in replica_stats}
         mode = modes.pop() if len(modes) == 1 else "mixed"
@@ -91,6 +110,11 @@ class ClusterStats:
         # sequences fleet-wide, which is the quantity capacity planning
         # cares about.
         fleet.mean_batch_size = sum(s.mean_batch_size for s in replica_stats)
+        finished_tokens = sum(
+            r.n_generated for r in records
+            if r.status is RequestStatus.FINISHED
+        )
+        goodput = finished_tokens / makespan_s if makespan_s > 0 else 0.0
         return ClusterStats(
             policy=policy,
             n_replicas=len(replica_stats),
@@ -101,6 +125,12 @@ class ClusterStats:
             routed_counts=list(routed_counts),
             fleet=fleet,
             n_failed_requests=n_failed_requests,
+            n_recovered=n_recovered,
+            n_retries=n_retries,
+            n_breaker_trips=n_breaker_trips,
+            availability=availability,
+            goodput_tps=goodput,
+            mttr_s=mttr_s,
             replicas=list(replica_stats),
         )
 
@@ -117,6 +147,12 @@ class ClusterStats:
             "n_failed": self.n_failed,
             "n_requeued": self.n_requeued,
             "n_failed_requests": self.n_failed_requests,
+            "n_recovered": self.n_recovered,
+            "n_retries": self.n_retries,
+            "n_breaker_trips": self.n_breaker_trips,
+            "availability": self.availability,
+            "goodput_tps": self.goodput_tps,
+            "mttr_s": _null_if_nan(self.mttr_s),
             "routed_counts": list(self.routed_counts),
             "fleet": self.fleet.to_dict(),
             "replicas": [s.to_dict() for s in self.replicas],
@@ -172,8 +208,22 @@ class ClusterStats:
         if self.n_requeued:
             t.add_row("requests requeued by drains", str(self.n_requeued))
         if self.n_failed_requests:
-            t.add_row("requests failed (never placeable)",
-                      str(self.n_failed_requests))
+            t.add_row("requests failed", str(self.n_failed_requests))
+        if self.n_recovered or self.n_retries or self.n_breaker_trips:
+            t.add_row("availability (active-replica fraction)",
+                      f"{self.availability:.1%}")
+            t.add_row("goodput (finished tok/s)",
+                      f"{self.goodput_tps:.1f}")
+            t.add_row(
+                "replicas recovered (MTTR)",
+                f"{self.n_recovered} "
+                f"({format_quantiles((self.mttr_s,), 1e3, '.1f')} ms)",
+            )
+            if self.n_retries:
+                t.add_row("placement retries (backoff)",
+                          str(self.n_retries))
+            if self.n_breaker_trips:
+                t.add_row("circuit-breaker trips", str(self.n_breaker_trips))
         for i, s in enumerate(self.replicas):
             ttft_p95 = format_quantiles((s.ttft_p95,), ms, ".1f")
             t.add_row(

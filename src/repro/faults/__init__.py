@@ -1,0 +1,39 @@
+"""repro.faults — deterministic chaos engineering for the fleet.
+
+Everything here runs on the **simulated clock**: fault schedules are
+plain data (:class:`FaultPlan`), generated from a seeded
+``numpy.random.Generator`` or scripted by hand, validated once
+(:func:`validate_fault_events`), and fired by the cluster loop through
+a :class:`FaultInjector`.  Because injection, detection
+(:class:`HeartbeatMonitor` + KV-page checksums), and repair (recovery,
+quarantine-and-recompute, retries) are all deterministic functions of
+the (plan seed, trace seed) pair, a chaos run replays byte-for-byte —
+the property the seed-sweep soak in ``benchmarks/bench_chaos.py``
+asserts.
+
+See the "Fault tolerance & chaos testing" section of the serving guide
+(:mod:`repro.serving`) for the fault taxonomy, the retry/backoff
+semantics, and the graceful-degradation ladder.
+"""
+
+from .heartbeat import HeartbeatMonitor
+from .plan import (
+    CHAOS_PROFILES,
+    FAULT_KINDS,
+    ChaosProfile,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    validate_fault_events,
+)
+
+__all__ = [
+    "CHAOS_PROFILES",
+    "FAULT_KINDS",
+    "ChaosProfile",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "HeartbeatMonitor",
+    "validate_fault_events",
+]

@@ -1,0 +1,55 @@
+"""Heartbeat-based failure detection on the simulated clock.
+
+Replicas do not send literal heartbeats: in a discrete-event fleet the
+only evidence a replica is making progress is the steps it completes.
+:class:`HeartbeatMonitor` records each replica's latest step window and
+answers "when was this replica last seen healthy as of time ``t``?" —
+if the step finished by ``t`` the answer is its end, otherwise the
+replica has been stuck *inside* the step since its start (the straggler
+signature).  A replica whose last-seen time trails the clock by more
+than ``timeout_s`` is *suspected*; :class:`repro.cluster.ClusterRouter`
+opens its circuit breaker for suspected replicas so new work routes
+around them until they complete a step again.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+__all__ = ["HeartbeatMonitor"]
+
+
+class HeartbeatMonitor:
+    """Tracks per-replica liveness from completed step windows."""
+
+    def __init__(self, timeout_s: float) -> None:
+        if timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        self.timeout_s = float(timeout_s)
+        self._last_step: Dict[int, Tuple[float, float]] = {}
+
+    def note_alive(self, replica: int, t: float) -> None:
+        """Record an administrative liveness proof (start, rejoin)."""
+        self._last_step[replica] = (t, t)
+
+    def note_step(self, replica: int, start: float, end: float) -> None:
+        """Record the replica's most recent engine step window."""
+        self._last_step[replica] = (start, end)
+
+    def last_seen(self, replica: int, t: float) -> Optional[float]:
+        """Latest time <= ``t`` the replica demonstrably made progress."""
+        window = self._last_step.get(replica)
+        if window is None:
+            return None
+        start, end = window
+        return end if end <= t else start
+
+    def suspected(self, replica: int, t: float) -> bool:
+        """True when the replica has been silent for over ``timeout_s``.
+
+        Only meaningful for replicas that currently hold work — an
+        idle replica is silent because it has nothing to do, so the
+        caller gates this check on ``engine.has_work``.
+        """
+        seen = self.last_seen(replica, t)
+        return seen is not None and (t - seen) > self.timeout_s

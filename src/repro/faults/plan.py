@@ -1,0 +1,325 @@
+"""Seeded fault plans for the simulated-clock chaos engine.
+
+A :class:`FaultPlan` is a validated, time-ordered list of
+:class:`FaultEvent` records — replica crashes and recoveries, transient
+straggler windows, and KV-page corruption strikes — either scripted by
+hand or generated deterministically from a seed with
+:meth:`FaultPlan.generate`.  The :class:`FaultInjector` hands the
+ordered events to :class:`repro.cluster.ClusterEngine`, which fires
+each one on the simulated clock, so a (seed, profile) pair replays to
+byte-identical fleet behaviour.
+
+Event taxonomy (``FaultEvent.kind``):
+
+``drain``
+    Graceful retirement: the replica stops taking traffic, in-flight
+    work is requeued, the shard leaves the ledger clean.
+``fail``
+    Crash: the shard's pages are torn down immediately and in-flight
+    work is requeued elsewhere.
+``recover``
+    Rejoin: a previously drained/failed replica re-registers its
+    (empty) shard with the ledger and becomes routable again.
+``slow_start`` / ``slow_end``
+    A transient straggler window: every cost-model step time on the
+    replica is multiplied by ``factor`` until the matching
+    ``slow_end``.  Token streams are unaffected — only the clock.
+``corrupt``
+    Flip a stored KV-page checksum on the replica's shard.  The victim
+    sequence/page is chosen deterministically from the event's
+    ``u_seq``/``u_page`` coordinates over the pages resident when the
+    event fires (a no-op on an empty shard).
+
+Sequencing rules (enforced by :func:`validate_fault_events`): a replica
+must be active to ``drain``/``fail`` and retired to ``recover`` —
+``drain -> recover -> fail`` is legal, overlapping retire events on one
+replica are not — and straggler windows must be properly bracketed and
+non-overlapping per replica.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "FAULT_KINDS",
+    "CHAOS_PROFILES",
+    "ChaosProfile",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "validate_fault_events",
+]
+
+
+FAULT_KINDS = ("drain", "fail", "recover", "slow_start", "slow_end",
+               "corrupt")
+
+# Deterministic tiebreak for events sharing a timestamp on one replica:
+# close out the previous episode (recover / slow_end) before opening a
+# new one, and strike corruption before the replica retires.
+_KIND_ORDER = {
+    "recover": 0, "slow_end": 1, "corrupt": 2,
+    "slow_start": 3, "drain": 4, "fail": 5,
+}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    Attributes:
+        time: simulated-clock firing time (seconds, >= 0).
+        replica: target replica index.
+        kind: one of :data:`FAULT_KINDS`.
+        factor: slowdown multiplier (``slow_start`` only, >= 1).
+        u_seq: victim-sequence coordinate in ``[0, 1)`` (``corrupt``).
+        u_page: victim-page coordinate in ``[0, 1)`` (``corrupt``).
+    """
+
+    time: float
+    replica: int
+    kind: str
+    factor: float = 1.0
+    u_seq: float = 0.0
+    u_page: float = 0.0
+
+    def sort_key(self) -> Tuple[float, int, int]:
+        # .get so an unknown kind still sorts (validation rejects it
+        # with a proper message instead of a KeyError mid-sort).
+        return (self.time, self.replica, _KIND_ORDER.get(self.kind, -1))
+
+
+def validate_fault_events(
+    events: Iterable[FaultEvent], n_replicas: int
+) -> List[FaultEvent]:
+    """Validate and time-order a fault schedule.
+
+    Enforces the per-replica event-sequence rules documented in the
+    module docstring and returns the events sorted by
+    ``(time, replica, kind)``.  Raises ``ValueError`` on any illegal
+    schedule — unknown replica, negative time, overlapping retire
+    events without an intervening ``recover``, a ``recover`` while the
+    replica is still active, or an unbracketed straggler window.
+    """
+    ordered = sorted(events, key=FaultEvent.sort_key)
+    retired: Dict[int, bool] = {}
+    slowed: Dict[int, bool] = {}
+    for event in ordered:
+        if event.kind not in _KIND_ORDER:
+            raise ValueError(
+                f"unknown fault kind {event.kind!r}; choose from "
+                f"{FAULT_KINDS}"
+            )
+        if not 0 <= event.replica < n_replicas:
+            raise ValueError(
+                f"unknown replica {event.replica} in fault event "
+                f"(fleet has {n_replicas})"
+            )
+        if event.time < 0:
+            raise ValueError("fault event times must be non-negative")
+        idx = event.replica
+        if event.kind in ("drain", "fail"):
+            if retired.get(idx):
+                raise ValueError(
+                    f"overlapping retire events on replica {idx}: it is "
+                    f"already drained/failed at t={event.time:.6g}; "
+                    "schedule a recover first"
+                )
+            retired[idx] = True
+        elif event.kind == "recover":
+            if not retired.get(idx):
+                raise ValueError(
+                    f"recover on replica {idx} at t={event.time:.6g} "
+                    "while it is still active"
+                )
+            retired[idx] = False
+        elif event.kind == "slow_start":
+            if not event.factor >= 1.0:
+                raise ValueError("slow_start factor must be >= 1")
+            if slowed.get(idx):
+                raise ValueError(
+                    f"overlapping straggler windows on replica {idx} "
+                    f"at t={event.time:.6g}"
+                )
+            slowed[idx] = True
+        elif event.kind == "slow_end":
+            if not slowed.get(idx):
+                raise ValueError(
+                    f"slow_end on replica {idx} at t={event.time:.6g} "
+                    "without a matching slow_start"
+                )
+            slowed[idx] = False
+        else:  # corrupt
+            if not (0.0 <= event.u_seq < 1.0 and 0.0 <= event.u_page < 1.0):
+                raise ValueError(
+                    "corrupt event coordinates must lie in [0, 1)"
+                )
+    return ordered
+
+
+@dataclass(frozen=True)
+class ChaosProfile:
+    """Fault intensities for one cell of the chaos sweep.
+
+    Rates are expected event counts *per replica* over the plan
+    horizon; durations are fractions of the horizon.
+    """
+
+    name: str
+    crash_cycles: float
+    downtime_frac: Tuple[float, float]
+    straggler_windows: float
+    slowdown: Tuple[float, float]
+    window_frac: Tuple[float, float]
+    corruptions: float
+    heartbeat_timeout_s: float
+
+
+CHAOS_PROFILES = {
+    "light": ChaosProfile(
+        name="light", crash_cycles=0.25, downtime_frac=(0.05, 0.1),
+        straggler_windows=0.5, slowdown=(2.0, 3.0),
+        window_frac=(0.05, 0.1), corruptions=0.5,
+        heartbeat_timeout_s=0.05,
+    ),
+    "moderate": ChaosProfile(
+        name="moderate", crash_cycles=0.75, downtime_frac=(0.08, 0.16),
+        straggler_windows=1.0, slowdown=(3.0, 5.0),
+        window_frac=(0.08, 0.16), corruptions=1.5,
+        heartbeat_timeout_s=0.05,
+    ),
+    "heavy": ChaosProfile(
+        name="heavy", crash_cycles=1.5, downtime_frac=(0.1, 0.25),
+        straggler_windows=2.0, slowdown=(4.0, 8.0),
+        window_frac=(0.1, 0.25), corruptions=3.0,
+        heartbeat_timeout_s=0.05,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A validated, time-ordered fault schedule for one cluster run."""
+
+    n_replicas: int
+    events: Tuple[FaultEvent, ...] = ()
+    seed: Optional[int] = None
+    profile: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.n_replicas < 1:
+            raise ValueError("n_replicas must be >= 1")
+        ordered = validate_fault_events(self.events, self.n_replicas)
+        object.__setattr__(self, "events", tuple(ordered))
+
+    @classmethod
+    def generate(
+        cls,
+        seed: int,
+        n_replicas: int,
+        horizon_s: float,
+        profile: str = "moderate",
+    ) -> "FaultPlan":
+        """Deterministically generate a plan from a seeded Generator.
+
+        Per replica, crash/recover cycles and straggler windows are
+        laid out on a forward time walk (so episodes never overlap and
+        the schedule is always legal), and corruption strikes are
+        scattered uniformly.  Identical ``(seed, n_replicas,
+        horizon_s, profile)`` always yields an identical plan.
+        """
+        if horizon_s <= 0:
+            raise ValueError("horizon_s must be positive")
+        if profile not in CHAOS_PROFILES:
+            raise ValueError(
+                f"unknown chaos profile {profile!r}; choose from "
+                f"{sorted(CHAOS_PROFILES)}"
+            )
+        prof = CHAOS_PROFILES[profile]
+        rng = np.random.default_rng(seed)
+        events: List[FaultEvent] = []
+        for idx in range(n_replicas):
+            episodes = (
+                ["crash"] * int(rng.poisson(prof.crash_cycles))
+                + ["straggle"] * int(rng.poisson(prof.straggler_windows))
+            )
+            episodes = [episodes[i] for i in rng.permutation(len(episodes))]
+            cursor = horizon_s * float(rng.uniform(0.05, 0.25))
+            for episode in episodes:
+                start = cursor + horizon_s * float(rng.uniform(0.02, 0.1))
+                if episode == "crash":
+                    lo, hi = prof.downtime_frac
+                    duration = horizon_s * float(rng.uniform(lo, hi))
+                    events.append(FaultEvent(start, idx, "fail"))
+                    events.append(
+                        FaultEvent(start + duration, idx, "recover")
+                    )
+                else:
+                    lo, hi = prof.window_frac
+                    duration = horizon_s * float(rng.uniform(lo, hi))
+                    factor = float(rng.uniform(*prof.slowdown))
+                    events.append(
+                        FaultEvent(start, idx, "slow_start", factor=factor)
+                    )
+                    events.append(
+                        FaultEvent(start + duration, idx, "slow_end")
+                    )
+                cursor = start + duration
+            for _ in range(int(rng.poisson(prof.corruptions))):
+                events.append(FaultEvent(
+                    horizon_s * float(rng.uniform(0.05, 0.9)), idx,
+                    "corrupt",
+                    u_seq=float(rng.uniform()),
+                    u_page=float(rng.uniform()),
+                ))
+        return cls(
+            n_replicas=n_replicas, events=tuple(events), seed=seed,
+            profile=profile,
+        )
+
+    @property
+    def heartbeat_timeout_s(self) -> Optional[float]:
+        if self.profile is None:
+            return None
+        return CHAOS_PROFILES[self.profile].heartbeat_timeout_s
+
+    def counts(self) -> Dict[str, int]:
+        """Event counts by kind (for reports and plan summaries)."""
+        out = {kind: 0 for kind in FAULT_KINDS}
+        for event in self.events:
+            out[event.kind] += 1
+        return out
+
+
+class FaultInjector:
+    """Hands a validated fault schedule to the cluster loop in order.
+
+    Thin consumable view over the merged per-run schedule (scripted
+    ``drain_at``/``fail_at``/``recover_at`` events plus an optional
+    generated :class:`FaultPlan`); the cluster fires :meth:`pop` when
+    the simulated clock reaches :attr:`next_time`.
+    """
+
+    def __init__(
+        self, events: Iterable[FaultEvent], n_replicas: int
+    ) -> None:
+        self._events = deque(validate_fault_events(events, n_replicas))
+
+    @property
+    def next_time(self) -> float:
+        return self._events[0].time if self._events else math.inf
+
+    def pop(self) -> FaultEvent:
+        return self._events.popleft()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __bool__(self) -> bool:
+        return bool(self._events)

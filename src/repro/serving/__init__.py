@@ -205,6 +205,78 @@ package; the engine exposes the hooks it drives:
 policy at a fixed total budget; ``repro serve-cluster`` is the CLI
 surface (``--drain-at TIME:REPLICA`` exercises mid-run drains).
 
+Fault tolerance & chaos testing
+-------------------------------
+
+:mod:`repro.faults` turns the drain machinery into a full chaos
+engine: every fault is an event on the *simulated* clock, generated
+from a seeded Generator, so a ``(seed, profile)`` pair replays to
+byte-identical fleet behaviour — chaos runs are as deterministic as
+fault-free ones.
+
+**Fault taxonomy** (:class:`repro.faults.FaultEvent`):
+
+* ``fail`` / ``drain`` — replica crash or graceful retirement.  The
+  shard leaves the ledger's active set; in-flight work requeues
+  through the router with original arrival times (latency penalty,
+  never token loss).
+* ``recover`` — the crashed replica rejoins: its empty shard
+  re-registers with the :class:`~repro.cluster.ShardedKVPool` ledger
+  under the same audit that governed its departure, and the router
+  places new work on it again.  Event sequences are validated up
+  front (:func:`repro.faults.validate_fault_events`): drain ->
+  recover -> fail on one replica is legal; overlapping retire events
+  are rejected before anything runs.
+* ``slow_start`` / ``slow_end`` — a transient straggler: the
+  replica's :class:`CostModel` step times stretch by the window's
+  factor (``ServingEngine.set_slowdown``).  Clock-only — token
+  streams are untouched, and the never-slowed run multiplies by
+  exactly 1.0, which is bitwise-exact in IEEE arithmetic.
+* ``corrupt`` — one stored KV-page checksum flips on the target
+  shard.  :class:`KVMemoryPool` keeps a per-page checksum plane in
+  lockstep with its allocations; the owning engine detects the
+  mismatch on its next step, **quarantines** the victim sequence
+  (pages released under audit), and requeues it for recompute —
+  greedy decoding replays the identical stream.
+
+**Hardening**, layered on :class:`repro.cluster.ClusterEngine`:
+
+* heartbeat failure detection (:class:`repro.faults.
+  HeartbeatMonitor`) on the simulated clock — a replica whose last
+  observed step activity lags routing time (the straggler-inside-a-
+  stretched-step signature) opens a **circuit breaker** in the
+  router, steering new placements away until it is seen alive, while
+  never blocking placement when every candidate is suspected;
+* per-request **deadlines** (``--deadline-ms``) and placement
+  **retry with exponential backoff** under a bounded retry budget
+  (``--retry-budget``) — a request displaced by a fleet-wide crash
+  backs off, lands on a replica that recovered in the interim, or
+  fails cleanly when the budget or deadline is exhausted (a FAILED
+  record in the report, never a dead loop);
+* a **graceful-degradation ladder**
+  (:class:`~repro.serving.degradation.DegradationPolicy`) under
+  sustained pool pressure: *shed* the worst best-effort queued
+  request, then *reprune* the queued head-of-line request to a more
+  aggressive cascade schedule (strictly fewer pages, applied only
+  before admission so delivered tokens are never invalidated), with
+  optimistic-admission *preemption* as the backstop — shed ->
+  reprune -> preempt, each rung observable in telemetry.
+
+**Writing a FaultPlan**: script events by hand
+(``FaultPlan(n_replicas=2, events=(FaultEvent(0.02, 0, "fail"),
+FaultEvent(0.05, 0, "recover")))``) or generate one
+(``FaultPlan.generate(seed, n_replicas, horizon_s,
+profile="moderate")`` — crash/recover cycles and straggler windows
+laid out on a forward time walk per replica, so generated plans are
+always legal).  The CLI surface is ``repro serve-cluster
+--chaos-seed N --chaos-profile moderate`` (plus scripted
+``--recover-at TIME:REPLICA``); fleet health lands in
+:class:`~repro.cluster.stats.ClusterStats` as availability, goodput,
+MTTR, recovery/retry/breaker counters.  ``benchmarks/bench_chaos.py``
+is the soak harness: fault-plan seeds × intensity, per-run ledger
+audits, zero token loss for non-failed requests, and bit-identical
+surviving streams vs the fault-free run.
+
 Observability
 -------------
 
@@ -301,6 +373,7 @@ module in :func:`repro.analysis.all_rule_classes`, and add a
 fire/stay-silent fixture pair to ``tests/test_analysis.py``.
 """
 
+from .degradation import DegradationPolicy
 from .engine import (
     ADMISSION_MODES,
     LiveSequence,
@@ -331,6 +404,7 @@ from .stats import CostModel, ServingStats, SimulatedClock
 
 __all__ = [
     "ADMISSION_MODES",
+    "DegradationPolicy",
     "INHERIT_PRUNING",
     "LiveSequence",
     "PREEMPTION_POLICIES",

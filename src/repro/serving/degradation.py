@@ -1,0 +1,68 @@
+"""Graceful-degradation policy for the serving engine.
+
+Under sustained pool pressure a SpAtten engine has a knob no dense
+server has: cascade pruning schedules change how many KV pages a
+request is *billed*, so the engine can trade a little accuracy for
+admission headroom instead of stalling or preempting.  The ladder, in
+escalation order (each rung engages only after ``sustain_steps``
+consecutive pressured steps, and the cheaper rungs run first):
+
+1. **Shed** — fail the worst queued *best-effort* request (priority >=
+   ``shed_priority_floor``) cleanly, one per pressured step.  Premium
+   tiers below the floor are never shed.
+2. **Reprune** — escalate the queued head-of-line request to the more
+   aggressive ``reprune`` schedule when that strictly lowers its page
+   bill, so it admits into pages that exist.  Applies only to requests
+   *waiting* for (re)admission — never to live sequences, so already
+   delivered tokens are never invalidated — and marks the record
+   ``degraded`` (its stream is excluded from bit-identity checks).
+3. **Preempt** — the engine's existing optimistic-admission preemption
+   (:meth:`ServingEngine._relieve_pressure`) remains the backstop.
+
+Pressure is measured each step as "the queue is non-empty and free
+reservation pages have fallen below ``free_page_frac`` of the pool".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..config import PruningConfig
+
+__all__ = ["DegradationPolicy"]
+
+
+@dataclass(frozen=True)
+class DegradationPolicy:
+    """Configuration for the shed -> reprune -> preempt ladder.
+
+    Attributes:
+        free_page_frac: pressure threshold — the step is *pressured*
+            when free reservation pages < ``free_page_frac *
+            pool.n_pages`` while requests wait in the queue.
+        sustain_steps: consecutive pressured steps before the ladder
+            engages (transient spikes do not shed load).
+        shed_priority_floor: only requests with priority >= this are
+            best-effort and eligible for shedding.
+        reprune: the escalated cascade-pruning schedule for rung 2;
+            ``None`` disables repruning (the ladder skips to preempt).
+    """
+
+    free_page_frac: float = 0.125
+    sustain_steps: int = 3
+    shed_priority_floor: int = 1
+    reprune: Optional[PruningConfig] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.free_page_frac < 1.0:
+            raise ValueError("free_page_frac must lie in (0, 1)")
+        if self.sustain_steps < 1:
+            raise ValueError("sustain_steps must be >= 1")
+        if self.shed_priority_floor < 0:
+            raise ValueError("shed_priority_floor must be >= 0")
+
+    def pressured(self, free_pages: int, total_pages: int,
+                  queue_len: int) -> bool:
+        """One step's pressure verdict (see class docstring)."""
+        return queue_len > 0 and free_pages < self.free_page_frac * total_pages

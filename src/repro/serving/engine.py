@@ -100,6 +100,7 @@ traces and schedule-aware cluster routing possible.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -116,6 +117,7 @@ from ..nn.transformer import (
     TransformerModel,
 )
 from ..telemetry import NULL_TELEMETRY, Telemetry
+from .degradation import DegradationPolicy
 from .memory_pool import KVMemoryPool, PoolExhausted, prefill_kv_lengths, \
     pruned_kv_bounds
 from .preemption import (
@@ -268,6 +270,17 @@ class ServingEngine:
             steps (surfaced as the ``repro_pool_audits_total`` counter
             when metrics are on).  ``None`` (default) keeps the PR-5
             behaviour: audits only after preemption cycles.
+        deadline_s: per-request time-to-first-admission deadline,
+            relative to each request's arrival.  A request still
+            queued past its deadline is failed cleanly (``FAILED``,
+            reason ``"deadline"``) instead of waiting forever.
+            ``None`` (default) disables deadlines.
+        degradation: the graceful-degradation ladder
+            (:class:`~repro.serving.degradation.DegradationPolicy`):
+            under sustained pool pressure the engine sheds best-effort
+            queued load and escalates waiting requests to a more
+            aggressive cascade schedule before preemption has to step
+            in.  ``None`` (default) disables the ladder.
     """
 
     def __init__(
@@ -287,6 +300,8 @@ class ServingEngine:
         name: str = "engine",
         telemetry: Optional[Telemetry] = None,
         audit_every: Optional[int] = None,
+        deadline_s: Optional[float] = None,
+        degradation: Optional[DegradationPolicy] = None,
     ):
         if not model.config.causal:
             raise ValueError("serving requires a causal (GPT-style) model")
@@ -308,6 +323,8 @@ class ServingEngine:
             raise ValueError("headroom_pages must be >= 0")
         if audit_every is not None and audit_every < 1:
             raise ValueError("audit_every must be >= 1, or None to disable")
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be positive, or None")
         self.model = model
         self.pool = pool
         self.pruning = pruning
@@ -322,6 +339,14 @@ class ServingEngine:
         self.name = name
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.audit_every = audit_every
+        self.deadline_s = deadline_s
+        self.degradation = degradation
+        #: Transient straggler factor: every cost-model duration is
+        #: multiplied by this before the clock advances.  1.0 (healthy)
+        #: is exact in IEEE arithmetic, so a never-slowed run is
+        #: bit-identical to one built before the knob existed.  The
+        #: chaos engine toggles it over bounded fault windows.
+        self.slowdown = 1.0
         self._backend = (
             PackedDecodeBackend(model) if attention_backend == "packed" else None
         )
@@ -347,6 +372,12 @@ class ServingEngine:
         #: the minuend of the pruning-savings gauge (bound minus pages
         #: actually allocated).
         self._bound_pages: Dict[int, int] = {}
+        #: Pool corruption events already handled by quarantine; the
+        #: cheap per-step guard that keeps the checksum scan off the
+        #: fault-free hot path.
+        self._corrupt_seen = 0
+        #: Consecutive pressured steps (degradation ladder trigger).
+        self._pressure_streak = 0
 
     @property
     def mode(self) -> str:
@@ -356,10 +387,24 @@ class ServingEngine:
     # Per-request schedule resolution
     # ------------------------------------------------------------------
     def pruning_of(self, request: Request) -> Optional[PruningConfig]:
-        """The cascade schedule this request runs under (None = dense)."""
+        """The cascade schedule this request runs under (None = dense).
+
+        A degradation-ladder override on the request's record (set
+        while the request waited under pressure, and carried across
+        cluster requeues) wins over the request's own schedule.
+        """
+        record = self._records.get(request.request_id)
+        if record is not None and record.pruning_override is not None:
+            return record.pruning_override
         if request.pruning is INHERIT_PRUNING:
             return self.pruning
         return request.pruning
+
+    def set_slowdown(self, factor: float) -> None:
+        """Set the straggler factor (>= 1) scaling every step duration."""
+        if not math.isfinite(factor) or factor < 1.0:
+            raise ValueError("slowdown factor must be finite and >= 1")
+        self.slowdown = float(factor)
 
     def _make_executor(
         self, pruning: Optional[PruningConfig]
@@ -459,6 +504,9 @@ class ServingEngine:
         self._steps = 0
         self._queue_entered = {}
         self._bound_pages = {}
+        self._corrupt_seen = self.pool.n_corrupt_events
+        self._pressure_streak = 0
+        self.slowdown = 1.0
         if self.telemetry.active:
             self.pool.observer = self
         if self._backend is not None:
@@ -524,6 +572,13 @@ class ServingEngine:
         clock = self.clock
         before = clock.now
         self._ingest(clock.now)
+        # Fault handling before admission: quarantined sequences free
+        # pages the queue can use, expired requests must not admit, and
+        # the degradation ladder reprunes the head *before* its pages
+        # are billed.
+        self._quarantine_corrupted(clock)
+        self._expire_deadlines(clock)
+        self._apply_degradation(clock)
         self._admit_ready(clock)
         if self.admission == "optimistic" and (self.live or self.prefilling):
             self._relieve_pressure(clock)
@@ -854,7 +909,7 @@ class ServingEngine:
         clock.advance(
             self.cost.prefill_time(
                 self.model.config, request.prompt_len, pruning
-            )
+            ) * self.slowdown
         )
         self._sync_pool(request.request_id, executor)
         self.pool.finish_prefill(request.request_id)
@@ -885,7 +940,7 @@ class ServingEngine:
             backend=self._backend,
         )
         decode_flops = self._decode_flops(batch)
-        dt = self.cost.step_time(decode_flops, len(batch))
+        dt = self.cost.step_time(decode_flops, len(batch)) * self.slowdown
         clock.advance(dt)
         self.live = self._commit_decode(batch, logits, clock)
         self._note_step(clock.now, dt, 0.0, decode_flops, 0, len(batch))
@@ -929,7 +984,7 @@ class ServingEngine:
         decode_flops = self._decode_flops(decode_batch)
         dt = self.cost.mixed_step_time(
             prefill_flops, decode_flops, len(prefills), len(decode_batch),
-        )
+        ) * self.slowdown
         clock.advance(dt)
 
         # Commit prefill progress; promote sequences whose last chunk
@@ -1050,6 +1105,127 @@ class ServingEngine:
                     state.prompt_len, state.n_committed,
                 ),
             )
+
+    # ------------------------------------------------------------------
+    # Fault handling: quarantine, deadlines, graceful degradation
+    # ------------------------------------------------------------------
+    def _quarantine_corrupted(self, clock: SimulatedClock) -> None:
+        """Detect corrupted KV pages; quarantine and requeue victims.
+
+        Guarded by the pool's corruption-event counter, so the
+        checksum scan never runs on the fault-free hot path.  Every
+        flagged sequence releases its pages
+        (:meth:`KVMemoryPool.quarantine_release`) and requeues for
+        recompute from scratch — greedy decoding replays the identical
+        stream, so corruption costs latency, never tokens.
+        """
+        if self.pool.n_corrupt_events == self._corrupt_seen:
+            return
+        report = self.pool.verify_checksums()
+        for seq in [s for s in self.live if s.seq_id in report]:
+            self.live.remove(seq)
+            work = seq.request.prompt_len + seq.record.n_generated
+            self._quarantine(seq, work, report[seq.seq_id], clock)
+        for seq in [s for s in self.prefilling if s.seq_id in report]:
+            self.prefilling.remove(seq)
+            self._quarantine(seq, seq.state.n_committed,
+                             report[seq.seq_id], clock)
+        self._corrupt_seen = self.pool.n_corrupt_events
+        if report:
+            self.pool.audit()
+
+    def _quarantine(
+        self,
+        seq: ScheduledSequence,
+        work: int,
+        bad_pages: List[Tuple[int, int]],
+        clock: SimulatedClock,
+    ) -> None:
+        pages = self.pool.quarantine_release(seq.seq_id)
+        self._note_quarantined(seq.record, clock.now, pages, work,
+                               bad_pages)
+        seq.record.reset_for_corruption(recompute_tokens=work)
+        self.queue.push(seq.request)
+
+    def _expire_deadlines(self, clock: SimulatedClock) -> None:
+        """Fail queued requests whose admission deadline has passed."""
+        if self.deadline_s is None or not self.queue:
+            return
+        now = clock.now
+        for request in list(self.queue.as_ordered_list()):
+            if now > request.arrival_time + self.deadline_s:
+                self.queue.remove(request)
+                self._fail_request(
+                    self._records[request.request_id], "deadline", now
+                )
+
+    def _apply_degradation(self, clock: SimulatedClock) -> None:
+        """Run the shed -> reprune ladder under sustained pressure.
+
+        One rung fires per pressured step: first shed the worst
+        best-effort queued request, then (once nothing sheddable
+        remains) escalate the head-of-line request's schedule.  The
+        existing preemption machinery stays the final backstop.
+        """
+        policy = self.degradation
+        if policy is None:
+            return
+        if not policy.pressured(
+            self.pool.free_reservation_pages, self.pool.n_pages,
+            len(self.queue),
+        ):
+            self._pressure_streak = 0
+            return
+        self._pressure_streak += 1
+        if self._pressure_streak < policy.sustain_steps:
+            return
+        if self._shed_one(clock):
+            return
+        self._reprune_head(clock)
+
+    def _shed_one(self, clock: SimulatedClock) -> bool:
+        """Fail the worst queued best-effort request; False when none."""
+        floor = self.degradation.shed_priority_floor
+        candidates = [
+            r for r in self.queue.as_ordered_list() if r.priority >= floor
+        ]
+        if not candidates:
+            return False
+        victim = candidates[-1]  # lowest priority, furthest from service
+        self.queue.remove(victim)
+        self._fail_request(self._records[victim.request_id], "shed",
+                           clock.now)
+        return True
+
+    def _reprune_head(self, clock: SimulatedClock) -> None:
+        """Escalate the head-of-line schedule when that frees pages."""
+        escalated = self.degradation.reprune
+        if escalated is None or not self.queue:
+            return
+        request = self.queue.peek()
+        record = self._records[request.request_id]
+        if record.pruning_override is not None:
+            return
+        pool = self.pool
+        billed = pool.reservation_pages(
+            request.prompt_len, request.max_new_tokens,
+            self.pruning_of(request),
+        )
+        after = pool.reservation_pages(
+            request.prompt_len, request.max_new_tokens, escalated
+        )
+        if after >= billed:
+            return
+        record.pruning_override = escalated
+        record.degraded = True
+        self._note_repruned(record, clock.now, billed, after)
+
+    def _fail_request(
+        self, record: RequestRecord, reason: str, now: float
+    ) -> None:
+        record.status = RequestStatus.FAILED
+        record.failure = reason
+        self._note_shed(record, now, reason)
 
     # ------------------------------------------------------------------
     # Preemption (optimistic admission's run-time safety)
@@ -1297,6 +1473,88 @@ class ServingEngine:
         if tel.metrics is not None:
             tel.metrics.counter(
                 "repro_preemptions_total", engine=self.name
+            ).inc()
+
+    def _note_quarantined(
+        self,
+        record: RequestRecord,
+        now: float,
+        pages: int,
+        work: int,
+        bad_pages: List[Tuple[int, int]],
+    ) -> None:
+        """Called *before* the record resets for its recompute."""
+        tel = self.telemetry
+        if not tel.active:
+            return
+        rid = record.request.request_id
+        self._bound_pages.pop(rid, None)
+        self._queue_entered[rid] = now  # back to the queue from here
+        if tel.tracer is not None:
+            track = self._track(rid)
+            if record.first_token_time is not None:
+                tel.tracer.span(
+                    "decode", record.first_token_time, now, self.name,
+                    track, outcome="quarantined",
+                )
+            elif record.admit_time is not None:
+                tel.tracer.span(
+                    "prefill", record.admit_time, now, self.name, track,
+                    outcome="quarantined",
+                )
+            tel.tracer.instant(
+                "quarantined", now, self.name, track,
+                pages_freed=pages, work_tokens=work,
+                corrupted=[list(p) for p in bad_pages],
+            )
+            tel.tracer.instant("requeued", now, self.name, track)
+        if tel.metrics is not None:
+            tel.metrics.counter(
+                "repro_corruptions_total", engine=self.name
+            ).inc()
+
+    def _note_shed(
+        self, record: RequestRecord, now: float, reason: str
+    ) -> None:
+        tel = self.telemetry
+        if not tel.active:
+            return
+        rid = record.request.request_id
+        self._bound_pages.pop(rid, None)
+        entered = self._queue_entered.pop(rid, now)
+        if tel.tracer is not None:
+            track = self._track(rid)
+            tel.tracer.span(
+                "queued", entered, now, self.name, track, outcome="failed",
+            )
+            tel.tracer.instant(
+                "shed", now, self.name, track, reason=reason,
+                priority=record.request.priority,
+            )
+        if tel.metrics is not None:
+            tel.metrics.counter(
+                "repro_requests_shed_total", engine=self.name,
+                reason=reason,
+            ).inc()
+            tel.metrics.counter(
+                "repro_requests_failed_total", engine=self.name
+            ).inc()
+
+    def _note_repruned(
+        self, record: RequestRecord, now: float, billed: int, after: int
+    ) -> None:
+        tel = self.telemetry
+        if not tel.active:
+            return
+        if tel.tracer is not None:
+            tel.tracer.instant(
+                "repruned", now, self.name,
+                self._track(record.request.request_id),
+                pages_before=billed, pages_after=after,
+            )
+        if tel.metrics is not None:
+            tel.metrics.counter(
+                "repro_requests_repruned_total", engine=self.name
             ).inc()
 
     def _note_drained(self, record: RequestRecord) -> None:

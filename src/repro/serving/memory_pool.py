@@ -46,8 +46,9 @@ under pressure (:meth:`KVMemoryPool.preempt_release`), and uses
 from __future__ import annotations
 
 import math
+import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..config import ModelConfig, PruningConfig
 from ..core import schedule as sched
@@ -168,12 +169,22 @@ class KVMemoryPool:
                 f"(page_bytes={self.page_bytes})"
             )
         self._accounts: Dict[int, _SequenceAccount] = {}
+        #: Integrity plane: per-sequence, per-layer checksum of every
+        #: allocated page, maintained in lockstep with the allocation
+        #: plane by :meth:`sync`.  The modeled stand-in for hashing
+        #: real KV bytes — a page's checksum is a pure function of
+        #: ``(seq_id, layer, page)``, so any deviation (a chaos-engine
+        #: :meth:`corrupt_page` strike) is detectable by recomputation.
+        self._checksums: Dict[int, List[List[int]]] = {}
         # Cumulative statistics.
         self.reclaimed_pages = 0
         self.reclaimed_tokens = 0
         self.peak_allocated_pages = 0
         self.n_preempted = 0
         self.preempted_pages = 0
+        self.n_corrupt_events = 0
+        self.n_quarantined = 0
+        self.quarantined_pages = 0
         #: Duck-typed observability hook: anything with a
         #: ``pool_event(kind, seq_id, **info)`` method (the serving
         #: engine, when telemetry is on).  Kept as an attribute rather
@@ -191,6 +202,11 @@ class KVMemoryPool:
     # ------------------------------------------------------------------
     def pages_for_tokens(self, n_tokens: int) -> int:
         return math.ceil(n_tokens / self.page_tokens)
+
+    @staticmethod
+    def _page_checksum(seq_id: int, layer: int, page: int) -> int:
+        """Expected integrity tag of one allocated page (pure function)."""
+        return zlib.crc32(f"{seq_id}:{layer}:{page}".encode())
 
     def reservation_pages(
         self,
@@ -263,6 +279,14 @@ class KVMemoryPool:
         """Pages actually backing one live sequence's cache columns."""
         return self._account(seq_id).allocated_pages
 
+    def allocated_pages_per_layer(self, seq_id: int) -> List[int]:
+        """Per-layer allocated page counts (copy) of one live sequence.
+
+        The chaos engine's corruption injector uses this to pick a
+        deterministic victim page among the pages that exist right now.
+        """
+        return list(self._account(seq_id).allocated_per_layer)
+
     # ------------------------------------------------------------------
     # Admission / lifecycle
     # ------------------------------------------------------------------
@@ -304,6 +328,7 @@ class KVMemoryPool:
             reserved_pages=need,
             allocated_per_layer=[0] * self.model.n_layers,
         )
+        self._checksums[seq_id] = [[] for _ in range(self.model.n_layers)]
         self._notify("admit", seq_id, pages=need, optimistic=False)
         return need
 
@@ -356,6 +381,7 @@ class KVMemoryPool:
             optimistic=True,
             floor_pages=need,
         )
+        self._checksums[seq_id] = [[] for _ in range(self.model.n_layers)]
         self._notify("admit", seq_id, pages=need, optimistic=True)
         return need
 
@@ -388,6 +414,7 @@ class KVMemoryPool:
             raise ValueError("kv_lengths must cover every layer")
         freed = 0
         grown = 0
+        checksums = self._checksums[seq_id]
         for layer, length in enumerate(kv_lengths):
             pages = self.pages_for_tokens(length)
             delta = pages - account.allocated_per_layer[layer]
@@ -396,6 +423,16 @@ class KVMemoryPool:
             else:
                 grown += delta
             account.allocated_per_layer[layer] = pages
+            # Keep the integrity plane in lockstep: freed pages drop
+            # their tags, new pages are stamped with the expected tag.
+            row = checksums[layer]
+            if pages < len(row):
+                del row[pages:]
+            else:
+                row.extend(
+                    self._page_checksum(seq_id, layer, page)
+                    for page in range(len(row), pages)
+                )
         if account.optimistic:
             account.reserved_pages = max(
                 account.floor_pages, account.allocated_pages
@@ -493,6 +530,7 @@ class KVMemoryPool:
         """Drop a finished sequence's reservation and allocations."""
         account = self._account(seq_id)
         self._accounts.pop(seq_id)
+        self._checksums.pop(seq_id, None)
         self._notify("release", seq_id, pages=account.reserved_pages)
 
     def preempt_release(self, seq_id: int) -> int:
@@ -512,7 +550,75 @@ class KVMemoryPool:
         self.n_preempted += 1
         self.preempted_pages += freed
         self._accounts.pop(seq_id)
+        self._checksums.pop(seq_id, None)
         self._notify("preempt_release", seq_id, pages=freed)
+        return freed
+
+    # ------------------------------------------------------------------
+    # Integrity plane: corruption, detection, quarantine
+    # ------------------------------------------------------------------
+    def corrupt_page(self, seq_id: int, layer: int, page: int) -> None:
+        """Poison one allocated page's integrity tag (fault injection).
+
+        The chaos engine's stand-in for a bit-flip in real KV storage:
+        the stored tag no longer matches the recomputed
+        :meth:`_page_checksum`, so the next :meth:`corrupted_pages` /
+        :meth:`verify_checksums` scan flags the page.  Raises
+        ``ValueError`` when the page is not currently allocated —
+        corruption can only strike pages that exist.
+        """
+        self._account(seq_id)
+        rows = self._checksums[seq_id]
+        if not 0 <= layer < len(rows):
+            raise ValueError(f"sequence {seq_id} has no layer {layer}")
+        if not 0 <= page < len(rows[layer]):
+            raise ValueError(
+                f"sequence {seq_id} layer {layer} has no allocated "
+                f"page {page}"
+            )
+        self._checksums[seq_id][layer][page] ^= 0x5A5A5A5A
+        self.n_corrupt_events += 1
+        self._notify("corrupt", seq_id, layer=layer, page=page)
+
+    def corrupted_pages(self, seq_id: int) -> List[Tuple[int, int]]:
+        """``(layer, page)`` pairs whose stored tag fails verification."""
+        return [
+            (layer, page)
+            for layer, row in enumerate(self._checksums[seq_id])
+            for page, tag in enumerate(row)
+            if tag != self._page_checksum(seq_id, layer, page)
+        ]
+
+    def verify_checksums(self) -> Dict[int, List[Tuple[int, int]]]:
+        """Scan every resident sequence; maps seq_id -> corrupted pages.
+
+        Sequences with a clean bill of health are omitted, so a truthy
+        return value means quarantine work exists.  Deterministic
+        iteration (sorted ids) keeps detection order reproducible.
+        """
+        report = {}
+        for seq_id in sorted(self._accounts):
+            bad = self.corrupted_pages(seq_id)
+            if bad:
+                report[seq_id] = bad
+        return report
+
+    def quarantine_release(self, seq_id: int) -> int:
+        """Release a corrupted sequence's account; returns pages freed.
+
+        Same ledger effect as :meth:`preempt_release` — the account
+        (and its poisoned integrity tags) disappear whole, so the
+        recomputed sequence re-admits against a clean slate — but
+        tallied under the quarantine counters the fault report
+        surfaces.
+        """
+        account = self._account(seq_id)
+        freed = account.reserved_pages
+        self.n_quarantined += 1
+        self.quarantined_pages += freed
+        self._accounts.pop(seq_id)
+        self._checksums.pop(seq_id, None)
+        self._notify("quarantine_release", seq_id, pages=freed)
         return freed
 
     def audit(self) -> None:
@@ -521,7 +627,11 @@ class KVMemoryPool:
         * total allocations and total reservations fit the pool;
         * reserve-mode accounts never allocate beyond their immutable
           worst-case reservation;
-        * optimistic accounts bill exactly ``max(floor, allocated)``.
+        * optimistic accounts bill exactly ``max(floor, allocated)``;
+        * the integrity plane tracks the allocation plane: every
+          account carries exactly one checksum tag per allocated page
+          (tag *values* are the corruption detector's business — a
+          poisoned page is a data fault, not a ledger fault).
 
         The serving engine runs this after every preemption cycle, and
         the sharded cluster ledger audits every shard through it.
@@ -551,6 +661,18 @@ class KVMemoryPool:
                     f"audit: sequence {seq_id} allocates "
                     f"{account.allocated_pages} pages beyond its "
                     f"reservation of {account.reserved_pages}"
+                )
+        if set(self._checksums) != set(self._accounts):
+            raise PoolExhausted(
+                "audit: integrity plane out of step with the accounts "
+                f"({sorted(set(self._checksums) ^ set(self._accounts))})"
+            )
+        for seq_id, account in self._accounts.items():
+            tagged = [len(row) for row in self._checksums[seq_id]]
+            if tagged != account.allocated_per_layer:
+                raise PoolExhausted(
+                    f"audit: sequence {seq_id} tags {tagged} pages but "
+                    f"allocates {account.allocated_per_layer}"
                 )
 
     def _account(self, seq_id: int) -> _SequenceAccount:

@@ -136,6 +136,31 @@ class RequestRecord:
     #: token).  A protected request is never selected as a preemption
     #: victim, so no request can be preempted twice without progress.
     preempt_protected: bool = False
+    #: Routing attempts consumed by retry-with-backoff after a failed
+    #: placement (cluster mode).  Bounded by the cluster's retry
+    #: budget; exhaustion fails the request cleanly.
+    n_retries: int = 0
+    #: KV-page corruption strikes survived: each one quarantined the
+    #: sequence's pages and recomputed it from scratch (greedy decoding
+    #: replays the identical stream, so corruption costs latency, never
+    #: tokens).
+    n_corruptions: int = 0
+    #: Set when the degradation ladder escalated this request to a more
+    #: aggressive cascade-pruning schedule under pool pressure.  A
+    #: degraded request still receives its full decode budget, but its
+    #: token stream is not comparable to a fault-free run's.
+    degraded: bool = False
+    #: The escalated schedule applied by the degradation ladder; when
+    #: set, :meth:`ServingEngine.pruning_of` returns it instead of the
+    #: request's own schedule.  Lives on the record (not the request)
+    #: so it survives cross-replica requeues.
+    pruning_override: Optional[object] = None
+    #: Terminal failure reason for ``FAILED`` records: ``"unplaceable"``
+    #: (no surviving replica can ever hold the reservation),
+    #: ``"retry_budget"`` (placement retries exhausted), ``"deadline"``
+    #: (per-request deadline expired before admission), or ``"shed"``
+    #: (best-effort load dropped by the degradation ladder).
+    failure: Optional[str] = None
 
     @property
     def queue_wait(self) -> float:
@@ -181,6 +206,19 @@ class RequestRecord:
         being victimized again before it makes progress.
         """
         self.n_preemptions += 1
+        self.recompute_tokens += int(recompute_tokens)
+        self.preempt_protected = True
+        self.reset_for_requeue()
+
+    def reset_for_corruption(self, recompute_tokens: int) -> None:
+        """Return to the queue after a KV-corruption quarantine.
+
+        The sequence's poisoned pages were released; the request
+        recomputes from scratch exactly like a preemption (and is
+        protected from immediate preemption the same way), but the
+        strike is tallied separately in ``n_corruptions``.
+        """
+        self.n_corruptions += 1
         self.recompute_tokens += int(recompute_tokens)
         self.preempt_protected = True
         self.reset_for_requeue()
@@ -233,6 +271,22 @@ class RequestQueue:
     def as_ordered_list(self) -> Sequence[Request]:
         """Waiting requests in admission order (non-destructive)."""
         return [entry[3] for entry in sorted(self._heap)]
+
+    def remove(self, request: Request) -> bool:
+        """Drop one waiting request (deadline expiry / load shedding).
+
+        Returns False if the request is not in the queue.  The
+        remaining entries keep their original push counters, so
+        relative pop order is untouched.
+        """
+        for i, entry in enumerate(self._heap):
+            if entry[3] is request:
+                last = self._heap.pop()
+                if i < len(self._heap):
+                    self._heap[i] = last
+                    heapq.heapify(self._heap)
+                return True
+        return False
 
     def drain(self) -> List[Request]:
         """Pop every waiting request, in admission order."""

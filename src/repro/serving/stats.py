@@ -25,7 +25,7 @@ import numpy as np
 from ..config import ModelConfig, PruningConfig
 from ..core import schedule as sched
 from ..eval.reporting import Table
-from .request import RequestRecord
+from .request import RequestRecord, RequestStatus
 
 __all__ = [
     "SimulatedClock",
@@ -253,7 +253,27 @@ class ServingStats:
     reclaimed_tokens: int
     #: Records that never reached admission (partial / truncated runs).
     #: They are skipped — not crashed on — when aggregating latencies.
+    #: Terminal failures are *not* lumped in here: they get their own
+    #: counter below.
     n_unadmitted: int = 0
+    #: Requests that ended ``FAILED`` (unplaceable, retry budget or
+    #: deadline exhausted, or shed by the degradation ladder).  Failed
+    #: requests contribute no latency samples, so a run where nothing
+    #: survived reports its quantiles as NaN ("n/a"), never as zeros.
+    n_failed_requests: int = 0
+    #: Best-effort requests dropped by the degradation ladder plus
+    #: deadline expiries (both also counted in ``n_failed_requests``).
+    n_shed: int = 0
+    #: Requests escalated to a more aggressive cascade schedule under
+    #: pressure (rung 2 of the ladder); their streams are served in
+    #: full but marked degraded.
+    n_repruned: int = 0
+    #: KV-corruption strikes survived via quarantine-and-recompute.
+    n_corruptions: int = 0
+    #: Per-priority-tier breakdown (one dict per priority present in
+    #: the trace): request/finish/failure counts and TTFT percentiles,
+    #: NaN-aware exactly like the top-level quantiles.
+    tiers: List[dict] = field(default_factory=list)
     #: Admission mode the engine ran under (``reserve``/``optimistic``).
     admission: str = "reserve"
     #: Preemptions across the run (optimistic admission under pool
@@ -280,7 +300,11 @@ class ServingStats:
         # A record that never reached admission (a partial run cut short
         # by an error or an interrupted trace) has no queue_wait/TTFT;
         # skip it from the latency aggregates and count it instead of
-        # crashing the whole report.
+        # crashing the whole report.  Terminal failures are counted
+        # separately: with no survivors the quantiles come out NaN
+        # ("n/a"), so a run that failed everything can never masquerade
+        # as one with perfect latency.
+        failed = [r for r in records if r.status is RequestStatus.FAILED]
         admitted = [r for r in records if r.admit_time is not None]
         queue_waits = [r.queue_wait for r in admitted]
         ttfts = [
@@ -289,6 +313,25 @@ class ServingStats:
         ]
         decode_lat = [lat for r in records for lat in r.token_latencies]
         n_tokens = sum(r.n_generated for r in records)
+        tiers = []
+        for priority in sorted({r.request.priority for r in records}):
+            tier = [r for r in records if r.request.priority == priority]
+            tier_ttfts = [
+                r.time_to_first_token for r in tier
+                if r.first_token_time is not None
+            ]
+            tiers.append({
+                "priority": priority,
+                "n_requests": len(tier),
+                "n_finished": sum(
+                    r.status is RequestStatus.FINISHED for r in tier
+                ),
+                "n_failed_requests": sum(
+                    r.status is RequestStatus.FAILED for r in tier
+                ),
+                "ttft_p50": _percentile(tier_ttfts, 50),
+                "ttft_p95": _percentile(tier_ttfts, 95),
+            })
         return ServingStats(
             mode=mode,
             n_requests=len(records),
@@ -313,10 +356,19 @@ class ServingStats:
             occupancy_peak=occupancy_peak,
             reclaimed_pages=reclaimed_pages,
             reclaimed_tokens=reclaimed_tokens,
-            n_unadmitted=len(records) - len(admitted),
+            n_unadmitted=len(records) - len(admitted) - sum(
+                1 for r in failed if r.admit_time is None
+            ),
             admission=admission,
             n_preemptions=sum(r.n_preemptions for r in records),
             recompute_tokens=sum(r.recompute_tokens for r in records),
+            n_failed_requests=len(failed),
+            n_shed=sum(
+                1 for r in records if r.failure in ("shed", "deadline")
+            ),
+            n_repruned=sum(1 for r in records if r.degraded),
+            n_corruptions=sum(r.n_corruptions for r in records),
+            tiers=tiers,
             records=records,
         )
 
@@ -336,6 +388,10 @@ class ServingStats:
             for f in fields(self)
             if f.name != "records"
         }
+        out["tiers"] = [
+            {key: _null_if_nan(value) for key, value in tier.items()}
+            for tier in self.tiers
+        ]
         out["schema_version"] = STATS_SCHEMA_VERSION
         return out
 
@@ -353,6 +409,16 @@ class ServingStats:
         if self.n_unadmitted:
             t.add_row("requests never admitted (partial run)",
                       str(self.n_unadmitted))
+        if self.n_failed_requests:
+            t.add_row("requests failed", str(self.n_failed_requests))
+        if self.n_shed:
+            t.add_row("requests shed (deadline / load shedding)",
+                      str(self.n_shed))
+        if self.n_repruned:
+            t.add_row("requests repruned under pressure",
+                      str(self.n_repruned))
+        if self.n_corruptions:
+            t.add_row("KV corruptions quarantined", str(self.n_corruptions))
         t.add_row("tokens generated", str(self.n_tokens))
         t.add_row("makespan (s)", f"{self.makespan_s:.3f}")
         t.add_row("throughput (tok/s)", f"{self.throughput_tps:.1f}")
@@ -368,6 +434,15 @@ class ServingStats:
                                     self.decode_latency_p95,
                                     self.decode_latency_p99), ms, ".2f"))
         t.add_row("mean live batch", f"{self.mean_batch_size:.2f}")
+        if len(self.tiers) > 1:
+            for tier in self.tiers:
+                t.add_row(
+                    f"tier p{tier['priority']} finished/failed/total",
+                    f"{tier['n_finished']}/{tier['n_failed_requests']}/"
+                    f"{tier['n_requests']}, ttft p95 "
+                    + format_quantiles((tier["ttft_p95"],), ms, ".1f")
+                    + " ms",
+                )
         if self.admission != "reserve":
             t.add_row("admission mode", self.admission)
         if self.n_preemptions:

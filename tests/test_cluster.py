@@ -487,7 +487,7 @@ class TestClusterEngine:
         )
         pool.audit()
         assert stats.n_failed_requests > 0
-        assert stats.n_failed_requests == stats.fleet.n_unadmitted
+        assert stats.n_failed_requests == stats.fleet.n_failed_requests
         failed = [
             r for r in stats.fleet.records
             if r.status is RequestStatus.FAILED
@@ -544,11 +544,19 @@ class TestClusterEngine:
             ClusterEngine(model, pool, drain_events=[(0.1, 9)])
         with pytest.raises(ValueError, match="non-negative"):
             ClusterEngine(model, pool, drain_events=[(-0.1, 0)])
-        with pytest.raises(ValueError, match="once"):
+        # Overlapping retire events (no recover in between) are
+        # rejected; a drain -> recover -> fail sequence is legal.
+        with pytest.raises(ValueError, match="recover first"):
             ClusterEngine(
                 model, pool, drain_events=[(0.1, 0)],
                 fail_events=[(0.2, 0)],
             )
+        with pytest.raises(ValueError, match="still active"):
+            ClusterEngine(model, pool, recover_events=[(0.1, 0)])
+        ClusterEngine(
+            model, pool, drain_events=[(0.1, 0)],
+            recover_events=[(0.15, 0)], fail_events=[(0.2, 0)],
+        )
 
     def test_infeasible_request_rejected_up_front(self, cluster_setup):
         config, model, corpus = cluster_setup
