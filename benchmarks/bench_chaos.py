@@ -313,7 +313,7 @@ def test_chaos_soak(chaos_world, benchmark, publish):
 
 
 @pytest.mark.smoke
-def test_chaos_smoke(chaos_world, publish):
+def test_chaos_smoke(chaos_world, publish, history):
     """Tier-1 gate: a reduced seed sweep plus the degradation cell.
 
     Fails the build if any chaos cell dirties the ledger, loses a
@@ -327,6 +327,15 @@ def test_chaos_smoke(chaos_world, publish):
     rows = chaos_matrix(config, model, requests, SMOKE_SEEDS, baseline)
     check_claims(config, model, requests, rows, baseline)
     degrade_stats = run_degrade_cell(config, model, requests)
+    from repro.insight import metric
+
+    moderate = [row for _, _, row in rows if row["profile"] == "moderate"]
+    retention = sum(r["retention"] for r in moderate) / len(moderate)
+    history("chaos", {
+        "baseline_goodput_tps": metric(baseline.goodput_tps, "tok/s",
+                                       "higher"),
+        "moderate_retention": metric(retention, "x", "higher"),
+    }, context={"seeds": len(SMOKE_SEEDS)})
     publish(
         "chaos_soak_smoke",
         make_matrix_table(rows, baseline,

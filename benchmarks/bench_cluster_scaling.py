@@ -203,7 +203,7 @@ def test_single_replica_cluster_matches_plain_engine(cluster_world, publish):
 
 
 @pytest.mark.smoke
-def test_cluster_scaling_smoke(cluster_world, publish):
+def test_cluster_scaling_smoke(cluster_world, publish, history):
     """Tier-1 gate: scaling >= 1.8x and the pruning-aware TTFT win.
 
     Runs the same trace as the full sweep but only the three cells the
@@ -232,6 +232,13 @@ def test_cluster_scaling_smoke(cluster_world, publish):
     aware = results[(2, "pruning_aware")].fleet
     blind = results[(2, "round_robin")].fleet
     assert aware.ttft_p95 < blind.ttft_p95
+    from repro.insight import metric
+
+    history("cluster_scaling", {
+        "scaling_1_to_2": metric(two / one, "x", "higher"),
+        "aware_ttft_p95_ms": metric(aware.ttft_p95 * 1e3, "ms", "lower"),
+        "blind_ttft_p95_ms": metric(blind.ttft_p95 * 1e3, "ms", "lower"),
+    }, context={"n_requests": N_REQUESTS, "rate_per_s": RATE})
     for stats in results.values():
         assert all(
             r.n_generated == r.request.max_new_tokens

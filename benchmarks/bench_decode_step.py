@@ -243,13 +243,23 @@ def engine_wall_clock(config, model):
 
 
 @pytest.mark.smoke
-def test_decode_step_smoke(decode_world, publish):
+def test_decode_step_smoke(decode_world, publish, history):
     """Batch-16 regression gate for tier-1: packed must not lose to
     looped (speedup < 1x fails the build) and must stay bit-identical."""
+    from repro.insight import metric
+
     _, model, backend = decode_world
     rows = decode_sweep(model, backend, [(16, 192)], steps=4, trials=4)
     table = speedup_table(rows, "decode step smoke (batch 16)")
     publish("decode_step_smoke", table)
     (_, _, r), = rows
+    # Wall-clock ratios wobble with machine load, so these carry a much
+    # wider tolerance floor than the simulated-clock metrics.
+    history("decode_step", {
+        "looped_over_packed": metric(r["looped"] / r["packed"], "x",
+                                     "higher", rel_tol=0.6),
+        "pr2_over_packed": metric(r["pr2"] / r["packed"], "x",
+                                  "higher", rel_tol=0.5),
+    }, context={"batch": 16, "seq_len": 192})
     assert r["looped"] / r["packed"] >= 1.0, "looped-vs-packed regression"
     assert r["pr2"] / r["packed"] >= 1.1, "lost the win over the PR-2 path"

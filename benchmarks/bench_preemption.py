@@ -208,7 +208,7 @@ def test_admission_mode_sweep(preemption_world, benchmark, publish):
 
 
 @pytest.mark.smoke
-def test_admission_mode_smoke(preemption_world, publish):
+def test_admission_mode_smoke(preemption_world, publish, history):
     """Tier-1 gate: optimistic admission must not lose to reserve mode.
 
     Runs only the two cells the acceptance bar needs and fails the
@@ -224,3 +224,14 @@ def test_admission_mode_smoke(preemption_world, publish):
         make_table(results, "admission modes smoke (reserve vs optimistic)"),
     )
     check_claims(results)
+    from repro.insight import metric
+
+    reserve = results[BASELINE_KEY]
+    optimistic = results[OPTIMISTIC_KEY]
+    history("preemption", {
+        "reserve_tps": metric(reserve.throughput_tps, "tok/s", "higher"),
+        "optimistic_tps": metric(optimistic.throughput_tps, "tok/s",
+                                 "higher"),
+        "optimistic_ttft_p95_ms": metric(optimistic.ttft_p95 * 1e3, "ms",
+                                         "lower"),
+    }, context={"cells": "smoke"})

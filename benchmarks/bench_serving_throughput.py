@@ -21,6 +21,7 @@ import pytest
 
 from repro.config import GPT2_SMALL, PruningConfig
 from repro.eval.reporting import Table
+from repro.insight import metric
 from repro.serving import KVMemoryPool, ServingEngine
 from repro.workloads import (
     accuracy_scale_config,
@@ -214,7 +215,7 @@ def test_chunked_prefill_ttft_under_load(long_prompt_world, benchmark,
 
 
 @pytest.mark.smoke
-def test_chunked_prefill_smoke(long_prompt_world, publish):
+def test_chunked_prefill_smoke(long_prompt_world, publish, history):
     """Single rate, both modes — the tier-1 chunked-prefill check."""
     config, model, corpus = long_prompt_world
     requests = synthetic_request_trace(
@@ -238,11 +239,19 @@ def test_chunked_prefill_smoke(long_prompt_world, publish):
         )
         assert chunked.ttft_p95 < mono.ttft_p95
         assert chunked.decode_latency_p95 < mono.decode_latency_p95
+        if mode == "spatten":
+            history("chunked_prefill", {
+                "ttft_p95_ms": metric(chunked.ttft_p95 * 1e3, "ms",
+                                      "lower"),
+                "decode_p95_ms": metric(
+                    chunked.decode_latency_p95 * 1e3, "ms", "lower"
+                ),
+            }, context={"mode": mode, "prefill": "chunked"})
     publish("serving_chunked_prefill_smoke", table)
 
 
 @pytest.mark.smoke
-def test_serving_throughput_smoke(serving_world, publish):
+def test_serving_throughput_smoke(serving_world, publish, history):
     """Single saturated rate, small trace — the tier-1 smoke check."""
     config, model, corpus = serving_world
     requests = synthetic_request_trace(
@@ -260,5 +269,12 @@ def test_serving_throughput_smoke(serving_world, publish):
                       f"{stats.mean_batch_size:.2f}",
                       str(stats.reclaimed_pages))
     publish("serving_throughput_smoke", table)
+    history("serving_throughput", {
+        "dense_tps": metric(dense.throughput_tps, "tok/s", "higher"),
+        "spatten_tps": metric(spatten.throughput_tps, "tok/s", "higher"),
+        "spatten_reclaimed_pages": metric(
+            spatten.reclaimed_pages, "pages", "higher"
+        ),
+    }, context={"rate_per_s": 1000.0, "n_requests": 8})
     assert spatten.throughput_tps > dense.throughput_tps
     assert spatten.reclaimed_pages > 0

@@ -40,3 +40,26 @@ def publish():
         sys.stdout.write("\n" + text + "\n")
 
     return _publish
+
+
+@pytest.fixture(scope="session")
+def history():
+    """Append a bench's headline metrics to the regression history.
+
+    Records land in ``benchmarks/results/history/<bench>.jsonl`` —
+    normalized, timestamp-free, append-iff-different — where
+    ``repro bench-compare`` judges the newest against the median of
+    the rest.  Use :func:`repro.insight.metric` entries::
+
+        history("serving_throughput",
+                {"throughput_tps": metric(stats.throughput_tps,
+                                          "tok/s", "higher")},
+                context={"mode": "spatten"})
+    """
+    from repro.insight import append_history
+
+    def _history(bench: str, metrics: dict, context: dict = None) -> None:
+        append_history(RESULTS_DIR / "history", bench, metrics,
+                       context=context)
+
+    return _history

@@ -31,9 +31,25 @@ python -m pytest -q -m smoke tests/test_serving.py \
 mkdir -p benchmarks/results/telemetry
 python -m repro.cli serve --mode spatten --requests 8 --layers 2 \
     --audit-every 4 --profile \
+    --slo all:ttft:p95:50 --slo all:e2e:p99:400 \
     --trace-out benchmarks/results/telemetry/serve_trace.json \
     --metrics-out benchmarks/results/telemetry/serve_metrics.jsonl \
     --prom-out benchmarks/results/telemetry/serve_metrics.prom \
     --stats-json benchmarks/results/telemetry/serve_stats.json
 python -m repro.cli trace-report \
     benchmarks/results/telemetry/serve_trace.json
+
+# SLO + latency-attribution report over the same trace (repro.insight):
+# deterministic text + JSON artifacts, exit 1 on a missed objective.
+python -m repro.cli slo-report \
+    benchmarks/results/telemetry/serve_trace.json \
+    --slo all:ttft:p95:50 --slo all:e2e:p99:400 \
+    --out benchmarks/results/telemetry/slo_report.json \
+    | tee benchmarks/results/telemetry/slo_report.txt
+
+# Perf-regression gate: judge each smoke bench's newest history record
+# (appended by the smoke run above) against the median of its earlier
+# ones; noise-aware thresholds, exit 1 on regression.
+python -m repro.cli bench-compare \
+    --history benchmarks/results/history \
+    --out benchmarks/results/bench_compare.json

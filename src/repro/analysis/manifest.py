@@ -69,6 +69,9 @@ CLOCK_DOMAINS: Dict[str, str] = {
     "repro.telemetry.profiler": "wall",
     "repro.telemetry.export": "neutral",
     "repro.telemetry.report": "neutral",
+    # Post-hoc analysis over traces, records, and bench results; reads
+    # simulated timestamps out of artifacts but never a live clock.
+    "repro.insight": "neutral",
     # Operator surface: prints wall-clock progress (per-line allowed),
     # imports both serving and telemetry.
     "repro.cli": "neutral",

@@ -91,6 +91,26 @@ the *simulated* clock, so identical runs produce byte-identical
 artifacts.  ``repro trace-report PATH`` renders a per-phase time
 breakdown, the pruning-savings timeline, and a preemption/requeue
 storm table from a trace file without a browser.
+
+SLOs and latency attribution (:mod:`repro.insight`): both serving
+subcommands accept repeated ``--slo CLASS:METRIC:pPCT:TARGET_MS``
+objectives (e.g. ``--slo 0:ttft:p95:150 --slo all:e2e:p99:2000``)
+evaluated on the simulated clock, with ``--slo-window-ms`` setting the
+tumbling window for error-budget burn-rate accounting; attainment
+lands in the stats report's ``slo`` section without perturbing any
+other field.  ``repro slo-report TRACE --slo SPEC`` evaluates the same
+objectives *offline* over a ``--trace-out`` file and prints the exact
+critical-path latency attribution (every request's end-to-end latency
+decomposed bit-exactly into queue wait, prefill, decode,
+preempt/quarantine/drain discard + requeue, and retry backoff) — exit
+1 when an objective is missed.  ``repro bench-compare`` judges each
+benchmark's newest history record (``benchmarks/results/history/
+*.jsonl``, appended by the bench smoke suite) against the median of
+its earlier records with noise-aware thresholds, exiting 1 on
+regression; ``--history DIR`` points it elsewhere.  Both subcommands
+share the ``--format`` / ``--out`` conventions of ``repro lint``.  See
+the "SLOs, latency attribution & regression tracking" section of the
+serving guide (:mod:`repro.serving`).
 """
 
 from __future__ import annotations
@@ -202,6 +222,65 @@ def trace_report_command(args) -> int:
     return 0
 
 
+def slo_report_command(args) -> int:
+    """Evaluate SLOs + latency attribution over a saved trace file."""
+    import json
+
+    from .insight import SLOPolicy, TraceAttribution, timelines_from_events
+    from .telemetry import load_chrome_trace
+
+    try:
+        policy = SLOPolicy.from_specs(
+            args.slo, window_s=args.slo_window_ms / 1e3
+        )
+        events = load_chrome_trace(args.path)
+        timelines = timelines_from_events(events)
+        makespan_us = max(
+            (tl.end_us for tl in timelines.values()
+             if tl.end_us is not None),
+            default=0,
+        )
+        report = policy.evaluate_timelines(timelines, float(makespan_us) / 1e6)
+        attribution = TraceAttribution.from_timelines(timelines)
+    except (OSError, ValueError) as exc:
+        print(f"slo-report: {exc}", file=sys.stderr)
+        return 2
+    doc = {"slo": report.to_dict(), "attribution": attribution.to_dict()}
+    if args.format == "json":
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(report.render())
+        print()
+        print(attribution.render())
+    if args.out:
+        # The archived report is always the JSON rendering (CI artifact).
+        with open(args.out, "w") as fh:
+            fh.write(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return 0 if report.attained is not False else 1
+
+
+def bench_compare_command(args) -> int:
+    """Gate on benchmark history: latest run vs median of earlier runs."""
+    import json
+
+    from .insight import compare_all
+
+    try:
+        report = compare_all(args.history, args.names or None)
+    except (OSError, ValueError) as exc:
+        print(f"bench-compare: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(json.dumps(report.to_dict(), indent=2, sort_keys=True)
+                     + "\n")
+    return report.exit_code
+
+
 def serve_cluster_command(args) -> int:
     """Serve a trace across N replicas behind the cluster router."""
     from .serving import PoolExhausted
@@ -273,6 +352,15 @@ def _build_telemetry(args):
         metrics=bool(args.metrics_out or args.prom_out),
         profile=bool(args.profile),
     )
+
+
+def _build_slo(args):
+    """Construct an SLOPolicy from repeated --slo flags, or None."""
+    if not args.slo:
+        return None
+    from .insight import SLOPolicy
+
+    return SLOPolicy.from_specs(args.slo, window_s=args.slo_window_ms / 1e3)
 
 
 def _sink_path(path, mode, multi_mode: bool):
@@ -382,6 +470,7 @@ def _serve(args) -> int:
     prefill_chunk = args.prefill_chunk if args.prefill_chunk != 0 else None
     multi_mode = len(modes) > 1
     _check_stdout_sinks(args, multi_mode)
+    slo = _build_slo(args)
     throughputs = {}
     stats_by_mode = {}
     for mode, mode_pruning in modes:
@@ -400,6 +489,7 @@ def _serve(args) -> int:
             headroom_pages=args.headroom_pages,
             telemetry=telemetry,
             audit_every=args.audit_every,
+            slo=slo,
         )
         stats = engine.run(requests)
         throughputs[mode] = stats.throughput_tps
@@ -557,6 +647,7 @@ def _serve_cluster(args) -> int:
         degradation=degradation,
         telemetry=telemetry,
         audit_every=args.audit_every,
+        slo=_build_slo(args),
     )
     if fault_plan is not None:
         counts = ", ".join(
@@ -653,6 +744,18 @@ def _add_serving_flags(parser) -> None:
                              "engine steps (global ledger audit in "
                              "serve-cluster); counted in telemetry as "
                              "repro_pool_audits_total")
+    parser.add_argument("--slo", action="append", metavar="SPEC", default=None,
+                        help="declare an SLO objective as CLASS:METRIC:pPCT:"
+                             "TARGET_MS (CLASS is a priority tier or 'all'; "
+                             "METRIC is ttft/tpot/e2e), e.g. 0:ttft:p95:150 "
+                             "or all:e2e:p99:2000; repeatable.  The stats "
+                             "report gains an 'slo' section with attainment "
+                             "and error-budget burn (simulated clock; core "
+                             "stats stay bit-identical)")
+    parser.add_argument("--slo-window-ms", type=float, default=100.0,
+                        metavar="W",
+                        help="tumbling window width (simulated ms) for SLO "
+                             "error-budget burn-rate accounting")
 
 
 def main(argv=None) -> int:
@@ -753,6 +856,43 @@ def main(argv=None) -> int:
              "breakdown, pruning-savings timeline, preemption/requeue storms",
     )
     report.add_argument("path", help="Chrome trace-event JSON file")
+    slo_report = sub.add_parser(
+        "slo-report",
+        help="evaluate SLO attainment and exact critical-path latency "
+             "attribution over a trace file written by --trace-out",
+    )
+    slo_report.add_argument("path", help="Chrome trace-event JSON file")
+    slo_report.add_argument("--slo", action="append", metavar="SPEC",
+                            required=True,
+                            help="SLO objective as CLASS:METRIC:pPCT:"
+                                 "TARGET_MS (repeatable; see `serve --slo`)")
+    slo_report.add_argument("--slo-window-ms", type=float, default=100.0,
+                            metavar="W",
+                            help="tumbling window width (simulated ms) for "
+                                 "burn-rate accounting")
+    slo_report.add_argument("--format", choices=("text", "json"),
+                            default="text", help="console report format")
+    slo_report.add_argument("--out", metavar="PATH", default=None,
+                            help="also write the JSON report to PATH "
+                                 "(CI archives it as a build artifact)")
+    compare = sub.add_parser(
+        "bench-compare",
+        help="gate on benchmark history: judge each bench's latest "
+             "record against the median of its earlier ones with "
+             "noise-aware thresholds (exit 1 on regression)",
+    )
+    compare.add_argument("names", nargs="*", metavar="BENCH",
+                         help="bench histories to compare (default: every "
+                              "*.jsonl under the history directory; naming "
+                              "a bench with no history file fails)")
+    compare.add_argument("--history", metavar="DIR",
+                         default="benchmarks/results/history",
+                         help="history directory of per-bench JSONL files")
+    compare.add_argument("--format", choices=("text", "json"),
+                         default="text", help="console report format")
+    compare.add_argument("--out", metavar="PATH", default=None,
+                         help="also write the JSON report to PATH "
+                              "(CI archives it as a build artifact)")
     args = parser.parse_args(argv)
 
     if args.command == "serve":
@@ -763,6 +903,10 @@ def main(argv=None) -> int:
         return lint_command(args)
     if args.command == "trace-report":
         return trace_report_command(args)
+    if args.command == "slo-report":
+        return slo_report_command(args)
+    if args.command == "bench-compare":
+        return bench_compare_command(args)
 
     if args.command == "list":
         for name in EXPERIMENTS:

@@ -184,6 +184,7 @@ class ClusterEngine:
         degradation: Optional[DegradationPolicy] = None,
         telemetry: Optional[Telemetry] = None,
         audit_every: Optional[int] = None,
+        slo: Optional[object] = None,
     ):
         if audit_every is not None and audit_every < 1:
             raise ValueError("audit_every must be >= 1, or None to disable")
@@ -196,6 +197,12 @@ class ClusterEngine:
         self.admission = admission
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.audit_every = audit_every
+        #: Optional SLO policy (:class:`repro.insight.SLOPolicy`), held
+        #: by duck type (no import edge on the analysis layer) and
+        #: evaluated read-only over the fleet's pooled records at the
+        #: end of :meth:`run` — per-replica stats deliberately carry no
+        #: SLO verdicts, a partial fleet view would misattribute them.
+        self.slo = slo
         self.router = router if router is not None else ClusterRouter(policy)
         if self.telemetry.active:
             self.router.observer = self
@@ -378,7 +385,7 @@ class ClusterEngine:
             sum(self._mttr_samples) / len(self._mttr_samples)
             if self._mttr_samples else float("nan")
         )
-        return ClusterStats.from_run(
+        stats = ClusterStats.from_run(
             policy=self.router.policy,
             admission=self.admission,
             records=[records[i] for i in sorted(records)],
@@ -416,6 +423,11 @@ class ClusterEngine:
             availability=self._availability(makespan),
             mttr_s=mttr,
         )
+        if self.slo is not None:
+            stats.slo = self.slo.evaluate_records(
+                [records[i] for i in sorted(records)], makespan_s=makespan
+            ).to_dict()
+        return stats
 
     # ------------------------------------------------------------------
     def _route(
@@ -500,6 +512,10 @@ class ClusterEngine:
         t: float,
         reason: str,
     ) -> None:
+        # repro: allow[obs-span-balance] -- an unplaced request holds no
+        # open lifecycle span (it never reached a replica queue); its
+        # terminal marker is the route_failed instant below, and latency
+        # attribution books its whole life as retry backoff.
         record.status = RequestStatus.FAILED
         record.failure = reason
         self.failed_requests.append(request.request_id)
@@ -508,6 +524,7 @@ class ClusterEngine:
             tel.tracer.instant(
                 "route_failed", t, "fleet", "router",
                 request_id=request.request_id, reason=reason,
+                arrival_time=request.arrival_time,
             )
         if tel.metrics is not None:
             tel.metrics.counter(

@@ -61,6 +61,12 @@ class ClusterStats:
     goodput_tps: float = 0.0
     #: Mean crash-to-rejoin repair time; NaN when nothing recovered.
     mttr_s: float = float("nan")
+    #: Fleet-level SLO attainment report
+    #: (:meth:`repro.insight.SLOReport.to_dict`) when the cluster ran
+    #: under an SLO policy, else ``None``.  Computed over the pooled
+    #: records after :meth:`from_run`; read-only, so every other field
+    #: is bit-identical with and without it.
+    slo: Optional[dict] = None
     #: Each replica's own ServingStats, as reported by its engine.
     replicas: List[ServingStats] = field(default_factory=list)
 
@@ -153,6 +159,7 @@ class ClusterStats:
             "availability": self.availability,
             "goodput_tps": self.goodput_tps,
             "mttr_s": _null_if_nan(self.mttr_s),
+            "slo": self.slo,
             "routed_counts": list(self.routed_counts),
             "fleet": self.fleet.to_dict(),
             "replicas": [s.to_dict() for s in self.replicas],

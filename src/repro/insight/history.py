@@ -1,0 +1,291 @@
+"""Continuous benchmark history: append-only records + regression gate.
+
+Every smoke bench publishes its headline numbers through
+:func:`append_history`, which writes one normalized JSON line per run
+into ``benchmarks/results/history/<bench>.jsonl``.  Records carry *no*
+wall-clock timestamps — two identical runs produce byte-identical
+records, and :func:`append_history` skips the append when the new
+record equals the last one, so re-running a deterministic bench never
+grows the file.  History therefore only accumulates when the numbers
+actually move, which is exactly the signal the regression gate needs.
+
+``repro bench-compare`` (and the CI step behind it) reads each history
+file and judges the **latest** record against the **median of the
+earlier** records per metric.  The threshold is noise-aware: the
+allowed relative drift is ``max(rel_tol, 3 * MAD / |median|)`` where
+MAD is the median absolute deviation of the earlier values — a metric
+that historically wobbles earns proportional slack, a rock-stable one
+is held tight.  Only the metric's bad direction fails (a throughput
+gain or latency drop is reported as ``improved``, never an error).
+A file with a single record is its own baseline and passes.
+
+Record schema (one JSON object per line)::
+
+    {"schema": 1, "bench": "serving_throughput",
+     "context": {"mode": "spatten"},
+     "metrics": {"throughput_tps": {"value": 123.4, "unit": "tok/s",
+                                    "direction": "higher",
+                                    "rel_tol": 0.05}}}
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from ..eval.reporting import Table
+
+__all__ = [
+    "HISTORY_SCHEMA_VERSION",
+    "CompareReport",
+    "append_history",
+    "compare_all",
+    "compare_history",
+    "load_history",
+    "metric",
+]
+
+HISTORY_SCHEMA_VERSION = 1
+
+#: Default allowed relative drift when a metric does not override it.
+DEFAULT_REL_TOL = 0.05
+
+_DIRECTIONS = ("higher", "lower")
+
+
+def metric(
+    value: float,
+    unit: str,
+    direction: str = "higher",
+    rel_tol: float = DEFAULT_REL_TOL,
+) -> dict:
+    """Build one normalized metric entry for :func:`append_history`.
+
+    ``direction`` names the *good* direction: ``higher`` (throughput)
+    or ``lower`` (latency).  ``rel_tol`` is the minimum allowed relative
+    drift before the gate fails; noisy metrics (wall-clock ratios)
+    should pass a larger value.
+    """
+    if direction not in _DIRECTIONS:
+        raise ValueError(
+            f"metric direction must be one of {_DIRECTIONS}, "
+            f"got {direction!r}"
+        )
+    if not rel_tol > 0:
+        raise ValueError(f"rel_tol must be positive, got {rel_tol}")
+    if not math.isfinite(float(value)):
+        raise ValueError(f"metric value must be finite, got {value}")
+    return {
+        "value": float(value),
+        "unit": unit,
+        "direction": direction,
+        "rel_tol": float(rel_tol),
+    }
+
+
+def append_history(
+    history_dir, bench: str, metrics: Dict[str, dict],
+    context: Optional[dict] = None,
+) -> Path:
+    """Append one record to ``<history_dir>/<bench>.jsonl``.
+
+    The append is skipped when the record equals the file's last line,
+    so deterministic re-runs leave history untouched (and artifact
+    uploads byte-identical).  Returns the history file path.
+    """
+    if not metrics:
+        raise ValueError(f"bench {bench!r} published no metrics")
+    record = {
+        "schema": HISTORY_SCHEMA_VERSION,
+        "bench": bench,
+        "context": dict(sorted((context or {}).items())),
+        "metrics": {name: dict(metrics[name]) for name in sorted(metrics)},
+    }
+    line = json.dumps(record, sort_keys=True)
+    history_dir = Path(history_dir)
+    history_dir.mkdir(parents=True, exist_ok=True)
+    path = history_dir / f"{bench}.jsonl"
+    if path.exists():
+        existing = path.read_text().rstrip("\n").splitlines()
+        if existing and existing[-1] == line:
+            return path
+    with path.open("a") as fh:
+        fh.write(line + "\n")
+    return path
+
+
+def load_history(path) -> List[dict]:
+    """Load one bench's records, oldest first."""
+    records = []
+    for lineno, line in enumerate(
+        Path(path).read_text().splitlines(), start=1
+    ):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"{path}:{lineno}: not a JSON record ({exc})"
+            ) from None
+        if record.get("schema") != HISTORY_SCHEMA_VERSION:
+            raise ValueError(
+                f"{path}:{lineno}: history schema "
+                f"{record.get('schema')!r} != {HISTORY_SCHEMA_VERSION}"
+            )
+        records.append(record)
+    return records
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def compare_history(records: Sequence[dict]) -> List[dict]:
+    """Judge the latest record against the median of the earlier ones.
+
+    Returns one verdict dict per metric in the latest record, with
+    ``status`` in ``baseline`` (no earlier data), ``ok``, ``improved``
+    (moved the good direction beyond tolerance), or ``regressed``.
+    """
+    if not records:
+        return []
+    latest = records[-1]
+    earlier = records[:-1]
+    verdicts = []
+    for name in sorted(latest["metrics"]):
+        entry = latest["metrics"][name]
+        value = float(entry["value"])
+        direction = entry.get("direction", "higher")
+        rel_tol = float(entry.get("rel_tol", DEFAULT_REL_TOL))
+        baseline_values = [
+            float(r["metrics"][name]["value"])
+            for r in earlier if name in r.get("metrics", {})
+        ]
+        verdict = {
+            "bench": latest["bench"],
+            "metric": name,
+            "value": value,
+            "unit": entry.get("unit", ""),
+            "direction": direction,
+            "n_baseline": len(baseline_values),
+        }
+        if not baseline_values:
+            verdict.update(status="baseline", baseline=None, drift=None,
+                           tolerance=rel_tol)
+            verdicts.append(verdict)
+            continue
+        baseline = _median(baseline_values)
+        # Noise-aware threshold: a metric that historically wobbles by
+        # some MAD earns proportional slack beyond its floor rel_tol.
+        mad = _median([abs(v - baseline) for v in baseline_values])
+        tolerance = rel_tol
+        if baseline != 0:
+            tolerance = max(rel_tol, 3.0 * mad / abs(baseline))
+        drift = (
+            (value - baseline) / abs(baseline) if baseline != 0
+            else (0.0 if value == 0 else math.inf)
+        )
+        # Signed drift toward the *bad* direction for this metric.
+        bad_drift = -drift if direction == "higher" else drift
+        if bad_drift > tolerance:
+            status = "regressed"
+        elif -bad_drift > tolerance:
+            status = "improved"
+        else:
+            status = "ok"
+        verdict.update(
+            status=status, baseline=baseline,
+            drift=None if math.isinf(drift) else drift,
+            tolerance=tolerance,
+        )
+        verdicts.append(verdict)
+    return verdicts
+
+
+@dataclass
+class CompareReport:
+    """Regression verdicts across every bench in a history directory."""
+
+    verdicts: List[dict] = field(default_factory=list)
+    missing: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[dict]:
+        return [v for v in self.verdicts if v["status"] == "regressed"]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.regressions or self.missing else 0
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": HISTORY_SCHEMA_VERSION,
+            "n_metrics": len(self.verdicts),
+            "n_regressions": len(self.regressions),
+            "missing": list(self.missing),
+            "verdicts": [dict(v) for v in self.verdicts],
+        }
+
+    def table(self) -> Table:
+        t = Table(
+            title=(
+                f"bench-compare — {len(self.verdicts)} metric(s), "
+                f"{len(self.regressions)} regression(s)"
+            ),
+            headers=["bench", "metric", "value", "baseline", "drift",
+                     "tol", "status"],
+        )
+        for v in self.verdicts:
+            drift = v["drift"]
+            t.add_row(
+                v["bench"], v["metric"],
+                f"{v['value']:.4g} {v['unit']}".rstrip(),
+                "n/a" if v["baseline"] is None else f"{v['baseline']:.4g}",
+                "n/a" if drift is None else f"{drift:+.1%}",
+                f"{v['tolerance']:.1%}",
+                v["status"],
+            )
+        for name in self.missing:
+            t.add_note(f"MISSING history: {name}")
+        if not self.verdicts and not self.missing:
+            t.add_note("no history files found")
+        return t
+
+    def render(self) -> str:
+        return str(self.table())
+
+
+def compare_all(
+    history_dir, benches: Optional[Sequence[str]] = None
+) -> CompareReport:
+    """Compare every (or the named) bench history under a directory.
+
+    Naming a bench with no history file is an error (``missing``) so a
+    gate listing its expected benches fails loudly when one silently
+    stopped publishing.
+    """
+    history_dir = Path(history_dir)
+    report = CompareReport()
+    if benches:
+        names = list(benches)
+    else:
+        names = sorted(
+            p.stem for p in history_dir.glob("*.jsonl")
+        ) if history_dir.is_dir() else []
+    for name in names:
+        path = history_dir / f"{name}.jsonl"
+        if not path.is_file():
+            report.missing.append(name)
+            continue
+        report.verdicts.extend(compare_history(load_history(path)))
+    return report

@@ -318,6 +318,69 @@ simulated clock.  ``audit_every=N`` (CLI ``--audit-every``)
 additionally runs the pool's ledger audit every N steps, counted as
 ``repro_pool_audits_total``.
 
+SLOs, latency attribution & regression tracking
+-----------------------------------------------
+
+:mod:`repro.insight` is the analysis layer on top of the telemetry
+above: it turns traces, request records, and bench results into
+verdicts, without perturbing anything (engines never import it, and
+the same inertness contract applies — insight on vs off leaves token
+streams and core stats bit-identical).
+
+**Critical-path latency attribution.**  Every request's end-to-end
+latency decomposes into an *exact* blame vector — the lifecycle spans
+and instants in a trace tile its arrival-to-terminal interval with no
+slack, and :class:`repro.insight.TraceAttribution` does the
+arithmetic in :class:`fractions.Fraction` so the per-cause and
+per-phase totals sum bit-exactly to the recorded e2e latency (any
+trace that cannot be tiled raises instead of guessing).  The cause
+taxonomy:
+
+===================  ========  ==============================================
+cause                phase     books the time a request spent...
+===================  ========  ==============================================
+queue_wait           queued    waiting for admission, no disruption pending
+prefill              prefill   committing prompt chunks
+decode               decode    generating tokens (inter-token gaps included)
+preempt_discard      varies    in work discarded by a preemption
+preempt_requeue      queued    re-waiting (and recomputing) after preemption
+quarantine_discard   varies    in work discarded by a KV-corruption strike
+quarantine_requeue   queued    re-waiting after quarantine recompute
+drain_discard        varies    in work discarded by a replica drain/fail
+drain_requeue        queued    re-waiting after a drain requeued it
+retry_backoff        offline   in placement retry backoff (cluster router)
+===================  ========  ==============================================
+
+(*varies*: a discard keeps the phase of the span it voided — a
+preempted decode books its discarded time under the decode phase.)
+
+**Declarative SLOs.**  :class:`repro.insight.SLOPolicy` holds
+objectives written ``CLASS:METRIC:pPCT:TARGET_MS`` — traffic class
+(a priority tier or ``all``), metric (``ttft`` / ``tpot`` / ``e2e``),
+percentile, and a simulated-millisecond target, e.g. ``0:ttft:p95:150``
+or ``all:e2e:p99:2000``.  Evaluation reports the measured percentile
+(NaN-honest: no samples renders ``n/a`` / JSON ``null``), attainment,
+and error-budget burn rate per tumbling simulated-clock window (burn
+> 1 means the window spent violation budget, ``1 - pct/100``, faster
+than the objective allows; failed requests violate every objective on
+their tier).  Wire it in with ``ServingEngine(slo=policy)`` /
+``ClusterEngine(slo=policy)`` or CLI ``--slo SPEC`` (repeatable,
+window via ``--slo-window-ms``) — attainment lands in the stats
+report's ``slo`` section — or evaluate a saved trace offline:
+``repro slo-report TRACE --slo SPEC`` prints attainment plus the full
+attribution breakdown and exits 1 on a missed objective.
+
+**Continuous perf tracking.**  The bench smoke suite appends each
+run's headline numbers to ``benchmarks/results/history/*.jsonl`` via
+:func:`repro.insight.append_history` — normalized, timestamp-free
+records (a re-run with identical numbers appends nothing, so history
+only grows when the numbers move).  ``repro bench-compare`` judges
+each bench's newest record against the *median* of its earlier ones
+with noise-aware thresholds (``max(rel_tol, 3 * MAD / |median|)`` per
+metric, failing only in the metric's bad direction) and exits 1 on
+regression; ``--history DIR`` selects the directory, and tier-1/CI
+run it after the smoke benches as a hard gate.
+
 Static analysis
 ---------------
 
@@ -356,6 +419,11 @@ hard gate ahead of the test suite, archiving the JSON report (CLI
   match the checked-in golden ``benchmarks/results/
   stats_schema_v1.json`` (``tests/test_analysis.py`` round-trips the
   same contract at runtime).
+* **observability** — ``obs-span-balance``: any serving/cluster code
+  path that ends a request's lifecycle phase (requeues a record or
+  marks it FINISHED/FAILED) must emit a lifecycle span, directly or
+  via a same-class helper — otherwise the request's timeline has an
+  untiled hole latency attribution cannot explain.
 
 Suppressions are explicit and always carry a reason::
 

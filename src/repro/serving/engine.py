@@ -302,6 +302,7 @@ class ServingEngine:
         audit_every: Optional[int] = None,
         deadline_s: Optional[float] = None,
         degradation: Optional[DegradationPolicy] = None,
+        slo: Optional[object] = None,
     ):
         if not model.config.causal:
             raise ValueError("serving requires a causal (GPT-style) model")
@@ -341,6 +342,11 @@ class ServingEngine:
         self.audit_every = audit_every
         self.deadline_s = deadline_s
         self.degradation = degradation
+        #: Optional SLO policy (:class:`repro.insight.SLOPolicy`).  Held
+        #: by duck type so the simulated engine takes no import edge on
+        #: the analysis layer; evaluated read-only in :meth:`finish`, so
+        #: core stats fields are bit-identical with and without it.
+        self.slo = slo
         #: Transient straggler factor: every cost-model duration is
         #: multiplied by this before the clock advances.  1.0 (healthy)
         #: is exact in IEEE arithmetic, so a never-slowed run is
@@ -551,6 +557,7 @@ class ServingEngine:
                     prompt_len=request.prompt_len,
                     max_new_tokens=request.max_new_tokens,
                     priority=request.priority,
+                    arrival_time=request.arrival_time,
                 )
             if tel.metrics is not None:
                 tel.metrics.counter(
@@ -637,7 +644,7 @@ class ServingEngine:
     def finish(self) -> ServingStats:
         """Build the stats report over the requests this engine served."""
         records = [self._records[i] for i in sorted(self._records)]
-        return ServingStats.from_run(
+        stats = ServingStats.from_run(
             mode=self.mode,
             admission=self.admission,
             records=records,
@@ -650,6 +657,11 @@ class ServingEngine:
             reclaimed_pages=self.pool.reclaimed_pages,
             reclaimed_tokens=self.pool.reclaimed_tokens,
         )
+        if self.slo is not None:
+            stats.slo = self.slo.evaluate_records(
+                records, makespan_s=self.clock.now
+            ).to_dict()
+        return stats
 
     # ------------------------------------------------------------------
     # Routing cost estimates (used by repro.cluster policies)
@@ -1564,7 +1576,7 @@ class ServingEngine:
             return
         rid = record.request.request_id
         self._bound_pages.pop(rid, None)
-        self._queue_entered.pop(rid, None)
+        entered = self._queue_entered.pop(rid, None)
         if tel.tracer is None:
             return
         now = self.now
@@ -1577,6 +1589,16 @@ class ServingEngine:
         elif record.admit_time is not None:
             tel.tracer.span(
                 "prefill", record.admit_time, now, self.name, track,
+                outcome="drained",
+            )
+        elif entered is not None and entered <= now:
+            # Queued (or already-visible pending) request swept up by a
+            # drain: close its queue wait so the lifecycle tiles the
+            # timeline for latency attribution.  A pending request whose
+            # availability lies in the simulated future never entered
+            # the queue, so it gets no span.
+            tel.tracer.span(
+                "queued", entered, now, self.name, track,
                 outcome="drained",
             )
 

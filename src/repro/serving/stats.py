@@ -281,6 +281,12 @@ class ServingStats:
     #: never tokens lost (greedy replay is bit-identical).
     n_preemptions: int = 0
     recompute_tokens: int = 0
+    #: SLO attainment report (:meth:`repro.insight.SLOReport.to_dict`)
+    #: when the engine ran under an SLO policy, else ``None``.  Filled
+    #: in *after* :meth:`from_run` by the engine's ``finish()`` — the
+    #: evaluation is read-only over the records, so every other field
+    #: is bit-identical with and without it.
+    slo: Optional[dict] = None
     records: List[RequestRecord] = field(default_factory=list)
 
     @staticmethod

@@ -70,13 +70,19 @@ from .export import (
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .profiler import HotPathProfiler
-from .report import load_chrome_trace, trace_report, validate_chrome_trace
+from .report import (
+    TraceOverlapError,
+    load_chrome_trace,
+    trace_report,
+    validate_chrome_trace,
+)
 from .tracer import TraceEvent, Tracer
 
 __all__ = [
     "Telemetry",
     "NULL_TELEMETRY",
     "Tracer",
+    "TraceOverlapError",
     "TraceEvent",
     "MetricsRegistry",
     "Counter",

@@ -117,6 +117,44 @@ class Histogram:
                 return
         self.bucket_counts[-1] += 1
 
+    def quantile(self, q: float) -> float:
+        """Prometheus-style estimated q-quantile (``0 <= q <= 1``).
+
+        Linearly interpolates within the bucket holding the target
+        rank, assuming observations spread uniformly across it — the
+        standard ``histogram_quantile()`` estimate, computed the same
+        deterministic way every run.  The first bucket's lower bound is
+        0 (latencies and sizes are non-negative here); a rank landing
+        in the ``+Inf`` bucket reports the highest finite bound, the
+        best upper estimate a bounded histogram can give.  An empty
+        histogram returns NaN — the quantile is *unknown*, not zero —
+        which the standard renderers show as ``n/a`` (tables, via
+        :func:`repro.serving.stats.format_quantiles`) or ``null``
+        (JSON, via ``_null_if_nan``), matching the serving stats'
+        ``_percentile`` convention.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return float("nan")
+        target = q * self.count
+        cumulative = 0
+        for i, n in enumerate(self.bucket_counts):
+            if n == 0:
+                continue
+            if cumulative + n >= target:
+                if i >= len(self.buckets):
+                    # +Inf bucket: no finite upper edge to interpolate
+                    # toward; report the highest finite bound (or NaN
+                    # when the histogram has none at all).
+                    return self.buckets[-1] if self.buckets else float("nan")
+                lower = self.buckets[i - 1] if i > 0 else 0.0
+                upper = self.buckets[i]
+                fraction = (target - cumulative) / n
+                return lower + (upper - lower) * fraction
+            cumulative += n
+        return self.buckets[-1] if self.buckets else float("nan")
+
 
 class MetricsRegistry:
     """Get-or-create instrument registry plus the step time series."""

@@ -28,10 +28,23 @@ from ..eval.charts import line_chart
 from ..eval.reporting import Table
 
 __all__ = [
+    "TraceOverlapError",
     "validate_chrome_trace",
     "load_chrome_trace",
     "trace_report",
 ]
+
+
+class TraceOverlapError(ValueError):
+    """Two spans on one track overlap in time.
+
+    Every track the engines emit is a sequential lane (one request's
+    lifecycle, one pool's events): spans on it must tile, never
+    overlap.  An overlap means an unbalanced span or a clock bug
+    upstream, and would silently corrupt any per-track time accounting
+    built on the trace — latency attribution in particular — so the
+    validator rejects the file, naming both offending spans.
+    """
 
 #: Request lifecycle phases, in pipeline order.
 _PHASES = ("queued", "prefill", "decode")
@@ -70,7 +83,48 @@ def validate_chrome_trace(trace: dict) -> List[dict]:
             raise ValueError(
                 f"traceEvents[{i}] is a complete event with no dur"
             )
+    _check_track_overlaps(events)
     return events
+
+
+#: Overlap tolerance in exported microseconds: the exporter rounds a
+#: span's ts and dur independently, so two abutting spans can disagree
+#: by a float ulp.  1e-3 us (one simulated nanosecond) absorbs that
+#: without masking any real overlap.
+_OVERLAP_EPS_US = 1e-3
+
+
+def _check_track_overlaps(events: Sequence[dict]) -> None:
+    """Reject overlapping spans on any single (pid, tid) track."""
+    tracks: Dict[Tuple[int, int], List[Tuple[float, float, str]]] = {}
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        start = float(event["ts"])
+        tracks.setdefault((event["pid"], event.get("tid", 0)), []).append(
+            (start, start + float(event["dur"]), event["name"])
+        )
+    thread_names = _thread_names(events)
+    for key in sorted(tracks):
+        spans = sorted(tracks[key])
+        for (s0, e0, n0), (s1, e1, n1) in zip(spans, spans[1:]):
+            if s1 < e0 - _OVERLAP_EPS_US:
+                track = thread_names.get(key) or f"pid {key[0]} tid {key[1]}"
+                raise TraceOverlapError(
+                    f"overlapping spans on track {track!r}: "
+                    f"{n0!r} [{s0}us..{e0}us] overlaps "
+                    f"{n1!r} [{s1}us..{e1}us]"
+                )
+
+
+def _thread_names(events: Sequence[dict]) -> Dict[Tuple[int, int], str]:
+    names: Dict[Tuple[int, int], str] = {}
+    for event in events:
+        if event.get("ph") == "M" and event.get("name") == "thread_name":
+            names[(event["pid"], event.get("tid", 0))] = event.get(
+                "args", {}
+            ).get("name", "?")
+    return names
 
 
 def load_chrome_trace(path: str) -> List[dict]:

@@ -28,6 +28,7 @@ from repro.telemetry import (
     HotPathProfiler,
     MetricsRegistry,
     Telemetry,
+    TraceOverlapError,
     Tracer,
     chrome_trace,
     chrome_trace_json,
@@ -174,6 +175,39 @@ class TestMetrics:
         assert 'le="+Inf"' in text
         assert "repro_step_seconds_count 1" in text
         assert "repro_step_seconds_sum 0.5" in text
+
+    def test_histogram_quantile_interpolates(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_lat", buckets=(0.1, 0.5, 1.0))
+        for v in (0.05, 0.2, 0.3, 0.6):
+            h.observe(v)
+        # Rank 2 of 4 lands mid-bucket (0.1, 0.5]: linear interpolation
+        # across the two observations stored there.
+        assert h.quantile(0.5) == pytest.approx(0.3)
+        assert h.quantile(0.25) == pytest.approx(0.1)
+        # The estimate is deterministic: same histogram, same answer.
+        assert h.quantile(0.5) == h.quantile(0.5)
+
+    def test_histogram_quantile_empty_is_nan(self):
+        from repro.serving.stats import _null_if_nan, format_quantiles
+
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_lat", buckets=(0.1, 1.0))
+        value = h.quantile(0.95)
+        assert math.isnan(value)
+        # The standard renderers show the unknown quantile as n/a (text)
+        # and null (JSON) — never as a fake zero.
+        assert "n/a" in format_quantiles([value])
+        assert _null_if_nan(value) is None
+        assert json.dumps({"p95": _null_if_nan(value)}) == '{"p95": null}'
+
+    def test_histogram_quantile_inf_bucket_reports_last_bound(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("repro_lat", buckets=(0.1, 1.0))
+        h.observe(50.0)  # lands in +Inf: no finite edge to interpolate
+        assert h.quantile(0.99) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
 
     def test_samples_require_timestamp_and_export_jsonl(self):
         reg = MetricsRegistry()
@@ -454,6 +488,89 @@ class TestTraceReport:
         path.write_text('{"traceEvents": "nope"}')
         with pytest.raises(ValueError):
             trace_report(str(path))
+
+    def test_cli_renders_cluster_fault_trace(self, serving_setup, tmp_path,
+                                             capsys):
+        from repro.cli import main
+
+        config, model, corpus = serving_setup
+        tel = Telemetry()
+        cluster = ClusterEngine(
+            model, make_sharded(config), pruning=PRUNING, prefill_chunk=8,
+            fail_events=[(0.004, 0)], recover_events=[(0.02, 0)],
+            telemetry=tel,
+        )
+        cluster.run(trace(corpus, n=10))
+        path = tmp_path / "cluster_trace.json"
+        path.write_text(chrome_trace_json(tel.tracer))
+        assert main(["trace-report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "per-phase time breakdown" in out
+        assert "replica" in out
+
+    def test_cli_handles_empty_trace_cleanly(self, tmp_path, capsys):
+        # An empty-but-valid trace renders as "nothing to report", not a
+        # stack trace: exit 0 with every section present.
+        from repro.cli import main
+
+        path = tmp_path / "empty.json"
+        path.write_text('{"traceEvents": []}')
+        assert main(["trace-report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "no phase spans" in out
+        assert "Traceback" not in out
+
+    def test_cli_rejects_garbage_with_exit_2(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "bad.json"
+        path.write_text('{"traceEvents": "nope"}')
+        assert main(["trace-report", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "trace-report:" in err
+        assert "Traceback" not in err
+
+
+# ----------------------------------------------------------------------
+# Trace validator: overlapping spans on one track (satellite)
+# ----------------------------------------------------------------------
+class TestTraceValidator:
+    def overlap_doc(self, start2=1.0):
+        """Two spans on one track; overlapping when start2 < 2.0."""
+        return {"traceEvents": [
+            {"ph": "X", "pid": 1, "tid": 1, "name": "prefill",
+             "ts": 0.0, "dur": 2.0, "args": {}},
+            {"ph": "X", "pid": 1, "tid": 1, "name": "decode",
+             "ts": start2, "dur": 2.0, "args": {}},
+            {"ph": "M", "pid": 1, "tid": 1, "name": "thread_name",
+             "args": {"name": "req 0"}},
+        ]}
+
+    def test_rejects_overlapping_spans_naming_both(self):
+        with pytest.raises(TraceOverlapError) as excinfo:
+            validate_chrome_trace(self.overlap_doc())
+        message = str(excinfo.value)
+        assert "'prefill'" in message and "'decode'" in message
+        assert "req 0" in message
+        # It is also a ValueError, so existing catch-sites keep working.
+        assert isinstance(excinfo.value, ValueError)
+
+    def test_accepts_back_to_back_spans(self):
+        assert validate_chrome_trace(self.overlap_doc(start2=2.0))
+
+    def test_accepts_overlap_across_distinct_tracks(self):
+        doc = self.overlap_doc()
+        doc["traceEvents"][1]["tid"] = 2  # same times, different track
+        assert validate_chrome_trace(doc)
+
+    def test_real_traces_have_no_overlaps(self, serving_setup):
+        # The engines' lifecycle emission keeps every track's spans
+        # disjoint; the validator must stay silent on a real run.
+        tel = Telemetry()
+        requests = trace(serving_setup[2], n=16, max_new=(12, 24), seed=11)
+        run_engine(serving_setup, requests, telemetry=tel, pages=36,
+                   admission="optimistic")
+        assert validate_chrome_trace(json.loads(chrome_trace_json(tel.tracer)))
 
 
 # ----------------------------------------------------------------------
