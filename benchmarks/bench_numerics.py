@@ -1,0 +1,280 @@
+"""Numerics ladder: decode-step speedup vs distribution drift per tier.
+
+``benchmarks/bench_decode_step.py`` recorded the honest ceiling of the
+bit-identical packed backend (~2× at batch 16: padding-variant BLAS
+reductions force exact-length per-sequence matmuls plus the shared fp64
+FFN tax).  This bench measures what the :mod:`repro.nn.numerics` ladder
+buys *past* that ceiling once the contract is an accuracy budget
+instead of a bit budget — and charges every tier against the budget it
+declared:
+
+* ``exact``  — the policy plumbing at fp64; asserted ``np.array_equal``
+  with the per-sequence looped oracle every teacher-forced step.
+* ``fp32``   — fp32 KV planes + the padded ``[B, h, 1, max_len]``
+  masked-softmax core.  Gate: ≥ 1.5× over packed-exact at batch 16.
+* ``int8``   — same core over int8 KV codes with per-(head, column)
+  fp32 scales.  Gate: ≥ 3× over packed-exact at batch 16.
+
+Quality is measured teacher-forced against the fp64 looped oracle so
+every tier sees identical inputs at every step: mean KL(oracle ‖ tier)
+over next-token distributions, argmax-match rate, and the mean
+next-token NLL delta (task-quality proxy).  A tier exceeding its
+declared ``kl_budget`` / ``argmax_budget`` fails the build — the
+ladder is only allowed to be fast where it is provably accurate
+enough.
+
+Measurement protocol: wall-clock per-step times are *interleaved
+best-of-N trials* — every trial times all tiers back to back on
+freshly cloned prefilled executors, and each tier reports its minimum.
+Sequential per-tier timing is dominated by machine noise on a shared
+runner (the exact baseline alone fluctuates ±10%); interleaving means
+a load spike inflates one trial of every tier instead of one tier's
+whole measurement, and best-of tracks the true cost (a genuine
+regression slows every trial).
+"""
+
+import copy
+import time
+
+import numpy as np
+import pytest
+
+from repro.config import GPT2_SMALL
+from repro.eval.reporting import Table
+from repro.nn import PackedDecodeBackend
+from repro.nn.functional import log_softmax
+from repro.nn.numerics import NUMERICS_LADDER, resolve_numerics
+from repro.nn.transformer import DenseExecutor
+from repro.workloads import (
+    accuracy_scale_config,
+    build_task_model,
+    build_vocabulary,
+)
+
+BATCH = 16
+PREFILL = 64
+PAGE_TOKENS = 16
+
+
+@pytest.fixture(scope="module")
+def numerics_world():
+    vocab = build_vocabulary(size=512, n_classes=4, seed=0)
+    config = accuracy_scale_config(
+        GPT2_SMALL, len(vocab), n_layers=6, d_model=128, n_heads=8,
+        max_seq_len=2048,
+    )
+    model, _ = build_task_model(config, vocab, "lm", seed=0)
+    rng = np.random.default_rng(7)
+    prompts = [
+        rng.integers(0, config.vocab_size, size=PREFILL).tolist()
+        for _ in range(BATCH)
+    ]
+    return config, model, prompts
+
+
+def build_tier(model, prompts, tier):
+    """Prefilled executors + packed backend for one ladder tier."""
+    policy = resolve_numerics(tier)
+    backend = PackedDecodeBackend(model, numerics=policy)
+    executors = []
+    for prompt in prompts:
+        ex = DenseExecutor(kv_page_tokens=PAGE_TOKENS, numerics=policy)
+        model.prefill(prompt, ex)
+        executors.append(ex)
+    return backend, executors
+
+
+def measure_quality(model, prompts, steps):
+    """Teacher-forced sweep vs the fp64 looped oracle.
+
+    Every tier decodes the *same* oracle-chosen token at every step, so
+    the per-step distributions are directly comparable.  Returns
+    ``(per_tier_quality, token_streams)`` where ``token_streams`` is
+    the oracle step-token list reused by the timing pass, and each
+    tier's quality dict carries ``kl`` (mean KL(oracle ‖ tier)),
+    ``argmax`` (match rate vs the oracle argmax), and ``nll_delta``
+    (mean next-token NLL excess over the oracle).  The ``exact`` tier
+    is additionally asserted bit-identical (``np.array_equal``) to the
+    looped oracle at every step.
+    """
+    oracle_execs = [DenseExecutor(kv_page_tokens=PAGE_TOKENS)
+                    for _ in prompts]
+    for ex, prompt in zip(oracle_execs, prompts):
+        model.prefill(prompt, ex)
+    tiers = {t: build_tier(model, prompts, t) for t in NUMERICS_LADDER}
+
+    acc = {t: {"kl": 0.0, "match": 0, "nll_o": 0.0, "nll_t": 0.0}
+           for t in NUMERICS_LADDER}
+    tokens = [3] * len(prompts)
+    token_streams = []
+    n_rows = 0
+    for step in range(steps):
+        token_streams.append(list(tokens))
+        positions = [PREFILL + step] * len(prompts)
+        oracle = model.decode_step_batch(tokens, positions, oracle_execs)
+        next_tokens = [int(np.argmax(row)) for row in oracle]
+        log_p = log_softmax(oracle, axis=-1)
+        p = np.exp(log_p)
+        for tier, (backend, execs) in tiers.items():
+            logits = model.decode_step_batch(
+                tokens, positions, execs, backend=backend
+            )
+            if tier == "exact":
+                assert np.array_equal(logits, oracle), (
+                    f"exact tier broke bit identity at step {step}"
+                )
+            log_q = log_softmax(np.asarray(logits, dtype=np.float64),
+                                axis=-1)
+            a = acc[tier]
+            a["kl"] += float(np.sum(p * (log_p - log_q)))
+            a["match"] += sum(
+                int(np.argmax(row)) == nt
+                for row, nt in zip(logits, next_tokens)
+            )
+            rows = np.arange(len(prompts))
+            a["nll_o"] += float(-log_p[rows, next_tokens].sum())
+            a["nll_t"] += float(-log_q[rows, next_tokens].sum())
+        tokens = next_tokens
+        n_rows += len(prompts)
+
+    quality = {}
+    for tier, a in acc.items():
+        quality[tier] = {
+            "kl": a["kl"] / n_rows,
+            "argmax": a["match"] / n_rows,
+            "nll_delta": (a["nll_t"] - a["nll_o"]) / n_rows,
+        }
+    return quality, token_streams
+
+
+def measure_times(model, prompts, token_streams, trials):
+    """Interleaved best-of-``trials`` per-step wall clock per tier.
+
+    Each trial clones fresh prefilled executors for *every* tier and
+    times them back to back over the same teacher-forced token streams;
+    per-tier cost is the minimum across trials (see module docstring
+    for why interleaved best-of beats sequential timing on a shared
+    runner).
+    """
+    steps = len(token_streams)
+    prototypes = {t: build_tier(model, prompts, t) for t in NUMERICS_LADDER}
+    samples = {t: [] for t in NUMERICS_LADDER}
+    for _ in range(trials):
+        for tier in NUMERICS_LADDER:
+            backend, proto = prototypes[tier]
+            execs = [copy.deepcopy(ex) for ex in proto]
+            start = time.perf_counter()
+            for step, tokens in enumerate(token_streams):
+                model.decode_step_batch(
+                    tokens, [PREFILL + step] * len(prompts), execs,
+                    backend=backend,
+                )
+            samples[tier].append((time.perf_counter() - start) / steps)
+    return {t: float(np.min(s)) for t, s in samples.items()}
+
+
+def ladder_table(times, quality, title):
+    table = Table(
+        title=title,
+        headers=["tier", "ms/step", "speedup vs exact", "mean KL",
+                 "argmax match", "NLL delta", "KV bytes/elem"],
+    )
+    for tier in NUMERICS_LADDER:
+        policy = resolve_numerics(tier)
+        q = quality[tier]
+        table.add_row(
+            tier,
+            f"{times[tier] * 1e3:.2f}",
+            f"{times['exact'] / times[tier]:.2f}x",
+            f"{q['kl']:.2e}",
+            f"{q['argmax']:.4f}",
+            f"{q['nll_delta']:+.2e}",
+            str(policy.storage_bytes_per_element(2)),
+        )
+    table.add_note(
+        f"batch {BATCH}, prefill {PREFILL}; teacher-forced vs the fp64 "
+        f"looped oracle (identical inputs every step); exact tier "
+        f"asserted bit-identical"
+    )
+    table.add_note(
+        "interleaved best-of-N trials per tier (every trial times all "
+        "tiers back to back on fresh executors; min taken per tier)"
+    )
+    table.add_note(
+        "declared budgets enforced: fp32 KL<=5e-4 argmax>=0.995, "
+        "int8 KL<=5e-2 argmax>=0.99 (repro.nn.numerics)"
+    )
+    table.add_note(
+        "KV bytes/elem is the DRAM *accounting* width: the exact tier "
+        "keeps the model's declared width (2 here), fp32/int8 override it"
+    )
+    return table
+
+
+def assert_quality_budgets(quality):
+    """The gate the ladder's contract promises: exceed your declared
+    accuracy budget and the build fails."""
+    for tier, q in quality.items():
+        policy = resolve_numerics(tier)
+        if policy.is_exact:
+            assert q["kl"] == 0.0 and q["argmax"] == 1.0
+            continue
+        assert q["kl"] <= policy.kl_budget, (
+            f"{tier}: mean KL {q['kl']:.3e} exceeds declared budget "
+            f"{policy.kl_budget:.0e}"
+        )
+        assert q["argmax"] >= policy.argmax_budget, (
+            f"{tier}: argmax match {q['argmax']:.4f} below declared "
+            f"budget {policy.argmax_budget}"
+        )
+
+
+def test_numerics_ladder(numerics_world, benchmark, publish):
+    _, model, prompts = numerics_world
+    quality, token_streams = benchmark.pedantic(
+        measure_quality, args=(model, prompts, 96), rounds=1, iterations=1
+    )
+    times = measure_times(model, prompts, token_streams, trials=4)
+    publish("numerics", ladder_table(
+        times, quality,
+        "numerics ladder: decode step at an accuracy budget (batch 16)",
+    ))
+    assert_quality_budgets(quality)
+    # The headline wins past the bit-identity ceiling (measured 3.6x
+    # fp32 and 3.2x int8 at batch 16), gated at the issue's floors.
+    assert times["exact"] / times["fp32"] >= 1.5, (
+        "fp32 tier lost its >=1.5x win over packed-exact"
+    )
+    assert times["exact"] / times["int8"] >= 3.0, (
+        "int8 tier lost its >=3x win over packed-exact"
+    )
+
+
+@pytest.mark.smoke
+def test_numerics_smoke(numerics_world, publish, history):
+    """Tier-1 gate: quality budgets are hard (near-deterministic
+    teacher-forced math), wall-clock floors carry shared-runner slack
+    with the full ratios tracked by the regression history."""
+    from repro.insight import metric
+
+    _, model, prompts = numerics_world
+    quality, token_streams = measure_quality(model, prompts, 32)
+    times = measure_times(model, prompts, token_streams, trials=3)
+    publish("numerics_smoke", ladder_table(
+        times, quality, "numerics ladder smoke (batch 16)",
+    ))
+    assert_quality_budgets(quality)
+    history("numerics", {
+        "fp32_speedup": metric(times["exact"] / times["fp32"], "x",
+                               "higher", rel_tol=0.5),
+        "int8_speedup": metric(times["exact"] / times["int8"], "x",
+                               "higher", rel_tol=0.5),
+        "int8_kl": metric(quality["int8"]["kl"], "nats", "lower",
+                          rel_tol=0.6),
+        "int8_argmax": metric(quality["int8"]["argmax"], "frac",
+                              "higher", rel_tol=0.05),
+    }, context={"batch": BATCH, "prefill": PREFILL})
+    # Wall-clock floors with slack for loaded runners; the full bench
+    # (and the history gate) hold the 1.5x / 3x lines.
+    assert times["exact"] / times["fp32"] >= 1.2, "fp32 speedup regressed"
+    assert times["exact"] / times["int8"] >= 2.0, "int8 speedup regressed"

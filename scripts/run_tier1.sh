@@ -21,6 +21,7 @@ python -m pytest -q -m smoke tests/test_serving.py \
     tests/test_faults.py \
     benchmarks/bench_serving_throughput.py \
     benchmarks/bench_decode_step.py \
+    benchmarks/bench_numerics.py \
     benchmarks/bench_cluster_scaling.py \
     benchmarks/bench_preemption.py \
     benchmarks/bench_chaos.py

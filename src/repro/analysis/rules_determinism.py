@@ -19,6 +19,12 @@ set of syntactic shapes, which these rules flag at lint time:
   ``tuple()`` / ``enumerate()`` / ``str.join``): set order varies with
   ``PYTHONHASHSEED``, so anything serialized from it is
   run-dependent.  Wrap the set in ``sorted(...)``.
+* ``det-dtype-literal`` — hard-coded ``np.float64`` (or ``dtype=float``)
+  in a module the numerics ladder governs
+  (:data:`NUMERICS_GOVERNED_PATHS`): the decode hot path's dtype is
+  policy state (:class:`repro.nn.numerics.NumericsPolicy`), so a
+  literal fp64 silently pins one tier and breaks the others.  The
+  deliberate fp64 *oracle* paths carry reasoned suppressions.
 """
 
 from __future__ import annotations
@@ -35,6 +41,8 @@ __all__ = [
     "GlobalRngRule",
     "EnvReadRule",
     "SetOrderRule",
+    "DtypeLiteralRule",
+    "NUMERICS_GOVERNED_PATHS",
 ]
 
 #: Canonical dotted names of wall-clock reads.
@@ -259,3 +267,59 @@ class SetOrderRule(Rule):
                     line=line,
                     message=self._MSG,
                 )
+
+
+#: Modules whose decode-path dtypes are owned by the numerics ladder
+#: (:class:`repro.nn.numerics.NumericsPolicy`).  A hard-coded fp64
+#: literal here pins the ``exact`` tier's representation into code the
+#: ``fp32``/``int8`` tiers also run — the exact class of bug the policy
+#: refactor exists to prevent.
+NUMERICS_GOVERNED_PATHS = frozenset({
+    "src/repro/nn/kv_cache.py",
+    "src/repro/nn/batched_attention.py",
+    "src/repro/nn/transformer.py",
+    "src/repro/nn/functional.py",
+    "src/repro/core/pipeline.py",
+})
+
+
+@register
+class DtypeLiteralRule(Rule):
+    rule_id = "det-dtype-literal"
+    family = "determinism"
+    description = (
+        "hard-coded np.float64 / dtype=float in a numerics-policy-"
+        "governed hot-path module; dtype must come from the "
+        "NumericsPolicy (suppress with a reason on oracle paths)"
+    )
+
+    _MSG = (
+        "hard-coded {what} in a module the numerics ladder governs; the "
+        "decode path's dtype is policy state — thread "
+        "NumericsPolicy.compute_dtype / kv_dtype instead, or suppress "
+        "with a reason if this is a deliberate fp64 oracle path"
+    )
+
+    def check_module(self, module: ModuleInfo, index) -> Iterator[Finding]:
+        if module.relpath not in NUMERICS_GOVERNED_PATHS:
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Attribute) and \
+                    isinstance(node.ctx, ast.Load):
+                if module.dotted_name(node) == "numpy.float64":
+                    yield self._finding(module, node.lineno, "np.float64")
+            elif isinstance(node, ast.Call):
+                for kw in node.keywords:
+                    if kw.arg == "dtype" and \
+                            isinstance(kw.value, ast.Name) and \
+                            kw.value.id == "float":
+                        yield self._finding(
+                            module, kw.value.lineno, "dtype=float"
+                        )
+
+    def _finding(self, module: ModuleInfo, line: int, what: str) -> Finding:
+        return Finding(
+            rule=self.rule_id, family=self.family,
+            path=module.relpath, line=line,
+            message=self._MSG.format(what=what),
+        )

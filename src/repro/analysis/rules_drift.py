@@ -11,7 +11,7 @@ silently when the code moves:
   defines (stale doc), and a defined flag no guide mentions
   (undocumented surface).
 * ``drift-stats-schema`` — the ``--stats-json`` document shape.
-  ``benchmarks/results/stats_schema_v1.json`` is the checked-in golden
+  ``benchmarks/results/stats_schema_v2.json`` is the checked-in golden
   schema for ``STATS_SCHEMA_VERSION``; this rule statically derives the
   key set of :meth:`ServingStats.to_dict` (dataclass fields minus
   ``records`` plus ``schema_version``) and :meth:`ClusterStats.to_dict`
@@ -47,7 +47,7 @@ _DOC_SOURCES = (
 #: (----) and em-dash art never match.
 _FLAG_TOKEN_RE = re.compile(r"--[a-z][a-z0-9-]*")
 
-GOLDEN_SCHEMA_PATH = "benchmarks/results/stats_schema_v1.json"
+GOLDEN_SCHEMA_PATH = "benchmarks/results/stats_schema_v2.json"
 _SERVING_STATS_PATH = "src/repro/serving/stats.py"
 _CLUSTER_STATS_PATH = "src/repro/cluster/stats.py"
 

@@ -52,7 +52,13 @@ even per-replica split in serve-cluster) and ``--page-tokens`` (KV
 columns per page).  ``--attention-backend {packed,looped}`` selects
 the fused packed decode backend (default) or the per-sequence looped
 oracle; ``serve-cluster --traffic {mixed,uniform}`` picks the skewed
-per-request schedule mix or plain uniform traffic.
+per-request schedule mix or plain uniform traffic.  ``--numerics
+{exact,fp32,int8}`` picks the decode-path numerics-ladder tier:
+``exact`` (default) keeps fp64 bit identity with the looped oracle,
+``fp32`` and ``int8`` trade declared accuracy budgets for decode-step
+speed on the packed backend (the tier lands in the stats report's
+``numerics`` field; see the "Numerics ladder" section of the serving
+guide, :mod:`repro.serving`).
 
 ``repro lint`` runs the :mod:`repro.analysis` static-analysis pass —
 determinism, clock-domain, page-accounting, and doc/schema drift rules
@@ -485,6 +491,7 @@ def _serve(args) -> int:
             model, pool, pruning=mode_pruning, prefill_chunk=prefill_chunk,
             attention_backend=args.attention_backend,
             admission=args.admission,
+            numerics=args.numerics,
             preempt_policy=args.preempt_policy,
             headroom_pages=args.headroom_pages,
             telemetry=telemetry,
@@ -635,6 +642,7 @@ def _serve_cluster(args) -> int:
         prefill_chunk=prefill_chunk,
         attention_backend=args.attention_backend,
         admission=args.admission,
+        numerics=args.numerics,
         preempt_policy=args.preempt_policy,
         headroom_pages=args.headroom_pages,
         drain_events=_parse_retire_events(args.drain_at, "--drain-at"),
@@ -681,6 +689,18 @@ def _add_serving_flags(parser) -> None:
                              "across the live batch (default); 'looped' "
                              "keeps the per-sequence oracle (bit-identical "
                              "tokens, slower wall clock)")
+    parser.add_argument("--numerics", choices=("exact", "fp32", "int8"),
+                        default="exact",
+                        help="numerics-ladder tier of the decode hot path: "
+                             "'exact' keeps fp64 bit identity with the "
+                             "looped oracle (default); 'fp32' runs the fp32 "
+                             "batched masked-softmax core over fp32 KV "
+                             "planes; 'int8' stores int8 KV codes with "
+                             "per-row fp32 scales (4x less KV DRAM) at a "
+                             "declared accuracy budget — see "
+                             "repro.nn.numerics and benchmarks/"
+                             "bench_numerics.py (requires the packed "
+                             "attention backend)")
     parser.add_argument("--admission", choices=("reserve", "optimistic"),
                         default="reserve",
                         help="'reserve' bills each request its worst-case "

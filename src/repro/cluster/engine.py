@@ -107,9 +107,12 @@ class ClusterEngine:
             per-request via :attr:`~repro.serving.request.Request.
             pruning`).
         quant / cost_model / prefill_chunk / attention_backend /
-        admission / preempt_policy / headroom_pages / sampler:
+        admission / numerics / preempt_policy / headroom_pages /
+        sampler:
             forwarded to every replica's engine, identical semantics
-            to :class:`~repro.serving.engine.ServingEngine`.
+            to :class:`~repro.serving.engine.ServingEngine`.  The
+            ``numerics`` tier is fleet-wide: every replica runs the
+            same rung of the ladder, and the fleet report carries it.
         drain_events: ``(time, replica_index)`` pairs — the replica is
             gracefully drained at that simulated time.
         fail_events: like ``drain_events`` but flags the replica as
@@ -169,6 +172,7 @@ class ClusterEngine:
         prefill_chunk: Optional[int] = None,
         attention_backend: str = "packed",
         admission: str = "reserve",
+        numerics: str = "exact",
         preempt_policy: str = "lowest_priority",
         headroom_pages: int = 0,
         sampler=None,
@@ -195,6 +199,7 @@ class ClusterEngine:
         self.model = model
         self.pool = pool
         self.admission = admission
+        self.numerics = numerics
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.audit_every = audit_every
         #: Optional SLO policy (:class:`repro.insight.SLOPolicy`), held
@@ -220,6 +225,7 @@ class ClusterEngine:
                     prefill_chunk=prefill_chunk,
                     attention_backend=attention_backend,
                     admission=admission,
+                    numerics=numerics,
                     preempt_policy=preempt_policy,
                     headroom_pages=headroom_pages,
                     deadline_s=deadline_s,
@@ -388,6 +394,7 @@ class ClusterEngine:
         stats = ClusterStats.from_run(
             policy=self.router.policy,
             admission=self.admission,
+            numerics=self.numerics,
             records=[records[i] for i in sorted(records)],
             replica_stats=replica_stats,
             makespan_s=makespan,

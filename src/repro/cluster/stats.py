@@ -48,6 +48,9 @@ class ClusterStats:
     #: Requests failed cleanly: never placeable, retry budget
     #: exhausted, deadline expired, or shed by the degradation ladder.
     n_failed_requests: int = 0
+    #: Numerics-ladder tier every replica ran under
+    #: (``exact``/``fp32``/``int8`` — see :mod:`repro.nn.numerics`).
+    numerics: str = "exact"
     #: Replicas that rejoined the fleet after a drain/fail (chaos runs).
     n_recovered: int = 0
     #: Placement retries consumed fleet-wide (retry-with-backoff).
@@ -89,6 +92,7 @@ class ClusterStats:
         routed_counts: List[int],
         n_failed_requests: int = 0,
         admission: str = "reserve",
+        numerics: str = "exact",
         n_recovered: int = 0,
         n_retries: int = 0,
         n_breaker_trips: int = 0,
@@ -100,6 +104,7 @@ class ClusterStats:
         fleet = ServingStats.from_run(
             mode=f"cluster/{mode}/{policy}",
             admission=admission,
+            numerics=numerics,
             records=records,
             makespan_s=makespan_s,
             batch_sizes=[],
@@ -131,6 +136,7 @@ class ClusterStats:
             routed_counts=list(routed_counts),
             fleet=fleet,
             n_failed_requests=n_failed_requests,
+            numerics=numerics,
             n_recovered=n_recovered,
             n_retries=n_retries,
             n_breaker_trips=n_breaker_trips,
@@ -153,6 +159,7 @@ class ClusterStats:
             "n_failed": self.n_failed,
             "n_requeued": self.n_requeued,
             "n_failed_requests": self.n_failed_requests,
+            "numerics": self.numerics,
             "n_recovered": self.n_recovered,
             "n_retries": self.n_retries,
             "n_breaker_trips": self.n_breaker_trips,
@@ -199,6 +206,8 @@ class ClusterStats:
                   f"{f.mean_batch_size:.2f}")
         if f.admission != "reserve":
             t.add_row("admission mode", f.admission)
+        if self.numerics != "exact":
+            t.add_row("numerics tier", self.numerics)
         if f.n_preemptions:
             t.add_row("preemptions across fleet (recomputed tokens)",
                       f"{f.n_preemptions} ({f.recompute_tokens})")

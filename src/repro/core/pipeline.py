@@ -29,6 +29,7 @@ from ..config import ModelConfig, PruningConfig, QuantConfig
 from ..nn.attention import AttentionRecord, expand_pruned_heads, merge_heads
 from ..nn.functional import softmax
 from ..nn.kv_cache import KVCache
+from ..nn.numerics import resolve_numerics
 from ..nn.transformer import AttentionExecutor, LayerExecution, TransformerModel
 from . import schedule as sched
 from .head_pruning import prune_heads
@@ -54,6 +55,12 @@ class SpAttenExecutor(AttentionExecutor):
         kv_page_tokens: KV-cache growth quantum in columns; the serving
             engine passes its memory pool's page size so buffer growth
             and pool-page accounting share one unit.
+        numerics: :class:`~repro.nn.numerics.NumericsPolicy` (or tier
+            name) governing KV storage dtype and DRAM accounting.  The
+            SpAtten attention core itself keeps its own per-sequence
+            semantics — progressive quantization is configured through
+            ``quant`` — but the cache underneath stores at the policy's
+            dtype so a mixed fleet shares one storage contract.
     """
 
     def __init__(
@@ -61,10 +68,12 @@ class SpAttenExecutor(AttentionExecutor):
         pruning: Optional[PruningConfig] = None,
         quant: Optional[QuantConfig] = None,
         kv_page_tokens: int = 16,
+        numerics=None,
     ):
         self.pruning = pruning or PruningConfig()
         self.quant = quant
         self._kv_page_tokens = kv_page_tokens
+        self._numerics = resolve_numerics(numerics)
         # Per-sequence state (populated by begin_sequence).
         self._model_config: Optional[ModelConfig] = None
         self.token_acc: Optional[TokenImportanceAccumulator] = None
@@ -89,11 +98,15 @@ class SpAttenExecutor(AttentionExecutor):
         self.head_acc = HeadImportanceAccumulator(cfg.n_heads)
         self._alive_heads = np.arange(cfg.n_heads, dtype=np.int64)
         self._alive_tokens = None
+        policy = self._numerics
         self._cache = (
             KVCache(
                 cfg.n_layers, cfg.n_heads, cfg.head_dim,
-                bytes_per_element=cfg.bytes_per_element,
+                bytes_per_element=policy.storage_bytes_per_element(
+                    cfg.bytes_per_element
+                ),
                 page_tokens=self._kv_page_tokens,
+                dtype=policy.kv_dtype,
             )
             if cfg.causal
             else None
@@ -473,6 +486,11 @@ class SpAttenExecutor(AttentionExecutor):
     # ------------------------------------------------------------------
     # Packed decode protocol (repro.nn.batched_attention)
     # ------------------------------------------------------------------
+    @property
+    def numerics(self):
+        """The numerics ladder tier this executor stores KV state at."""
+        return self._numerics
+
     @property
     def packed_decode_style(self) -> str:
         """The backend supplies projections; SpAtten runs its own core.

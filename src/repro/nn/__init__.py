@@ -6,6 +6,8 @@ Public surface:
 * :class:`MultiHeadAttention` and :class:`AttentionRecord`
 * :class:`TransformerModel` with pluggable :class:`AttentionExecutor`
 * :class:`KVCache` for the GPT generation stage
+* :class:`NumericsPolicy` — the accuracy-for-speed decode ladder
+  (``exact`` / ``fp32`` / ``int8``)
 * weight constructors (:func:`random_model`, :func:`build_semantic_model`)
 """
 
@@ -32,6 +34,14 @@ from .functional import (
     softmax,
 )
 from .kv_cache import KVCache, LayerKVCache
+from .numerics import (
+    EXACT,
+    FP32,
+    INT8,
+    NUMERICS_LADDER,
+    NumericsPolicy,
+    resolve_numerics,
+)
 from .transformer import (
     AttentionExecutor,
     BlockParams,
@@ -77,6 +87,12 @@ __all__ = [
     "softmax",
     "KVCache",
     "LayerKVCache",
+    "EXACT",
+    "FP32",
+    "INT8",
+    "NUMERICS_LADDER",
+    "NumericsPolicy",
+    "resolve_numerics",
     "AttentionExecutor",
     "BlockParams",
     "DenseExecutor",

@@ -56,15 +56,46 @@ quantization, trace accounting) on backend-supplied projections, with
 per-sequence surviving-head sets honored by gathering live-head slices
 from the full-width rows; anything else falls back to ``run_layer``
 with unchanged semantics.
+
+Numerics-policy fast path
+-------------------------
+
+Under a non-exact :class:`~repro.nn.numerics.NumericsPolicy` the
+bit-identity constraint is *traded away* for a declared accuracy
+budget, which unlocks the padded-pack design the contract above
+forbids.  :meth:`PackedDecodeBackend.decode_step_policy` then runs the
+whole decode step in the policy's compute dtype (fp32):
+
+* every dense sequence's K/V live in a persistent per-layer **arena**
+  — ``[S, h, cap, D]`` fp32 planes in batch-row order — so the score
+  and A·V stages run as *one* batched ``[B, h, 1, max_len]`` gufunc
+  matmul each, with a masked softmax batched over the padded scratch
+  (padding columns are masked to ``-1e30`` and underflow to exact 0);
+* arena rows sync incrementally: an unchanged
+  :attr:`~repro.nn.kv_cache.LayerKVCache.version` plus one new column
+  means an O(h·D) tail write; eviction, preemption, or batch-order
+  churn trigger an O(L) rebuild from the cache (dequantizing int8
+  codes through their per-row scales);
+* LayerNorm, the tanh/gelu FFN, and the LM head run vectorized in
+  fp32 over weight copies cast once at backend construction;
+* the ``int8`` tier additionally rounds the decode-step Q rows through
+  the int8 grid (:func:`repro.core.quantization.quantize_rows`), so
+  score GEMMs see int8-quantized operands with fp32 accumulation, and
+  quantizes each step's *batch* of new K/V columns in one call before
+  handing each cache its pre-quantized slice.
+
+The ``exact`` policy never touches any of this: every pre-existing
+code path runs verbatim and stays bit-identical to the looped oracle.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .attention import split_heads
+from .numerics import resolve_numerics
 from .transformer import AttentionExecutor, TransformerModel
 
 __all__ = ["PackedDecodeBackend", "ATTENTION_BACKENDS"]
@@ -76,6 +107,101 @@ ATTENTION_BACKENDS = ("looped", "packed")
 #: :func:`repro.nn.attention.scaled_dot_attention` and underflows to an
 #: exact 0.0 after the softmax's exp.
 _MASKED = -1e30
+
+#: tanh-approximation gelu constant (Python float: binary ops against
+#: it preserve the array's compute dtype instead of promoting to fp64).
+_GELU_C = float(np.sqrt(2.0 / np.pi))
+
+
+def _policy_layer_norm(
+    x: np.ndarray, gamma: np.ndarray, beta: np.ndarray
+) -> np.ndarray:
+    """LayerNorm staying in the array's compute dtype.
+
+    Same math as :func:`repro.nn.functional.layer_norm` (eps 1e-5);
+    kept separate so the exact path's fp64 oracle normalization is
+    untouched while the policy path avoids fp64 promotion.  Reductions
+    go through ``np.add.reduce`` + an inverse-width multiply instead of
+    ``np.mean`` — the raw ufunc skips ``np.mean``'s dispatch/dtype
+    bookkeeping (~2× on decode-step-sized rows, and this runs twice per
+    layer on the hot path; exact for power-of-two widths, within one
+    ulp otherwise — inside every tier's declared budget).
+    """
+    inv_d = 1.0 / x.shape[-1]
+    mean = np.add.reduce(x, axis=-1, keepdims=True)
+    mean *= inv_d
+    centered = x - mean
+    var = np.multiply(centered, centered)
+    var = np.add.reduce(var, axis=-1, keepdims=True)
+    var *= inv_d
+    var += 1e-5
+    np.sqrt(var, out=var)
+    centered /= var
+    centered *= gamma
+    centered += beta
+    return centered
+
+
+class _PolicyWeights:
+    """Model weights cast once into a policy's compute dtype.
+
+    Holding the cast copies on the backend makes every policy decode
+    step allocation-free on the weight side; the fp64 originals stay
+    untouched for the exact paths (prefill projections included).
+    """
+
+    __slots__ = (
+        "tok_emb", "pos_emb", "lm_proj", "wqkv", "bqkv", "wo", "bo",
+        "ln1_g", "ln1_b", "ln2_g", "ln2_b", "w1", "b1", "w2", "b2",
+    )
+
+    def __init__(self, model, wqkv, bqkv, compute_dtype):
+        ct = compute_dtype
+        params = model.params
+        self.tok_emb = params.token_embedding.astype(ct)
+        self.pos_emb = params.pos_embedding.astype(ct)
+        self.lm_proj = np.ascontiguousarray(params.lm_projection()).astype(ct)
+        self.wqkv = [w.astype(ct) for w in wqkv]
+        self.bqkv = [b.astype(ct) for b in bqkv]
+        self.wo, self.bo = [], []
+        self.ln1_g, self.ln1_b, self.ln2_g, self.ln2_b = [], [], [], []
+        self.w1, self.b1, self.w2, self.b2 = [], [], [], []
+        for layer_idx in range(model.config.n_layers):
+            bp = model.block(layer_idx)
+            aw = model.attention(layer_idx).weights
+            self.wo.append(aw.wo.astype(ct))
+            self.bo.append(aw.bo.astype(ct))
+            self.ln1_g.append(bp.ln1_gamma.astype(ct))
+            self.ln1_b.append(bp.ln1_beta.astype(ct))
+            self.ln2_g.append(bp.ln2_gamma.astype(ct))
+            self.ln2_b.append(bp.ln2_beta.astype(ct))
+            self.w1.append(bp.ffn_w1.astype(ct))
+            self.b1.append(bp.ffn_b1.astype(ct))
+            self.w2.append(bp.ffn_w2.astype(ct))
+            self.b2.append(bp.ffn_b2.astype(ct))
+
+
+class _ArenaPlane:
+    """One layer's persistent padded KV arena (policy fast path).
+
+    ``k`` is a ``[S, h, D, cap]`` and ``v`` a ``[S, h, cap, D]``
+    compute-dtype plane holding the dequantized KV columns of up to
+    ``S`` sequences in *batch-row order* (K is stored pre-transposed so
+    the score GEMM needs no strided transpose view);
+    ``owners[j]`` is the :class:`~repro.nn.kv_cache.LayerKVCache`
+    whose columns currently fill row ``j`` (identity-checked every
+    step, so stale or deep-copied caches can never alias a row).
+    Rows are rebuilt from cache truth whenever ownership, content
+    version, or batch order changes; growth reallocates the plane and
+    clears ownership, forcing a one-step rebuild of every row.
+    """
+
+    __slots__ = ("k", "v", "owners")
+
+    def __init__(self, k: np.ndarray, v: np.ndarray):
+        self.k = k
+        self.v = v
+        self.owners: List[Optional[object]] = [None] * k.shape[0]
 
 
 class PackedDecodeBackend:
@@ -91,11 +217,19 @@ class PackedDecodeBackend:
     step.
     """
 
-    def __init__(self, model: TransformerModel, scratch_page_tokens: int = 64):
+    def __init__(
+        self,
+        model: TransformerModel,
+        scratch_page_tokens: int = 64,
+        numerics=None,
+    ):
         if scratch_page_tokens < 1:
             raise ValueError("scratch_page_tokens must be >= 1")
         self._model = model
         self._scratch_page = scratch_page_tokens
+        #: The numerics ladder tier this backend runs decode steps at;
+        #: ``exact`` (the default) leaves every code path bit-identical.
+        self.policy = resolve_numerics(numerics)
         cfg = model.config
         d = cfg.d_model
         # Fused [d, 3d] QKV weights: output column blocks of a GEMM are
@@ -111,6 +245,26 @@ class PackedDecodeBackend:
         self._denom = np.zeros((0, cfg.n_heads, 1, 1))
         self._head_out = np.zeros((0, cfg.n_heads, 1, cfg.head_dim))
         self._merged = np.zeros((0, 1, d))
+        # Policy fast-path state (unused — and unallocated — for exact).
+        self._cast: Optional[_PolicyWeights] = None
+        self._planes: List[Optional[_ArenaPlane]] = []
+        self._p_scores = None
+        self._p_merged = None
+        if not self.policy.is_exact:
+            ct = self.policy.compute_dtype
+            self._cast = _PolicyWeights(model, self._wqkv, self._bqkv, ct)
+            self._planes = [None] * cfg.n_layers
+            self._p_scores = np.zeros((0, cfg.n_heads, 1, 0), dtype=ct)
+            self._p_merged = np.zeros((0, 1, d), dtype=ct)
+            self._p_qpack = np.zeros((0, cfg.n_heads, 1, cfg.head_dim), dtype=ct)
+            self._p_kvrows = np.zeros((0, cfg.n_heads, cfg.head_dim), dtype=ct)
+            self._p_qcodes_f = np.zeros((0, cfg.n_heads, cfg.head_dim), dtype=ct)
+            self._p_qscales = np.zeros((0, cfg.n_heads, 1), dtype=np.float32)
+            self._p_qcodes = np.zeros((0, cfg.n_heads, cfg.head_dim), dtype=np.int8)
+            d_ff = self._cast.w1[0].shape[1]
+            self._p_ffn_h = np.zeros((0, d_ff), dtype=ct)
+            self._p_ffn_i = np.zeros((0, d_ff), dtype=ct)
+            self._inv_sqrt_d = 1.0 / float(np.sqrt(cfg.head_dim))
         #: Optional :class:`repro.telemetry.HotPathProfiler` measuring
         #: real wall-clock time per stage (the serving engine attaches
         #: it when profiling is requested).  ``None`` costs one ``is
@@ -276,6 +430,394 @@ class PackedDecodeBackend:
             np.matmul(scores[j, :, :, : lens[j]], cache.values, out=head_out[j])
         rows = [i for (i, _, _) in dense_rows]
         merged[rows] = head_out.transpose(0, 2, 1, 3).reshape(n, 1, -1)
+
+    # ------------------------------------------------------------------
+    # Numerics-policy fast path (fp32 / int8 tiers)
+    # ------------------------------------------------------------------
+    def _policy_scores(self, n: int, max_len: int) -> np.ndarray:
+        h = self._model.config.n_heads
+        if self._p_scores.shape[0] < n or self._p_scores.shape[3] < max_len:
+            pages = -(-max_len // self._scratch_page)
+            cap = max(pages * self._scratch_page, self._p_scores.shape[3])
+            self._p_scores = np.zeros(
+                (max(n, self._p_scores.shape[0]), h, 1, cap),
+                dtype=self.policy.compute_dtype,
+            )
+        return self._p_scores[:n, :, :, :max_len]
+
+    def _policy_merged(self, batch: int) -> np.ndarray:
+        d = self._model.config.d_model
+        if self._p_merged.shape[0] < batch:
+            self._p_merged = np.zeros(
+                (batch, 1, d), dtype=self.policy.compute_dtype
+            )
+        return self._p_merged[:batch]
+
+    def _policy_qpack(self, n: int) -> np.ndarray:
+        """Persistent ``[n, h, 1, D]`` scratch for the scaled Q pack."""
+        cfg = self._model.config
+        if self._p_qpack.shape[0] < n:
+            self._p_qpack = np.empty(
+                (n, cfg.n_heads, 1, cfg.head_dim),
+                dtype=self.policy.compute_dtype,
+            )
+        return self._p_qpack[:n]
+
+    def _policy_kv_stage(self, n: int) -> np.ndarray:
+        """Persistent ``[2n, h, D]`` staging rows for the fused KV quantize."""
+        cfg = self._model.config
+        if self._p_kvrows.shape[0] < 2 * n:
+            self._p_kvrows = np.empty(
+                (2 * n, cfg.n_heads, cfg.head_dim),
+                dtype=self.policy.compute_dtype,
+            )
+        return self._p_kvrows[: 2 * n]
+
+    def _policy_quant_work(self, n: int):
+        """Persistent int8-tier scratch: float codes, scales, int8 codes.
+
+        Shapes ``[2n, h, D]`` / ``[2n, h, 1]`` / ``[2n, h, D]``; the
+        caches copy out of these on append, so one set of buffers
+        serves every layer of every step allocation-free.
+        """
+        cfg = self._model.config
+        if self._p_qcodes_f.shape[0] < 2 * n:
+            shape = (2 * n, cfg.n_heads, cfg.head_dim)
+            ct = self.policy.compute_dtype
+            self._p_qcodes_f = np.empty(shape, dtype=ct)
+            self._p_qscales = np.empty(
+                (2 * n, cfg.n_heads, 1), dtype=np.float32
+            )
+            self._p_qcodes = np.empty(shape, dtype=np.int8)
+        m = 2 * n
+        return (
+            self._p_qcodes_f[:m], self._p_qscales[:m], self._p_qcodes[:m]
+        )
+
+    def _plane(self, layer_idx: int, n_rows: int, cap_needed: int) -> _ArenaPlane:
+        """The layer's arena, grown (rows and columns) to fit this step.
+
+        Growth reallocates and clears ownership — every row rebuilds
+        from its cache next sync, so stale plane content can never leak.
+        """
+        cfg = self._model.config
+        plane = self._planes[layer_idx]
+        if (
+            plane is None
+            or plane.k.shape[0] < n_rows
+            or plane.k.shape[3] < cap_needed
+        ):
+            old_rows = plane.k.shape[0] if plane is not None else 0
+            old_cap = plane.k.shape[3] if plane is not None else 0
+            rows = max(n_rows, old_rows)
+            pages = -(-cap_needed // self._scratch_page)
+            cap = max(pages * self._scratch_page, 2 * old_cap)
+            ct = self.policy.compute_dtype
+            plane = _ArenaPlane(
+                np.zeros((rows, cfg.n_heads, cfg.head_dim, cap), dtype=ct),
+                np.zeros((rows, cfg.n_heads, cap, cfg.head_dim), dtype=ct),
+            )
+            self._planes[layer_idx] = plane
+        return plane
+
+    def decode_step_policy(
+        self,
+        model: TransformerModel,
+        token_ids: np.ndarray,
+        positions: np.ndarray,
+        executors: Sequence[AttentionExecutor],
+    ) -> np.ndarray:
+        """One whole decode step in the policy's compute dtype.
+
+        :meth:`~repro.nn.transformer.TransformerModel.decode_step_batch`
+        delegates here (after its input validation) whenever the
+        backend's policy is non-exact.  The layer stack mirrors the
+        exact path operation-for-operation — embedding gather, packed
+        attention, residual + LayerNorm, tanh/gelu FFN, LM head — but
+        runs vectorized over cast weights with the arena-packed
+        attention core of :meth:`_dense_core_policy`.  Rows whose
+        executor opts out of packing (``packed_decode_style == "none"``)
+        fall back to ``run_layer`` in fp64; ``custom`` executors
+        (SpAtten) keep their own per-sequence core and semantics, with
+        dtype-aware KV storage underneath.
+        """
+        if model is not self._model:
+            raise ValueError(
+                "PackedDecodeBackend is bound to a different model; create "
+                "one backend per TransformerModel"
+            )
+        cw = self._cast
+        # Executor styles cannot change mid-step: group rows once and
+        # reuse the grouping across every layer.
+        dense_rows: List[Tuple[int, AttentionExecutor]] = []
+        custom_rows: List[Tuple[int, AttentionExecutor]] = []
+        fallback_rows: List[Tuple[int, AttentionExecutor]] = []
+        for i, executor in enumerate(executors):
+            style = executor.packed_decode_style
+            if style == "dense":
+                dense_rows.append((i, executor))
+            elif style == "custom":
+                custom_rows.append((i, executor))
+            elif style == "none":
+                fallback_rows.append((i, executor))
+            else:
+                raise ValueError(
+                    f"unknown packed_decode_style {style!r} from "
+                    f"{type(executor).__name__}"
+                )
+        dense_idx = [i for i, _ in dense_rows]
+        x = cw.tok_emb[token_ids] + cw.pos_emb[positions]
+        for layer_idx in range(model.config.n_layers):
+            attn_out = self._decode_layer_policy(
+                model, layer_idx, x, positions,
+                dense_rows, dense_idx, custom_rows, fallback_rows,
+            )
+            # Residual adds run in place on the freshly produced left
+            # operand (attn/FFN output buffers are never aliased to x).
+            attn_out += x
+            x = _policy_layer_norm(
+                attn_out, cw.ln1_g[layer_idx], cw.ln1_b[layer_idx]
+            )
+            ffn_out = self._ffn_policy(layer_idx, x)
+            ffn_out += x
+            x = _policy_layer_norm(
+                ffn_out, cw.ln2_g[layer_idx], cw.ln2_b[layer_idx],
+            )
+        return x @ cw.lm_proj
+
+    def _ffn_policy(self, layer_idx: int, x: np.ndarray) -> np.ndarray:
+        """Vectorized compute-dtype tanh/gelu FFN (the PR-3 fp64 tax)."""
+        cw = self._cast
+        if self._p_ffn_h.shape[0] < len(x):
+            d_ff = cw.w1[0].shape[1]
+            ct = self.policy.compute_dtype
+            self._p_ffn_h = np.empty((len(x), d_ff), dtype=ct)
+            self._p_ffn_i = np.empty((len(x), d_ff), dtype=ct)
+        hidden = self._p_ffn_h[: len(x)]
+        inner = self._p_ffn_i[: len(x)]
+        np.matmul(x, cw.w1[layer_idx], out=hidden)
+        hidden += cw.b1[layer_idx]
+        # h + 0.044715 h^3 factored as h (1 + 0.044715 h^2): one fewer
+        # full-array multiply, every op in-place on the scratch.
+        np.square(hidden, out=inner)
+        inner *= 0.044715
+        inner += 1.0
+        inner *= hidden
+        inner *= _GELU_C
+        np.tanh(inner, out=inner)
+        inner += 1.0
+        inner *= hidden
+        inner *= 0.5
+        out = inner @ cw.w2[layer_idx]
+        out += cw.b2[layer_idx]
+        return out
+
+    def _decode_layer_policy(
+        self,
+        model: TransformerModel,
+        layer_idx: int,
+        x: np.ndarray,
+        positions: np.ndarray,
+        dense_rows: List[Tuple[int, AttentionExecutor]],
+        dense_idx: List[int],
+        custom_rows: List[Tuple[int, AttentionExecutor]],
+        fallback_rows: List[Tuple[int, AttentionExecutor]],
+    ) -> np.ndarray:
+        cfg = model.config
+        d, n_heads, head_dim = cfg.d_model, cfg.n_heads, cfg.head_dim
+        batch = len(x)
+        prof = self.profiler
+        t0 = prof.start() if prof is not None else 0.0
+        cw = self._cast
+        # One 2D GEMM (not a [B, 1, d] batched matmul, which dispatches
+        # B separate GEMVs) for the fused QKV projection.
+        flat = x @ cw.wqkv[layer_idx]
+        flat += cw.bqkv[layer_idx]
+        # Batched head split: views, replacing 3·B per-row reshapes.
+        q_all = flat[:, :d].reshape(batch, n_heads, head_dim)
+        k_all = flat[:, d : 2 * d].reshape(batch, n_heads, head_dim)
+        v_all = flat[:, 2 * d :].reshape(batch, n_heads, head_dim)
+        if prof is not None:
+            prof.stop("decode_qkv_proj", t0)
+
+        merged = self._policy_merged(batch)
+        for i, executor in custom_rows:
+            t0 = prof.start() if prof is not None else 0.0
+            merged[i] = executor.decode_attend_packed(
+                layer_idx, model,
+                q_all[i][:, None, :], k_all[i][:, None, :],
+                v_all[i][:, None, :], positions[i : i + 1],
+            )
+            if prof is not None:
+                prof.stop("decode_custom_core", t0)
+        if dense_rows:
+            t0 = prof.start() if prof is not None else 0.0
+            self._dense_core_policy(
+                layer_idx, dense_rows, dense_idx, q_all, k_all, v_all,
+                positions, merged,
+            )
+            if prof is not None:
+                prof.stop("decode_dense_core", t0)
+
+        t0 = prof.start() if prof is not None else 0.0
+        attn_out = merged[:, 0, :] @ cw.wo[layer_idx]
+        attn_out += cw.bo[layer_idx]
+        if prof is not None:
+            prof.stop("decode_output_fc", t0)
+        for i, executor in fallback_rows:
+            t0 = prof.start() if prof is not None else 0.0
+            attn_out[i] = executor.run_layer(
+                layer_idx, model,
+                # repro: allow[det-dtype-literal] -- fallback rows run the
+                # per-sequence fp64 oracle regardless of the policy tier
+                np.asarray(x[i : i + 1], dtype=np.float64),
+                positions[i : i + 1], "decode",
+            ).output[0]
+            if prof is not None:
+                prof.stop("decode_fallback", t0)
+        return attn_out
+
+    def _dense_core_policy(
+        self,
+        layer_idx: int,
+        dense_rows: List[Tuple[int, AttentionExecutor]],
+        dense_idx: List[int],
+        q_all: np.ndarray,
+        k_all: np.ndarray,
+        v_all: np.ndarray,
+        positions: np.ndarray,
+        merged: np.ndarray,
+    ) -> None:
+        """Arena-packed attention core for the dense rows of one layer.
+
+        Appends this step's KV columns (the whole batch's k/v rows
+        quantized in *one* :func:`quantize_rows` call under int8),
+        syncs each cache into its batch-order arena row (a single
+        vectorized fancy-index tail write in the steady state), then
+        runs scores → masked softmax → A·V as three batched tensor ops
+        over the ``[n, h, ...]`` pack — no per-sequence BLAS calls.
+        """
+        ct = self.policy.compute_dtype
+        n = len(dense_rows)
+        # All-dense batches (the common serving case) index with plain
+        # slices — views, not fancy-index copies.
+        sel = slice(None) if n == merged.shape[0] else dense_idx
+        quantized = self.policy.quantized_gemm
+        if quantized:
+            # One fused quantization of this step's k and v rows —
+            # inlined :func:`repro.core.quantization.quantize_rows`
+            # (bit-identical codes and scales, asserted by
+            # tests/test_numerics.py) over persistent scratch: every op
+            # runs in place, and the finite-input guard is skipped
+            # because decode activations are bounded by construction
+            # (LayerNormed hidden state through finite weights).  Q
+            # stays in the compute dtype — the score GEMM reads fp Q
+            # against dequantized int8 K, matching what the cache
+            # stores.
+            kv_rows = self._policy_kv_stage(n)
+            kv_rows[:n] = k_all[sel]
+            kv_rows[n:] = v_all[sel]
+            codes_f, scales, codes = self._policy_quant_work(n)
+            np.abs(kv_rows, out=codes_f)
+            np.fmax.reduce(codes_f, axis=-1, keepdims=True, out=scales)
+            np.divide(scales, 127.0, out=scales)
+            scales[scales == 0.0] = 1.0
+            np.divide(kv_rows, scales, out=codes_f)
+            np.rint(codes_f, out=codes_f)
+            np.clip(codes_f, -127.0, 127.0, out=codes_f)
+            # codes_f holds exact integers in [-127, 127] after the
+            # rint+clip, so the int8 assignment cast is value-exact.
+            codes[...] = codes_f
+            # Dequantize in place over the staging rows: these are the
+            # arena columns (what the score GEMM reads back).
+            np.multiply(codes_f, scales, out=kv_rows)
+            k_cols = kv_rows[:n]
+            v_cols = kv_rows[n:]
+            k_codes, k_scales = codes[:n], scales[:n, :, 0]
+            v_codes, v_scales = codes[n:], scales[n:, :, 0]
+        else:
+            k_cols = k_all[sel]
+            v_cols = v_all[sel]
+        # Append this step's column to every cache first so plane
+        # capacity can be ensured once, before any row writes.
+        lens = np.empty(n, dtype=np.int64)
+        caches = []
+        for j, (i, executor) in enumerate(dense_rows):
+            cache = executor.decode_kv_cache(layer_idx)
+            if quantized:
+                cache.append_decode_col_quantized(
+                    k_codes[j], k_scales[j],
+                    v_codes[j], v_scales[j], positions[i],
+                )
+            else:
+                cache.append_decode_col(k_cols[j], v_cols[j], positions[i])
+            caches.append(cache)
+            lens[j] = cache._len
+        max_len = int(lens.max())
+        min_len = int(lens.min())
+        plane = self._plane(layer_idx, n, max_len)
+        owners = plane.owners
+        plane_k, plane_v = plane.k, plane.v
+        rebuild: List[int] = []
+        for j in range(n):
+            cache = caches[j]
+            if owners[j] is cache:
+                synced_len, synced_version = cache._arena_state
+                if synced_version == cache.version and synced_len == lens[j] - 1:
+                    cache._arena_state = (synced_len + 1, synced_version)
+                    continue
+            rebuild.append(j)
+        if not rebuild and min_len == max_len:
+            # Steady state, uniform lengths: the new columns land in one
+            # basic-slice write per plane.
+            plane_k[:n, :, :, max_len - 1] = k_cols
+            plane_v[:n, :, max_len - 1] = v_cols
+        elif len(rebuild) < n:
+            # Steady state, ragged lengths: one vectorized fancy-index
+            # tail write lands every append-only row's new column at
+            # its own length.
+            if rebuild:
+                skip = set(rebuild)
+                fast = np.array([j for j in range(n) if j not in skip])
+            else:
+                fast = np.arange(n)
+            tail = lens[fast] - 1
+            plane_k[fast, :, :, tail] = k_cols[fast]
+            plane_v[fast, :, tail] = v_cols[fast]
+        for j in rebuild:
+            # Ownership, order, or content (eviction) changed: rebuild
+            # the row from cache truth (dequantized under int8).
+            cache = caches[j]
+            length = int(lens[j])
+            k, v = cache.compute_columns(0, length)
+            plane_k[j, :, :, :length] = k.transpose(0, 2, 1)
+            plane_v[j, :, :length] = v
+            owners[j] = cache
+            cache._arena_state = (length, cache.version)
+
+        q_pack = self._policy_qpack(n)
+        np.multiply(
+            q_all[sel][:, :, None, :], self._inv_sqrt_d, out=q_pack
+        )
+        scores = self._policy_scores(n, max_len)
+        np.matmul(q_pack, plane_k[:n, :, :, :max_len], out=scores)
+        if min_len < max_len:
+            for j in range(n):
+                if lens[j] < max_len:
+                    scores[j, :, :, lens[j] :] = _MASKED
+        # fmax skips NaN handling (scores are finite by construction).
+        shift = np.fmax.reduce(scores, axis=-1, keepdims=True)
+        scores -= shift
+        np.exp(scores, out=scores)
+        denom = np.add.reduce(scores, axis=-1, keepdims=True)
+        # Normalize after A·V: dividing the [n, h, 1, D] head outputs
+        # touches max_len/D fewer elements than dividing the scores,
+        # and (exp·V)/denom distributes over the dot product.
+        head_out = np.matmul(scores, plane_v[:n, :, :max_len])
+        head_out /= denom
+        # [n, h, 1, D] → [n, 1, h·D] reshapes in place (the moved axis
+        # is the singleton), so no transpose copy is needed.
+        merged[sel] = head_out.reshape(n, 1, -1)
 
     # ------------------------------------------------------------------
     # Chunked prefill

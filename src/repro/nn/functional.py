@@ -28,6 +28,8 @@ def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
     Matches the row-wise softmax of the paper's Algorithm 1: each row of
     attention scores becomes a probability distribution summing to 1.
     """
+    # repro: allow[det-dtype-literal] -- this IS the fp64 oracle softmax
+    # every numerics tier is measured against; the policy path has its own
     x = np.asarray(x, dtype=np.float64)
     shifted = x - np.max(x, axis=axis, keepdims=True)
     exp = np.exp(shifted)
@@ -36,6 +38,7 @@ def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
 
 def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
     """Stable log-softmax along ``axis``."""
+    # repro: allow[det-dtype-literal] -- fp64 oracle log-softmax (see above)
     x = np.asarray(x, dtype=np.float64)
     shifted = x - np.max(x, axis=axis, keepdims=True)
     return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))

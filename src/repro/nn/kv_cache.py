@@ -23,17 +23,45 @@ columns in place.  ``preallocate=False`` restores the historical
 concatenate-per-append storage (kept as a benchmarking baseline for
 ``benchmarks/bench_decode_step.py``).
 
+Numerics-policy storage (dtype parameterization)
+------------------------------------------------
+
+``dtype`` selects the storage representation of the cached planes, one
+per :mod:`repro.nn.numerics` ladder tier:
+
+* ``np.float64`` (default) — the bit-exact oracle representation;
+  every pre-existing code path is unchanged.
+* ``np.float32`` — half the resident bytes; reads are still zero-copy
+  views, appends cast on write.
+* ``np.int8`` — quantized codes with one fp32 scale per (head, column)
+  row for K and V each (:func:`repro.core.quantization.quantize_rows`).
+  Reads (:attr:`keys` / :attr:`values` / :meth:`padded_to` /
+  :meth:`compute_columns`) return *dequantized fp32 copies*, so every
+  consumer of the cache API keeps working unmodified; writers that
+  already hold codes (the batched decode backend quantizes whole
+  batches at once) use :meth:`append_quantized` to skip requantization.
+  Scales travel with their rows through :meth:`keep` compaction — an
+  evicted-and-compacted cache never requantizes surviving columns.
+
 Memory accounting is dtype-aware: ``bytes_per_element`` describes the
-*storage* width of a cache entry in DRAM (fp16 baseline, matching
-``ModelConfig.bytes_per_element``), independent of the float64 arrays
-the reproduction computes with.  :attr:`nbytes` counts live columns
-(what the pool pages back); :attr:`capacity_nbytes` counts the
-preallocated buffers.
+*storage* width of a cache entry in DRAM, independent of the float64
+arrays the exact tier computes with.  The fp16 default (2, matching
+``ModelConfig.bytes_per_element``) models the paper's DRAM traffic; the
+numerics policies pass their true storage width (4 for fp32, 1 for
+int8, where :attr:`nbytes` additionally counts the fp32 scale columns).
+:attr:`nbytes` counts live columns (what the pool pages back);
+:attr:`capacity_nbytes` counts the preallocated buffers.
+
+:attr:`version` counts in-place content mutations that are *not*
+appends (today: :meth:`keep` compaction).  The batched decode backend
+uses it to invalidate per-sequence arena slots cheaply: an unchanged
+version plus a grown length means "columns were only appended", so the
+arena copies just the new tail.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -54,6 +82,8 @@ class LayerKVCache:
         preallocate: grow buffers by amortized doubling (default).  When
             False, every append reallocates exactly-sized arrays via
             ``np.concatenate`` — the pre-packed-backend behaviour.
+        dtype: storage dtype of the K/V planes (see module docstring);
+            ``np.int8`` stores codes plus per-(head, column) fp32 scales.
     """
 
     def __init__(
@@ -63,19 +93,37 @@ class LayerKVCache:
         bytes_per_element: int = 2,
         page_tokens: int = 16,
         preallocate: bool = True,
+        # repro: allow[det-dtype-literal] -- the *default* is the exact
+        # tier's fp64; policies override it via NumericsPolicy.kv_dtype
+        dtype=np.float64,
     ):
         if bytes_per_element <= 0:
             raise ValueError("bytes_per_element must be positive")
         if page_tokens < 1:
             raise ValueError("page_tokens must be >= 1")
+        self.dtype = np.dtype(dtype)
+        if self.dtype not in (
+            # repro: allow[det-dtype-literal] -- the exhaustive list of
+            # storage dtypes the numerics ladder defines, not a hard-coding
+            np.dtype(np.float64), np.dtype(np.float32), np.dtype(np.int8)
+        ):
+            raise ValueError(
+                f"unsupported KV storage dtype {self.dtype}; "
+                "expected float64, float32, or int8"
+            )
+        self.quantized = self.dtype == np.dtype(np.int8)
         self.n_heads = n_heads
         self.head_dim = head_dim
         self.bytes_per_element = bytes_per_element
         self.page_tokens = page_tokens
         self.preallocate = preallocate
         self._len = 0
-        self._keys = np.zeros((n_heads, 0, head_dim))
-        self._values = np.zeros((n_heads, 0, head_dim))
+        self._keys = np.zeros((n_heads, 0, head_dim), dtype=self.dtype)
+        self._values = np.zeros((n_heads, 0, head_dim), dtype=self.dtype)
+        if self.quantized:
+            # One fp32 scale per (head, column) row, for K and V each.
+            self._kscales = np.ones((n_heads, 0), dtype=np.float32)
+            self._vscales = np.ones((n_heads, 0), dtype=np.float32)
         self._token_ids = np.zeros(0, dtype=np.int64)
         #: Whether buffer columns past the live length may hold stale
         #: (non-zero) data — set by :meth:`keep` compaction, consumed by
@@ -83,6 +131,8 @@ class LayerKVCache:
         self._tail_dirty = False
         #: Cumulative count of columns evicted through :meth:`keep`.
         self.evicted_tokens = 0
+        #: In-place non-append mutation counter (see module docstring).
+        self.version = 0
 
     def __len__(self) -> int:
         return self._len
@@ -94,13 +144,35 @@ class LayerKVCache:
 
     @property
     def keys(self) -> np.ndarray:
-        """Zero-copy view ``[h, len, D]`` of the live key columns."""
+        """Live key columns ``[h, len, D]``.
+
+        A zero-copy view for float storage; the int8 tier returns a
+        dequantized fp32 copy so consumers are representation-agnostic.
+        """
+        if self.quantized:
+            return self._dequant(self._keys, self._kscales, 0, self._len)
         return self._keys[:, : self._len, :]
 
     @property
     def values(self) -> np.ndarray:
-        """Zero-copy view ``[h, len, D]`` of the live value columns."""
+        """Live value columns ``[h, len, D]`` (see :attr:`keys`)."""
+        if self.quantized:
+            return self._dequant(self._values, self._vscales, 0, self._len)
         return self._values[:, : self._len, :]
+
+    @property
+    def key_scales(self) -> Optional[np.ndarray]:
+        """Per-(head, column) fp32 key scales view, or None unquantized."""
+        if not self.quantized:
+            return None
+        return self._kscales[:, : self._len]
+
+    @property
+    def value_scales(self) -> Optional[np.ndarray]:
+        """Per-(head, column) fp32 value scales view, or None unquantized."""
+        if not self.quantized:
+            return None
+        return self._vscales[:, : self._len]
 
     @property
     def token_ids(self) -> np.ndarray:
@@ -128,20 +200,32 @@ class LayerKVCache:
 
     def _grow(self, min_capacity: int) -> None:
         new_cap = self._aligned(max(2 * self.capacity, min_capacity))
-        keys = np.zeros((self.n_heads, new_cap, self.head_dim))
-        values = np.zeros((self.n_heads, new_cap, self.head_dim))
+        keys = np.zeros((self.n_heads, new_cap, self.head_dim), dtype=self.dtype)
+        values = np.zeros((self.n_heads, new_cap, self.head_dim), dtype=self.dtype)
         token_ids = np.zeros(new_cap, dtype=np.int64)
         keys[:, : self._len] = self._keys[:, : self._len]
         values[:, : self._len] = self._values[:, : self._len]
         token_ids[: self._len] = self._token_ids[: self._len]
         self._keys, self._values, self._token_ids = keys, values, token_ids
+        if self.quantized:
+            kscales = np.ones((self.n_heads, new_cap), dtype=np.float32)
+            vscales = np.ones((self.n_heads, new_cap), dtype=np.float32)
+            kscales[:, : self._len] = self._kscales[:, : self._len]
+            vscales[:, : self._len] = self._vscales[:, : self._len]
+            self._kscales, self._vscales = kscales, vscales
         self._tail_dirty = False
 
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
     def append(self, k: np.ndarray, v: np.ndarray, token_ids: np.ndarray) -> None:
-        """Add new per-head K/V columns (``[h, L_new, D]``) in place."""
+        """Add new per-head K/V columns (``[h, L_new, D]``) in place.
+
+        Float storage casts on write; int8 storage quantizes each
+        (head, column) row through
+        :func:`repro.core.quantization.quantize_rows` — these are the
+        "per-row scales computed at prefill".
+        """
         if k.shape != v.shape:
             raise ValueError("K and V shapes must match")
         if k.shape[0] != self.n_heads or k.shape[2] != self.head_dim:
@@ -150,13 +234,128 @@ class LayerKVCache:
             )
         if k.shape[1] != len(token_ids):
             raise ValueError("token_ids must label every appended column")
+        if self.quantized:
+            from ..core.quantization import quantize_rows
+
+            k_codes, k_scales = quantize_rows(k, bits=8, axis=-1)
+            v_codes, v_scales = quantize_rows(v, bits=8, axis=-1)
+            self._append_storage(
+                k_codes, v_codes, token_ids,
+                k_scales[..., 0], v_scales[..., 0],
+            )
+            return
+        self._append_storage(k, v, token_ids)
+
+    def append_quantized(
+        self,
+        k_codes: np.ndarray,
+        k_scales: np.ndarray,
+        v_codes: np.ndarray,
+        v_scales: np.ndarray,
+        token_ids: np.ndarray,
+    ) -> None:
+        """Add pre-quantized columns (int8 storage only).
+
+        The batched decode backend quantizes a whole batch's new K/V
+        columns in one :func:`~repro.core.quantization.quantize_rows`
+        call and hands each cache its slice here, skipping per-sequence
+        requantization.  ``*_codes`` are ``[h, L_new, D]`` int8;
+        ``*_scales`` are ``[h, L_new]`` (or ``[h, L_new, 1]``) fp32.
+        """
+        if not self.quantized:
+            raise ValueError("append_quantized requires int8 storage dtype")
+        if k_codes.shape != v_codes.shape:
+            raise ValueError("K and V code shapes must match")
+        if k_codes.shape[0] != self.n_heads or k_codes.shape[2] != self.head_dim:
+            raise ValueError(
+                f"expected [h={self.n_heads}, *, D={self.head_dim}], "
+                f"got {k_codes.shape}"
+            )
+        if k_codes.shape[1] != len(token_ids):
+            raise ValueError("token_ids must label every appended column")
+        k_scales = np.asarray(k_scales)
+        v_scales = np.asarray(v_scales)
+        if k_scales.ndim == 3:
+            k_scales = k_scales[..., 0]
+        if v_scales.ndim == 3:
+            v_scales = v_scales[..., 0]
+        self._append_storage(k_codes, v_codes, token_ids, k_scales, v_scales)
+
+    def append_decode_col(self, k: np.ndarray, v: np.ndarray, token_id) -> None:
+        """O(1) single-column decode append (``[h, D]`` per plane).
+
+        The policy decode backend's per-row hot loop: minimal checks,
+        no reshapes.  Float storage only — int8 callers use
+        :meth:`append_decode_col_quantized` with precomputed codes.
+        """
+        if self.quantized or not self.preallocate:
+            self.append(k[:, None, :], v[:, None, :], [token_id])
+            return
+        pos = self._len
+        keys = self._keys
+        if pos + 1 > keys.shape[1]:
+            self._grow(pos + 1)
+            keys = self._keys
+        keys[:, pos] = k
+        self._values[:, pos] = v
+        self._token_ids[pos] = token_id
+        self._len = pos + 1
+
+    def append_decode_col_quantized(
+        self,
+        k_codes: np.ndarray,
+        k_scales: np.ndarray,
+        v_codes: np.ndarray,
+        v_scales: np.ndarray,
+        token_id,
+    ) -> None:
+        """O(1) single pre-quantized column append (int8 storage).
+
+        ``*_codes`` are ``[h, D]`` int8; ``*_scales`` are ``[h]`` fp32
+        (the backend quantizes the whole batch's new columns in one
+        :func:`~repro.core.quantization.quantize_rows` call).
+        """
+        if not self.quantized:
+            raise ValueError(
+                "append_decode_col_quantized requires int8 storage dtype"
+            )
+        if not self.preallocate:
+            self.append_quantized(
+                k_codes[:, None, :], k_scales[:, None],
+                v_codes[:, None, :], v_scales[:, None], [token_id],
+            )
+            return
+        pos = self._len
+        keys = self._keys
+        if pos + 1 > keys.shape[1]:
+            self._grow(pos + 1)
+            keys = self._keys
+        keys[:, pos] = k_codes
+        self._values[:, pos] = v_codes
+        self._kscales[:, pos] = k_scales
+        self._vscales[:, pos] = v_scales
+        self._token_ids[pos] = token_id
+        self._len = pos + 1
+
+    def _append_storage(self, k, v, token_ids, k_scales=None, v_scales=None):
         n_new = k.shape[1]
         if not self.preallocate:
-            self._keys = np.concatenate([self.keys, k], axis=1)
-            self._values = np.concatenate([self.values, v], axis=1)
+            self._keys = np.concatenate(
+                [self._keys[:, : self._len], k], axis=1
+            ).astype(self.dtype, copy=False)
+            self._values = np.concatenate(
+                [self._values[:, : self._len], v], axis=1
+            ).astype(self.dtype, copy=False)
             self._token_ids = np.concatenate(
                 [self.token_ids, np.asarray(token_ids)]
             )
+            if self.quantized:
+                self._kscales = np.concatenate(
+                    [self._kscales[:, : self._len], k_scales], axis=1
+                ).astype(np.float32, copy=False)
+                self._vscales = np.concatenate(
+                    [self._vscales[:, : self._len], v_scales], axis=1
+                ).astype(np.float32, copy=False)
             self._len += n_new
             return
         if self._len + n_new > self.capacity:
@@ -165,6 +364,9 @@ class LayerKVCache:
         self._keys[:, self._len : end] = k
         self._values[:, self._len : end] = v
         self._token_ids[self._len : end] = np.asarray(token_ids)
+        if self.quantized:
+            self._kscales[:, self._len : end] = k_scales
+            self._vscales[:, self._len : end] = v_scales
         self._len = end
 
     def keep(self, column_indices: np.ndarray) -> None:
@@ -174,8 +376,9 @@ class LayerKVCache:
         sorted so the original token order is preserved (the top-k engine
         preserves input order; Section IV-B).  Surviving columns are
         compacted toward the front of the existing buffers — no
-        reallocation.  An empty index set empties the cache;
-        out-of-range indices raise ``ValueError``.
+        reallocation.  Quantized scales travel with their rows, so
+        compaction never requantizes.  An empty index set empties the
+        cache; out-of-range indices raise ``ValueError``.
         """
         column_indices = np.asarray(column_indices, dtype=np.int64).reshape(-1)
         if len(column_indices):
@@ -189,23 +392,62 @@ class LayerKVCache:
         n_kept = len(column_indices)
         self.evicted_tokens += self._len - n_kept
         if not self.preallocate:
-            self._keys = self.keys[:, column_indices, :]
-            self._values = self.values[:, column_indices, :]
+            self._keys = self._keys[:, : self._len][:, column_indices, :]
+            self._values = self._values[:, : self._len][:, column_indices, :]
+            if self.quantized:
+                self._kscales = self._kscales[:, : self._len][:, column_indices]
+                self._vscales = self._vscales[:, : self._len][:, column_indices]
             self._token_ids = self.token_ids[column_indices]
             self._len = n_kept
+            self.version += 1
             return
         if n_kept < self._len:
             # Advanced indexing on the right materializes the survivors
             # before assignment, so the overlapping copy is safe.
             self._keys[:, :n_kept] = self._keys[:, column_indices]
             self._values[:, :n_kept] = self._values[:, column_indices]
+            if self.quantized:
+                self._kscales[:, :n_kept] = self._kscales[:, column_indices]
+                self._vscales[:, :n_kept] = self._vscales[:, column_indices]
             self._token_ids[:n_kept] = self._token_ids[column_indices]
             self._len = n_kept
             self._tail_dirty = True
+            self.version += 1
 
     # ------------------------------------------------------------------
     # Views
     # ------------------------------------------------------------------
+    def _dequant(self, codes, scales, start, end):
+        return (
+            codes[:, start:end, :].astype(np.float32)
+            * scales[:, start:end, None]
+        )
+
+    def compute_columns(
+        self, start: int = 0, end: Optional[int] = None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Columns ``[start, end)`` as float arrays for compute.
+
+        Float storage returns zero-copy views; int8 storage returns
+        dequantized fp32 copies.  The batched decode backend uses this
+        to (re)fill arena slots — including the one-column fast path
+        after each decode append.
+        """
+        end = self._len if end is None else end
+        if not 0 <= start <= end <= self._len:
+            raise ValueError(
+                f"invalid column range [{start}, {end}) for length {self._len}"
+            )
+        if self.quantized:
+            return (
+                self._dequant(self._keys, self._kscales, start, end),
+                self._dequant(self._values, self._vscales, start, end),
+            )
+        return (
+            self._keys[:, start:end, :],
+            self._values[:, start:end, :],
+        )
+
     def as_tuple(self) -> Tuple[np.ndarray, np.ndarray]:
         return self.keys, self.values
 
@@ -216,16 +458,26 @@ class LayerKVCache:
         prompt width so the softmax reduction matches the monolithic
         pass column-for-column (see
         :meth:`repro.nn.transformer.DenseExecutor.begin_prefill`).  With
-        preallocated buffers this is a zero-copy view — capacity is
-        grown to ``total`` and the tail is guaranteed zero; the
-        concatenate-growth mode materializes the historical padded copy.
+        preallocated float buffers this is a zero-copy view — capacity
+        is grown to ``total`` and the tail is guaranteed zero; the
+        concatenate-growth mode and the int8 tier (which must
+        dequantize) materialize padded copies.
         """
         if total < self._len:
             raise ValueError(
                 f"cannot pad {self._len} live columns down to {total}"
             )
+        if self.quantized:
+            k = np.zeros((self.n_heads, total, self.head_dim), dtype=np.float32)
+            v = np.zeros((self.n_heads, total, self.head_dim), dtype=np.float32)
+            k[:, : self._len] = self._dequant(self._keys, self._kscales, 0, self._len)
+            v[:, : self._len] = self._dequant(self._values, self._vscales, 0, self._len)
+            return k, v
         if not self.preallocate:
-            pad = np.zeros((self.n_heads, total - self._len, self.head_dim))
+            pad = np.zeros(
+                (self.n_heads, total - self._len, self.head_dim),
+                dtype=self.dtype,
+            )
             return (
                 np.concatenate([self.keys, pad], axis=1),
                 np.concatenate([self.values, pad], axis=1),
@@ -241,11 +493,18 @@ class LayerKVCache:
     # Accounting
     # ------------------------------------------------------------------
     @property
+    def _bytes_per_column(self) -> int:
+        """Storage bytes one cache column costs (K + V, all heads)."""
+        per_col = 2 * self.n_heads * self.head_dim * self.bytes_per_element
+        if self.quantized:
+            # Two fp32 scales (K and V) per head per column.
+            per_col += 2 * self.n_heads * 4
+        return per_col
+
+    @property
     def nbytes(self) -> int:
         """Live-column footprint in bytes at the configured storage width."""
-        return (
-            2 * self.n_heads * self._len * self.head_dim * self.bytes_per_element
-        )
+        return self._len * self._bytes_per_column
 
     @property
     def n_bytes(self) -> int:
@@ -255,10 +514,7 @@ class LayerKVCache:
     @property
     def capacity_nbytes(self) -> int:
         """Preallocated-buffer footprint at the storage width."""
-        return (
-            2 * self.n_heads * self.capacity * self.head_dim
-            * self.bytes_per_element
-        )
+        return self.capacity * self._bytes_per_column
 
 
 class KVCache:
@@ -272,11 +528,15 @@ class KVCache:
         bytes_per_element: int = 2,
         page_tokens: int = 16,
         preallocate: bool = True,
+        # repro: allow[det-dtype-literal] -- exact-tier default, overridden
+        # per policy via NumericsPolicy.kv_dtype
+        dtype=np.float64,
     ):
         self.layers: List[LayerKVCache] = [
             LayerKVCache(
                 n_heads, head_dim, bytes_per_element,
                 page_tokens=page_tokens, preallocate=preallocate,
+                dtype=dtype,
             )
             for _ in range(n_layers)
         ]

@@ -1,0 +1,150 @@
+"""Numerics policies: the accuracy-for-speed ladder of the decode path.
+
+The repo's original contract was *bit identity* — every serving path had
+to reproduce the fp64 looped oracle to the last ulp.  PR 3 measured the
+price of that contract: OpenBLAS reductions are padding-variant, so a
+bit-identical packed decode core must keep exact-length per-sequence
+matmuls and softmax denominators, and the fp64 gelu/tanh FFN tax is
+backend-independent — together capping the packed path near ~2×.
+
+SpAtten itself never pays that tax.  The paper's progressive
+quantization (Section III-D) runs MSB-only attention first and fetches
+LSBs only when the probability distribution is flat: its speed comes
+from an *accuracy budget*, not a bit budget.  This module ports that
+philosophy to the serving hot path as an explicit, operator-visible
+axis:
+
+``exact``
+    The default.  fp64 compute, fp64 KV storage, every existing code
+    path runs verbatim — still bit-identical to the looped oracle
+    (asserted by the identity tests and ``benchmarks/bench_numerics``).
+``fp32``
+    fp32 KV planes and an fp32 batched decode core: one padded
+    ``[B, h, 1, max_len]`` masked-softmax attention over a shared
+    scratch arena plus a vectorized fp32 tanh/gelu FFN — the design
+    PR 3 proved impossible bit-identically.
+``int8``
+    Same batched core, but the KV cache stores int8 codes with per-row
+    (head × column) fp32 scales — :func:`repro.core.quantization
+    .quantize_rows` — so the score GEMM reads fp32 Q against
+    dequantized int8 K (fp32 accumulation), exactly what the cache can
+    reproduce.  4× less KV storage than fp32 at a declared accuracy
+    budget.
+
+Every policy declares its quality budget (max mean KL divergence from
+the fp64 oracle's next-token distribution and min argmax-match rate);
+``benchmarks/bench_numerics.py`` measures the ladder against those
+budgets and fails the build when a tier exceeds its declaration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+__all__ = [
+    "NumericsPolicy",
+    "EXACT",
+    "FP32",
+    "INT8",
+    "NUMERICS_LADDER",
+    "resolve_numerics",
+]
+
+
+@dataclass(frozen=True)
+class NumericsPolicy:
+    """One rung of the numerics ladder.
+
+    Attributes:
+        name: ladder tier name (``exact`` / ``fp32`` / ``int8``).
+        compute_dtype: dtype of the decode-step hidden-state math.
+        kv_dtype: storage dtype of KV cache planes (``np.int8`` stores
+            codes plus per-row fp32 scales).
+        kv_bytes_per_element: DRAM accounting width per cached scalar.
+            ``None`` keeps the model config's declared width (the
+            ``exact`` tier changes no accounting).
+        quantized_gemm: whether decode-step score GEMMs read
+            int8-rounded KV operands (per-row scales, fp32 accumulate).
+        kl_budget: max mean KL(oracle ‖ tier) over next-token
+            distributions tolerated by the quality gate.
+        argmax_budget: min fraction of decode steps whose argmax token
+            matches the fp64 oracle.
+    """
+
+    name: str
+    compute_dtype: type
+    kv_dtype: type
+    kv_bytes_per_element: Optional[int]
+    quantized_gemm: bool
+    kl_budget: float
+    argmax_budget: float
+
+    @property
+    def is_exact(self) -> bool:
+        """Whether this tier promises bit identity with the oracle."""
+        return self.name == "exact"
+
+    def storage_bytes_per_element(self, default: int) -> int:
+        """DRAM accounting width, falling back to the model's declared one."""
+        if self.kv_bytes_per_element is None:
+            return default
+        return self.kv_bytes_per_element
+
+
+#: Bit-identical fp64 — the contract every pre-existing test asserts.
+EXACT = NumericsPolicy(
+    name="exact",
+    compute_dtype=np.float64,
+    kv_dtype=np.float64,
+    kv_bytes_per_element=None,
+    quantized_gemm=False,
+    kl_budget=0.0,
+    argmax_budget=1.0,
+)
+
+#: fp32 KV + fp32 batched masked-softmax decode core.
+FP32 = NumericsPolicy(
+    name="fp32",
+    compute_dtype=np.float32,
+    kv_dtype=np.float32,
+    kv_bytes_per_element=4,
+    quantized_gemm=False,
+    kl_budget=5e-4,
+    argmax_budget=0.995,
+)
+
+#: int8 KV codes (per-row fp32 scales) + dequantized-int8 score GEMMs.
+INT8 = NumericsPolicy(
+    name="int8",
+    compute_dtype=np.float32,
+    kv_dtype=np.int8,
+    kv_bytes_per_element=1,
+    quantized_gemm=True,
+    kl_budget=5e-2,
+    argmax_budget=0.99,
+)
+
+#: Ladder order, fastest-last; also the CLI choices for ``--numerics``.
+NUMERICS_LADDER = ("exact", "fp32", "int8")
+
+_POLICIES = {"exact": EXACT, "fp32": FP32, "int8": INT8}
+
+
+def resolve_numerics(
+    numerics: Union[str, NumericsPolicy, None]
+) -> NumericsPolicy:
+    """Resolve a tier name (or policy, or None → exact) to a policy."""
+    if numerics is None:
+        return EXACT
+    if isinstance(numerics, NumericsPolicy):
+        return numerics
+    try:
+        return _POLICIES[numerics]
+    except KeyError:
+        raise ValueError(
+            f"unknown numerics tier {numerics!r}; "
+            f"expected one of {NUMERICS_LADDER}"
+        ) from None

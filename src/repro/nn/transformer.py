@@ -148,8 +148,24 @@ class AttentionExecutor:
         Whatever the style, the packed result must be bit-identical to
         the looped :meth:`run_layer` path — the backend only batches
         operations whose grouping provably does not change the floats.
+        (Under a non-exact :class:`~repro.nn.numerics.NumericsPolicy`
+        the backend instead targets the policy's declared accuracy
+        budget; the style contract is unchanged.)
         """
         return "none"
+
+    @property
+    def numerics(self):
+        """The numerics ladder tier this executor stores KV state at.
+
+        Defaults to the exact (fp64, bit-identical) policy; executors
+        that accept a ``numerics`` argument override this with the
+        resolved policy so the serving engine and backend can assert
+        a consistent tier across the whole stack.
+        """
+        from .numerics import EXACT
+
+        return EXACT
 
     def decode_kv_append(
         self,
@@ -160,6 +176,17 @@ class AttentionExecutor:
     ):
         """Append one decode column (``[h, 1, D]``) for a ``"dense"``
         executor and return the layer's :class:`LayerKVCache`."""
+        raise NotImplementedError
+
+    def decode_kv_cache(self, layer_idx: int):
+        """The layer's :class:`~repro.nn.kv_cache.LayerKVCache` without
+        appending (``"dense"`` style only).
+
+        The numerics-policy fast path appends centrally — batching the
+        quantization of a whole step's new columns — so it needs the
+        bare cache rather than the append-and-return of
+        :meth:`decode_kv_append`.
+        """
         raise NotImplementedError
 
     def decode_attend_packed(
@@ -252,27 +279,47 @@ class DenseExecutor(AttentionExecutor):
             ``False`` restores concatenate-per-append storage — the
             pre-packed-backend hot path, kept as the baseline for
             ``benchmarks/bench_decode_step.py``.
+        numerics: :class:`~repro.nn.numerics.NumericsPolicy` (or tier
+            name) selecting the KV storage representation — fp64 under
+            ``exact`` (default, bit-identical), fp32 planes or int8
+            codes with per-row scales otherwise.  Storage only: the
+            executor's own compute stays the fp64 oracle math; the
+            packed backend supplies the policy's fast decode core.
     """
 
     def __init__(
-        self, kv_page_tokens: int = 16, kv_preallocate: bool = True
+        self,
+        kv_page_tokens: int = 16,
+        kv_preallocate: bool = True,
+        numerics=None,
     ) -> None:
+        from .numerics import resolve_numerics
+
         self._cache: Optional[KVCache] = None
         self._n_heads = 0
         self._prefill_total = 0
         self._kv_page_tokens = kv_page_tokens
         self._kv_preallocate = kv_preallocate
+        self._numerics = resolve_numerics(numerics)
+
+    @property
+    def numerics(self):
+        return self._numerics
 
     def begin_sequence(self, model: "TransformerModel") -> None:
         cfg = model.config
         self._n_heads = cfg.n_heads
         self._prefill_total = 0
         if cfg.causal:
+            policy = self._numerics
             self._cache = KVCache(
                 cfg.n_layers, cfg.n_heads, cfg.head_dim,
-                bytes_per_element=cfg.bytes_per_element,
+                bytes_per_element=policy.storage_bytes_per_element(
+                    cfg.bytes_per_element
+                ),
                 page_tokens=self._kv_page_tokens,
                 preallocate=self._kv_preallocate,
+                dtype=policy.kv_dtype,
             )
         else:
             self._cache = None
@@ -318,6 +365,10 @@ class DenseExecutor(AttentionExecutor):
         layer_cache = self._cache[layer_idx]
         layer_cache.append(k_new, v_new, positions)
         return layer_cache
+
+    def decode_kv_cache(self, layer_idx: int):
+        """Bare layer cache for the policy path's central append."""
+        return self._cache[layer_idx]
 
     def run_layer(
         self,
@@ -766,6 +817,13 @@ class TransformerModel:
         if np.any(positions >= self.config.max_seq_len):
             raise ValueError(
                 f"position exceeds max_seq_len={self.config.max_seq_len}"
+            )
+        if backend is not None and not backend.policy.is_exact:
+            # Non-exact numerics tier: the backend owns the whole step
+            # (compute-dtype layer stack + arena-packed attention core);
+            # see repro.nn.numerics for the ladder contract.
+            return backend.decode_step_policy(
+                self, token_ids, positions, executors
             )
         x = (
             self.params.token_embedding[token_ids]

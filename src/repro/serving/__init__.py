@@ -159,6 +159,45 @@ and SpAtten-pruned serving across arrival rates at a matched budget,
 and sweeps chunked against monolithic prefill to quantify the TTFT and
 decode-latency-p95 win under load.
 
+Numerics ladder
+---------------
+
+The repo's founding contract is *bit identity*: every serving path
+reproduces the per-sequence fp64 looped oracle to the last ulp.  That
+contract caps the packed decode backend near ~2× — OpenBLAS reductions
+are padding-variant, so a bit-identical batched core must keep
+exact-length per-sequence matmuls and softmax denominators.  SpAtten's
+own progressive quantization (paper Section III-D) spends an *accuracy
+budget* instead of a bit budget; :mod:`repro.nn.numerics` ports that
+philosophy to the hot path as an explicit, operator-visible axis:
+
+========  ==========================================================
+tier      decode hot path
+========  ==========================================================
+`exact`   the default — fp64 compute, fp64 KV, every pre-existing
+          code path verbatim, still bit-identical to the oracle
+`fp32`    fp32 KV planes + one padded ``[B, h, 1, max_len]``
+          masked-softmax attention over a shared scratch arena and a
+          vectorized fp32 FFN
+`int8`    same batched core over int8 KV codes with per-(head ×
+          column) fp32 scales (:func:`repro.core.quantization.
+          quantize_rows`) — 4× less KV DRAM than fp32
+========  ==========================================================
+
+Select a tier with ``ServingEngine(numerics=...)`` /
+``ClusterEngine(numerics=...)`` or CLI ``--numerics
+{exact,fp32,int8}`` (packed backend only — the looped oracle *is* the
+bit-identity reference and serves only ``exact``).  The tier lands in
+the stats report's ``numerics`` field and the
+``repro_numerics_steps_total`` telemetry counter.  Every non-exact
+tier declares its quality budget (max mean KL from the oracle's
+next-token distribution, min argmax-match rate);
+``benchmarks/bench_numerics.py`` sweeps the ladder, measures
+decode-step speedup and distribution drift against the fp64 oracle,
+and exits non-zero when a tier exceeds its declared budget — the
+ladder is only allowed to be fast where it is provably accurate
+enough.
+
 Cluster mode
 ------------
 
@@ -401,7 +440,11 @@ hard gate ahead of the test suite, archiving the JSON report (CLI
   ``det-env-read`` (``os.environ`` / ``os.getenv`` feeding behavior
   that should come from explicit config); ``det-set-order``
   (iterating a set into ordered output — list/tuple/enumerate/join/
-  for — without ``sorted``).
+  for — without ``sorted``); ``det-dtype-literal`` (hard-coded
+  ``np.float64`` / ``dtype=float`` in the numerics-ladder-governed
+  hot-path modules — the decode path's dtype is
+  :class:`repro.nn.numerics.NumericsPolicy` state, and the deliberate
+  fp64 oracle paths carry reasoned suppressions).
 * **clock-domain** — ``clock-domain-import``: the manifest in
   :mod:`repro.analysis.manifest` assigns each module a ``simulated``,
   ``wall``, or ``neutral`` clock domain by dotted prefix; an import
@@ -417,7 +460,7 @@ hard gate ahead of the test suite, archiving the JSON report (CLI
   both directions; ``drift-stats-schema``: ``ServingStats`` /
   ``ClusterStats.to_dict`` keys and ``STATS_SCHEMA_VERSION`` must
   match the checked-in golden ``benchmarks/results/
-  stats_schema_v1.json`` (``tests/test_analysis.py`` round-trips the
+  stats_schema_v2.json`` (``tests/test_analysis.py`` round-trips the
   same contract at runtime).
 * **observability** — ``obs-span-balance``: any serving/cluster code
   path that ends a request's lifecycle phase (requeues a record or

@@ -110,6 +110,7 @@ from ..config import PruningConfig, QuantConfig
 from ..core import schedule as sched
 from ..core.pipeline import SpAttenExecutor
 from ..nn.batched_attention import ATTENTION_BACKENDS, PackedDecodeBackend
+from ..nn.numerics import resolve_numerics
 from ..nn.transformer import (
     AttentionExecutor,
     DenseExecutor,
@@ -242,6 +243,13 @@ class ServingEngine:
             ``run_layer`` hot path (the bit-identity oracle —
             both backends commit identical token streams and identical
             simulated-clock stats, the packed one in less wall time).
+        numerics: numerics ladder tier (``"exact"``, ``"fp32"``, or
+            ``"int8"`` — see :mod:`repro.nn.numerics`).  ``"exact"``
+            (default) keeps every path bit-identical to the fp64
+            oracle; the faster tiers store KV state at a narrower dtype
+            and run the decode layer stack in the policy's compute
+            dtype under a declared accuracy budget.  Non-exact tiers
+            require the ``"packed"`` attention backend.
         admission: ``"reserve"`` (default) bills every request its
             worst-case schedule-bound reservation for its whole
             lifetime; ``"optimistic"`` admits against actual pool usage
@@ -293,6 +301,7 @@ class ServingEngine:
         sampler: Optional[Callable[[np.ndarray], int]] = None,
         prefill_chunk: Optional[int] = None,
         attention_backend: str = "packed",
+        numerics: str = "exact",
         admission: str = "reserve",
         preempt_policy: str = "lowest_priority",
         headroom_pages: int = 0,
@@ -315,6 +324,13 @@ class ServingEngine:
                 f"unknown attention_backend {attention_backend!r}; "
                 f"choose from {ATTENTION_BACKENDS}"
             )
+        resolved_numerics = resolve_numerics(numerics)
+        if not resolved_numerics.is_exact and attention_backend != "packed":
+            raise ValueError(
+                f"numerics tier {resolved_numerics.name!r} requires the "
+                f"'packed' attention backend; the 'looped' path is the "
+                f"bit-identity oracle and only serves 'exact'"
+            )
         if admission not in ADMISSION_MODES:
             raise ValueError(
                 f"unknown admission mode {admission!r}; choose from "
@@ -334,6 +350,10 @@ class ServingEngine:
         self.sampler = sampler or greedy_sampler
         self.prefill_chunk = prefill_chunk
         self.attention_backend = attention_backend
+        #: Resolved :class:`~repro.nn.numerics.NumericsPolicy` governing
+        #: decode-step compute and KV storage across every executor this
+        #: engine creates (see the "Numerics ladder" guide section).
+        self.numerics = resolved_numerics
         self.admission = admission
         self.preemption = PreemptionPolicy(preempt_policy)
         self.headroom_pages = int(headroom_pages)
@@ -354,7 +374,9 @@ class ServingEngine:
         #: chaos engine toggles it over bounded fault windows.
         self.slowdown = 1.0
         self._backend = (
-            PackedDecodeBackend(model) if attention_backend == "packed" else None
+            PackedDecodeBackend(model, numerics=resolved_numerics)
+            if attention_backend == "packed"
+            else None
         )
         self._executor_factory = executor_factory
         self.queue = RequestQueue()
@@ -421,9 +443,12 @@ class ServingEngine:
             # Thread the pool's page size into the caches so buffer
             # growth and pool-page accounting share one unit.
             return SpAttenExecutor(
-                pruning, self.quant, kv_page_tokens=self.pool.page_tokens
+                pruning, self.quant, kv_page_tokens=self.pool.page_tokens,
+                numerics=self.numerics,
             )
-        return DenseExecutor(kv_page_tokens=self.pool.page_tokens)
+        return DenseExecutor(
+            kv_page_tokens=self.pool.page_tokens, numerics=self.numerics
+        )
 
     # ------------------------------------------------------------------
     # Stepwise run API (the cluster driver's hooks)
@@ -647,6 +672,7 @@ class ServingEngine:
         stats = ServingStats.from_run(
             mode=self.mode,
             admission=self.admission,
+            numerics=self.numerics.name,
             records=records,
             makespan_s=self.clock.now,
             batch_sizes=self._batch_sizes,
@@ -1642,6 +1668,10 @@ class ServingEngine:
         if tel.metrics is not None:
             m = tel.metrics
             m.counter("repro_steps_total", engine=self.name).inc()
+            m.counter(
+                "repro_numerics_steps_total",
+                engine=self.name, numerics=self.numerics.name,
+            ).inc()
             m.histogram(
                 "repro_step_seconds", STEP_SECONDS_BUCKETS,
                 engine=self.name,

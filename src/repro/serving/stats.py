@@ -223,7 +223,7 @@ def _null_if_nan(value):
 #: removed, or changes meaning — *adding* fields is backward-compatible
 #: and does not bump.  Consumers parsing ``--stats-json`` output should
 #: check this before anything else.
-STATS_SCHEMA_VERSION = 1
+STATS_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -276,6 +276,9 @@ class ServingStats:
     tiers: List[dict] = field(default_factory=list)
     #: Admission mode the engine ran under (``reserve``/``optimistic``).
     admission: str = "reserve"
+    #: Numerics-ladder tier the engine ran under
+    #: (``exact``/``fp32``/``int8`` — see :mod:`repro.nn.numerics`).
+    numerics: str = "exact"
     #: Preemptions across the run (optimistic admission under pool
     #: pressure) and the tokens recomputed after them — latency paid,
     #: never tokens lost (greedy replay is bit-identical).
@@ -302,6 +305,7 @@ class ServingStats:
         reclaimed_pages: int,
         reclaimed_tokens: int,
         admission: str = "reserve",
+        numerics: str = "exact",
     ) -> "ServingStats":
         # A record that never reached admission (a partial run cut short
         # by an error or an interrupted trace) has no queue_wait/TTFT;
@@ -366,6 +370,7 @@ class ServingStats:
                 1 for r in failed if r.admit_time is None
             ),
             admission=admission,
+            numerics=numerics,
             n_preemptions=sum(r.n_preemptions for r in records),
             recompute_tokens=sum(r.recompute_tokens for r in records),
             n_failed_requests=len(failed),
@@ -451,6 +456,8 @@ class ServingStats:
                 )
         if self.admission != "reserve":
             t.add_row("admission mode", self.admission)
+        if self.numerics != "exact":
+            t.add_row("numerics tier", self.numerics)
         if self.n_preemptions:
             t.add_row("preemptions (recompute-on-preempt)",
                       str(self.n_preemptions))

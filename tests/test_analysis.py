@@ -178,6 +178,55 @@ class TestSetOrderRule:
         assert result.unsuppressed == []
 
 
+class TestDtypeLiteralRule:
+    def test_fires_in_governed_module(self, tmp_path):
+        result = lint(tmp_path, {
+            "src/repro/nn/kv_cache.py": (
+                "import numpy as np\n"
+                "def store(x):\n"
+                "    a = np.asarray(x, dtype=np.float64)\n"
+                "    b = np.zeros(3, dtype=float)\n"
+                "    return a, b\n"
+            ),
+        }, rules=["det-dtype-literal"])
+        assert rule_ids(result) == ["det-dtype-literal"] * 2
+        assert result.exit_code == 1
+
+    def test_silent_outside_governed_modules(self, tmp_path):
+        # Same code in a non-hot-path module: the oracle baselines and
+        # eval helpers are *supposed* to be fp64.
+        result = lint(tmp_path, {
+            "src/repro/eval/accuracy.py": (
+                "import numpy as np\n"
+                "def score(x):\n"
+                "    return np.asarray(x, dtype=np.float64)\n"
+            ),
+        }, rules=["det-dtype-literal"])
+        assert result.unsuppressed == []
+
+    def test_silent_on_policy_threaded_dtype(self, tmp_path):
+        result = lint(tmp_path, {
+            "src/repro/nn/kv_cache.py": (
+                "import numpy as np\n"
+                "def store(x, policy):\n"
+                "    return np.asarray(x, dtype=policy.kv_dtype)\n"
+            ),
+        }, rules=["det-dtype-literal"])
+        assert result.unsuppressed == []
+
+    def test_suppression_with_reason(self, tmp_path):
+        result = lint(tmp_path, {
+            "src/repro/nn/functional.py": (
+                "import numpy as np\n"
+                "def softmax(x):\n"
+                "    # repro: allow[det-dtype-literal] -- fp64 oracle\n"
+                "    return np.asarray(x, dtype=np.float64)\n"
+            ),
+        }, rules=["det-dtype-literal"])
+        assert result.unsuppressed == []
+        assert len(result.suppressed) == 1
+
+
 # ----------------------------------------------------------------------
 # Clock-domain family
 # ----------------------------------------------------------------------
@@ -442,7 +491,7 @@ class TestStatsSchemaDriftRule:
 
     def test_fires_on_key_drift(self, tmp_path):
         files = dict(self.FILES)
-        files["benchmarks/results/stats_schema_v1.json"] = _golden(
+        files["benchmarks/results/stats_schema_v2.json"] = _golden(
             ["mode", "schema_version", "stale_key"],
             ["fleet", "policy", "schema_version"],
         )
@@ -453,7 +502,7 @@ class TestStatsSchemaDriftRule:
 
     def test_fires_on_version_mismatch(self, tmp_path):
         files = dict(self.FILES)
-        files["benchmarks/results/stats_schema_v1.json"] = _golden(
+        files["benchmarks/results/stats_schema_v2.json"] = _golden(
             ["mode", "n_tokens", "schema_version"],
             ["fleet", "policy", "schema_version"],
             version=2,
@@ -464,7 +513,7 @@ class TestStatsSchemaDriftRule:
 
     def test_silent_when_golden_matches(self, tmp_path):
         files = dict(self.FILES)
-        files["benchmarks/results/stats_schema_v1.json"] = _golden(
+        files["benchmarks/results/stats_schema_v2.json"] = _golden(
             ["mode", "n_tokens", "schema_version"],
             ["fleet", "policy", "schema_version"],
         )

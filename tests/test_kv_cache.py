@@ -253,3 +253,170 @@ class TestCapacityModel:
         cache.reserve(10)
         assert all(layer.capacity == 16 for layer in cache.layers)
         assert cache.capacity_nbytes == 3 * (2 * 2 * 16 * 4 * 2)
+
+
+class TestNumericsStorage:
+    """Dtype-parameterized planes: the numerics ladder's KV storage.
+
+    ``dtype=float32`` must round-trip every lifecycle operation at fp32
+    precision; ``dtype=int8`` stores codes plus per-(head, column) fp32
+    scales and must dequantize consistently across views, compaction,
+    padding, and mid-generation appends — and the byte accounting must
+    follow the storage width, scales included.
+    """
+
+    def test_fp32_views_round_trip_the_cast(self, rng):
+        cache = LayerKVCache(
+            n_heads=2, head_dim=4, dtype=np.float32, bytes_per_element=4
+        )
+        k = rng.normal(size=(2, 5, 4))
+        v = rng.normal(size=(2, 5, 4))
+        cache.append(k, v, np.arange(5))
+        assert cache.keys.dtype == np.float32
+        assert np.array_equal(cache.keys, k.astype(np.float32))
+        assert np.array_equal(cache.values, v.astype(np.float32))
+        assert cache.key_scales is None and cache.value_scales is None
+
+    def test_fp32_keep_reserve_padded_to(self, rng):
+        cache = LayerKVCache(
+            n_heads=2, head_dim=4, dtype=np.float32, bytes_per_element=4,
+            page_tokens=4,
+        )
+        k = rng.normal(size=(2, 6, 4)).astype(np.float32)
+        v = rng.normal(size=(2, 6, 4)).astype(np.float32)
+        cache.append(k, v, np.arange(6))
+        cache.keep(np.array([0, 2, 5]))
+        assert np.array_equal(cache.keys, k[:, [0, 2, 5]])
+        cache.reserve(12)
+        assert cache.capacity >= 12
+        assert np.array_equal(cache.keys, k[:, [0, 2, 5]])
+        pk, pv = cache.padded_to(8)
+        assert pk.dtype == np.float32
+        assert np.array_equal(pk[:, :3], k[:, [0, 2, 5]])
+        assert np.all(pk[:, 3:] == 0.0)
+        assert np.all(pv[:, 3:] == 0.0)
+
+    def test_fp32_decode_col_appends_at_storage_dtype(self, rng):
+        cache = LayerKVCache(
+            n_heads=2, head_dim=4, dtype=np.float32, bytes_per_element=4
+        )
+        k = rng.normal(size=(2, 4)).astype(np.float32)
+        v = rng.normal(size=(2, 4)).astype(np.float32)
+        cache.append_decode_col(k, v, 17)
+        assert len(cache) == 1
+        assert np.array_equal(cache.keys[:, 0], k)
+        assert np.array_equal(cache.token_ids, [17])
+
+    def test_int8_round_trip_within_half_step(self, rng):
+        cache = LayerKVCache(
+            n_heads=2, head_dim=4, dtype=np.int8, bytes_per_element=1
+        )
+        k = rng.normal(size=(2, 5, 4))
+        v = rng.normal(size=(2, 5, 4))
+        cache.append(k, v, np.arange(5))
+        assert cache.quantized
+        assert cache.keys.dtype == np.float32  # dequantized view
+        k_err = np.abs(cache.keys - k)
+        v_err = np.abs(cache.values - v)
+        assert np.all(k_err <= cache.key_scales[..., None] * (0.5 + 1e-5))
+        assert np.all(v_err <= cache.value_scales[..., None] * (0.5 + 1e-5))
+
+    def test_int8_keep_moves_scales_with_rows(self, rng):
+        cache = LayerKVCache(
+            n_heads=2, head_dim=4, dtype=np.int8, bytes_per_element=1
+        )
+        cache.append(
+            rng.normal(size=(2, 6, 4)), rng.normal(size=(2, 6, 4)),
+            np.arange(6),
+        )
+        before_k = cache.keys.copy()
+        before_scales = cache.key_scales.copy()
+        cache.keep(np.array([1, 3, 4]))
+        # Compaction never requantizes: surviving dequantized columns
+        # and their scales are bit-identical to the pre-keep state.
+        assert np.array_equal(cache.keys, before_k[:, [1, 3, 4]])
+        assert np.array_equal(cache.key_scales, before_scales[:, [1, 3, 4]])
+        assert cache.evicted_tokens == 3
+
+    def test_int8_mid_generation_eviction_then_append(self, rng):
+        from repro.core.quantization import quantize_rows
+
+        cache = LayerKVCache(
+            n_heads=2, head_dim=4, dtype=np.int8, bytes_per_element=1
+        )
+        cache.append(
+            rng.normal(size=(2, 5, 4)), rng.normal(size=(2, 5, 4)),
+            np.arange(5),
+        )
+        cache.keep(np.array([0, 2]))
+        survivors = cache.keys.copy()
+        k_new = rng.normal(size=(2, 1, 4))
+        v_new = rng.normal(size=(2, 1, 4))
+        k_codes, k_scales = quantize_rows(k_new, bits=8)
+        v_codes, v_scales = quantize_rows(v_new, bits=8)
+        cache.append_decode_col_quantized(
+            k_codes[:, 0], k_scales[:, 0, 0], v_codes[:, 0], v_scales[:, 0, 0], 5
+        )
+        assert len(cache) == 3
+        assert np.array_equal(cache.keys[:, :2], survivors)
+        assert np.array_equal(
+            cache.keys[:, 2:], k_codes.astype(np.float32) * k_scales
+        )
+        assert np.array_equal(cache.token_ids, [0, 2, 5])
+
+    def test_int8_padded_to_dequantizes_with_zero_tail(self, rng):
+        cache = LayerKVCache(
+            n_heads=2, head_dim=4, dtype=np.int8, bytes_per_element=1
+        )
+        cache.append(
+            rng.normal(size=(2, 3, 4)), rng.normal(size=(2, 3, 4)),
+            np.arange(3),
+        )
+        pk, pv = cache.padded_to(6)
+        assert pk.dtype == np.float32 and pk.shape == (2, 6, 4)
+        assert np.array_equal(pk[:, :3], cache.keys)
+        assert np.all(pk[:, 3:] == 0.0) and np.all(pv[:, 3:] == 0.0)
+
+    def test_nbytes_matches_storage_width(self, rng):
+        fp32 = LayerKVCache(
+            n_heads=2, head_dim=4, dtype=np.float32, bytes_per_element=4
+        )
+        int8 = LayerKVCache(
+            n_heads=2, head_dim=4, dtype=np.int8, bytes_per_element=1
+        )
+        k = rng.normal(size=(2, 3, 4))
+        v = rng.normal(size=(2, 3, 4))
+        fp32.append(k, v, np.arange(3))
+        int8.append(k, v, np.arange(3))
+        # 2 tensors x 2 heads x 4 dims at the declared width per column.
+        assert fp32.nbytes == 3 * (2 * 2 * 4 * 4)
+        # int8 adds two fp32 scales (K and V) per head per column.
+        assert int8.nbytes == 3 * (2 * 2 * 4 * 1 + 2 * 2 * 4)
+
+    def test_unsupported_dtype_rejected(self):
+        with pytest.raises(ValueError):
+            LayerKVCache(n_heads=2, head_dim=4, dtype=np.float16)
+
+    def test_quantized_appends_require_matching_dtype(self, layer_cache, rng):
+        with pytest.raises(ValueError):
+            layer_cache.append_quantized(
+                np.zeros((2, 1, 4), dtype=np.int8), np.ones((2, 1), dtype=np.float32),
+                np.zeros((2, 1, 4), dtype=np.int8), np.ones((2, 1), dtype=np.float32),
+                np.array([0]),
+            )
+        # The float decode-col append on int8 storage routes through
+        # the requantizing append() instead of the raw-write fast path.
+        cache = LayerKVCache(
+            n_heads=2, head_dim=4, dtype=np.int8, bytes_per_element=1
+        )
+        cache.append_decode_col(
+            rng.normal(size=(2, 4)), rng.normal(size=(2, 4)), 0
+        )
+        assert len(cache) == 1 and cache.quantized
+
+    def test_kvcache_propagates_dtype_to_layers(self):
+        cache = KVCache(
+            n_layers=2, n_heads=2, head_dim=4, dtype=np.float32,
+            bytes_per_element=4,
+        )
+        assert all(layer.dtype == np.dtype(np.float32) for layer in cache.layers)

@@ -9,9 +9,12 @@ from hypothesis.extra import numpy as hnp
 from repro.config import QuantConfig
 from repro.core.quantization import (
     LinearQuantizer,
+    QuantizationRangeError,
     attention_prob_error,
+    dequantize_rows,
     needs_lsb,
     quantize_attention_inputs,
+    quantize_rows,
     softmax_error_bound,
 )
 from repro.nn.functional import softmax
@@ -19,6 +22,12 @@ from repro.nn.functional import softmax
 value_arrays = hnp.arrays(
     np.float64,
     st.integers(1, 40),
+    elements=st.floats(-1000, 1000, allow_nan=False),
+)
+
+row_arrays = hnp.arrays(
+    np.float64,
+    st.tuples(st.integers(1, 6), st.integers(1, 12)),
     elements=st.floats(-1000, 1000, allow_nan=False),
 )
 
@@ -89,6 +98,100 @@ class TestLinearQuantizer:
             LinearQuantizer(1, 4)
         with pytest.raises(ValueError):
             LinearQuantizer(8, -1)
+
+
+class TestQuantizerEdgeCases:
+    """The edge-case contract of the module docstring, audited when
+    the quantizers went on the serving hot path (int8 numerics tier)."""
+
+    def test_zero_range_round_trip_is_exact(self):
+        q = LinearQuantizer(8, 0).quantize(np.zeros(7))
+        assert q.scale == 1.0
+        assert np.array_equal(q.codes, np.zeros(7, dtype=np.int32))
+
+    def test_non_finite_raises_named_error(self):
+        for bad in (np.nan, np.inf, -np.inf):
+            with pytest.raises(QuantizationRangeError):
+                LinearQuantizer(8, 4).quantize(np.array([1.0, bad]))
+
+    def test_range_error_is_a_value_error(self):
+        # Call sites that catch ValueError must keep working.
+        assert issubclass(QuantizationRangeError, ValueError)
+
+    @given(value_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_most_negative_code_never_produced(self, x):
+        # Symmetric grid: -128 would dequantize outside the declared
+        # range and break the negation symmetry below.
+        q = LinearQuantizer(8, 0).quantize(x)
+        assert q.codes.min(initial=0) >= -127
+        assert q.codes.max(initial=0) <= 127
+
+    @given(value_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_negation_commutes_with_quantization(self, x):
+        quantizer = LinearQuantizer(8, 0)
+        q_pos = quantizer.quantize(x)
+        q_neg = quantizer.quantize(-x)
+        assert q_neg.scale == q_pos.scale
+        assert np.array_equal(q_neg.codes, -q_pos.codes)
+
+
+class TestQuantizeRows:
+    """Per-row quantization (the KV cache's int8 storage tier)."""
+
+    @given(row_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_error_bounded_by_half_step(self, x):
+        codes, scales = quantize_rows(x, bits=8)
+        recovered = dequantize_rows(codes, scales, dtype=np.float64)
+        # scale/2 rounding plus the fp32-scale representation slack.
+        bound = scales.astype(np.float64) * (0.5 + 1e-5)
+        assert np.all(np.abs(recovered - x) <= bound + 1e-12)
+
+    @given(row_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_codes_symmetric_and_negation_commutes(self, x):
+        codes, scales = quantize_rows(x, bits=8)
+        assert codes.dtype == np.int8
+        assert codes.min(initial=0) >= -127 and codes.max(initial=0) <= 127
+        neg_codes, neg_scales = quantize_rows(-x, bits=8)
+        assert np.array_equal(neg_scales, scales)
+        assert np.array_equal(neg_codes, -codes)
+
+    def test_zero_range_rows_round_trip_exactly(self):
+        x = np.array([[0.0, 0.0, 0.0], [1.0, -2.0, 0.5]])
+        codes, scales = quantize_rows(x, bits=8)
+        assert scales[0, 0] == 1.0
+        assert np.array_equal(codes[0], np.zeros(3, dtype=np.int8))
+        assert np.array_equal(dequantize_rows(codes, scales)[0], x[0])
+
+    def test_subnormal_row_does_not_divide_by_zero(self):
+        # max_abs/127 underflows to 0.0 in the fp32 scale cast; the
+        # guard pins such rows to scale 1.0 / all-zero codes.
+        x = np.full((1, 4), 1e-300)
+        codes, scales = quantize_rows(x, bits=8)
+        assert scales[0, 0] == 1.0
+        assert np.array_equal(codes, np.zeros((1, 4), dtype=np.int8))
+        assert np.isfinite(dequantize_rows(codes, scales)).all()
+
+    def test_non_finite_raises_named_error(self):
+        for bad in (np.nan, np.inf, -np.inf):
+            with pytest.raises(QuantizationRangeError):
+                quantize_rows(np.array([[1.0, bad]]), bits=8)
+
+    def test_invalid_bits_rejected(self):
+        with pytest.raises(ValueError):
+            quantize_rows(np.ones((2, 2)), bits=1)
+
+    def test_empty_input_keeps_keepdims_shape(self):
+        codes, scales = quantize_rows(np.empty((0, 5)), bits=8)
+        assert codes.shape == (0, 5)
+        assert scales.shape == (0, 1)
+
+    def test_wide_bits_use_int32_codes(self):
+        codes, _ = quantize_rows(np.ones((2, 3)), bits=12)
+        assert codes.dtype == np.int32
 
 
 class TestProgressiveDecision:
